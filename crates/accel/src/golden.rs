@@ -1,0 +1,150 @@
+//! Golden (reference) filter implementations.
+//!
+//! The per-pixel kernels are shared with the streaming hardware models
+//! in [`crate::rm`], so hardware output is bit-identical to these by
+//! construction *of the kernel* — the tests verify the streaming
+//! machinery (line buffers, beat packing, backpressure) preserves it.
+
+use crate::image::Image;
+
+/// A window accessor: pixel at (row, col) with replicated borders.
+pub type Window<'a> = &'a dyn Fn(isize, isize) -> u8;
+
+/// 3×3 Gaussian blur kernel (1-2-1 separable, /16) at (r, c).
+pub fn gaussian_pixel(win: Window<'_>, r: isize, c: isize) -> u8 {
+    let k: [[u16; 3]; 3] = [[1, 2, 1], [2, 4, 2], [1, 2, 1]];
+    let mut acc: u16 = 0;
+    for (dr, row) in k.iter().enumerate() {
+        for (dc, &w) in row.iter().enumerate() {
+            acc += w * win(r + dr as isize - 1, c + dc as isize - 1) as u16;
+        }
+    }
+    (acc / 16) as u8
+}
+
+/// 3×3 median filter at (r, c).
+pub fn median_pixel(win: Window<'_>, r: isize, c: isize) -> u8 {
+    let mut vals = [0u8; 9];
+    let mut i = 0;
+    for dr in -1..=1 {
+        for dc in -1..=1 {
+            vals[i] = win(r + dr, c + dc);
+            i += 1;
+        }
+    }
+    vals.sort_unstable();
+    vals[4]
+}
+
+/// 3×3 Sobel gradient magnitude (|Gx| + |Gy|, saturated) at (r, c).
+pub fn sobel_pixel(win: Window<'_>, r: isize, c: isize) -> u8 {
+    let p = |dr: isize, dc: isize| win(r + dr, c + dc) as i32;
+    let gx = -p(-1, -1) - 2 * p(0, -1) - p(1, -1) + p(-1, 1) + 2 * p(0, 1) + p(1, 1);
+    let gy = -p(-1, -1) - 2 * p(-1, 0) - p(-1, 1) + p(1, -1) + 2 * p(1, 0) + p(1, 1);
+    (gx.abs() + gy.abs()).min(255) as u8
+}
+
+fn apply(img: &Image, kernel: fn(Window<'_>, isize, isize) -> u8) -> Image {
+    let mut out = Image::new(img.width(), img.height());
+    let win = |r: isize, c: isize| img.get_clamped(r, c);
+    for r in 0..img.height() {
+        for c in 0..img.width() {
+            out.set(r, c, kernel(&win, r as isize, c as isize));
+        }
+    }
+    out
+}
+
+/// Gaussian blur of a whole image.
+pub fn gaussian(img: &Image) -> Image {
+    apply(img, gaussian_pixel)
+}
+
+/// Median filter of a whole image.
+pub fn median(img: &Image) -> Image {
+    apply(img, median_pixel)
+}
+
+/// Sobel edge map of a whole image.
+pub fn sobel(img: &Image) -> Image {
+    apply(img, sobel_pixel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_preserves_flat_regions() {
+        let img = Image::from_pixels(8, 8, vec![100; 64]);
+        assert_eq!(gaussian(&img).as_bytes(), img.as_bytes());
+    }
+
+    #[test]
+    fn gaussian_smooths_an_impulse() {
+        let mut img = Image::new(5, 5);
+        img.set(2, 2, 160);
+        let out = gaussian(&img);
+        assert_eq!(out.get(2, 2), 40); // 160*4/16
+        assert_eq!(out.get(2, 1), 20); // 160*2/16
+        assert_eq!(out.get(1, 1), 10); // 160*1/16
+        assert_eq!(out.get(0, 0), 0);
+    }
+
+    #[test]
+    fn median_removes_salt_noise() {
+        let mut img = Image::from_pixels(5, 5, vec![50; 25]);
+        img.set(2, 2, 255); // lone outlier
+        let out = median(&img);
+        assert_eq!(out.get(2, 2), 50);
+    }
+
+    #[test]
+    fn median_preserves_majority() {
+        let img = Image::checkerboard(6, 6, 3);
+        let out = median(&img);
+        // Center of a 3×3 cell keeps its value.
+        assert_eq!(out.get(1, 1), 0);
+        assert_eq!(out.get(1, 4), 255);
+    }
+
+    #[test]
+    fn sobel_zero_on_flat_strong_on_edge() {
+        let img = Image::from_pixels(6, 6, vec![77; 36]);
+        assert!(sobel(&img).as_bytes().iter().all(|&p| p == 0));
+        // A vertical step edge saturates.
+        let mut step = Image::new(6, 6);
+        for r in 0..6 {
+            for c in 3..6 {
+                step.set(r, c, 255);
+            }
+        }
+        let out = sobel(&step);
+        assert_eq!(out.get(3, 3), 255);
+        assert_eq!(out.get(3, 0), 0);
+    }
+
+    #[test]
+    fn sobel_detects_horizontal_edges_too() {
+        let mut step = Image::new(6, 6);
+        for r in 3..6 {
+            for c in 0..6 {
+                step.set(r, c, 200);
+            }
+        }
+        let out = sobel(&step);
+        assert!(out.get(3, 3) > 0);
+        assert_eq!(out.get(0, 3), 0);
+    }
+
+    #[test]
+    fn filters_differ_on_noise() {
+        let img = Image::noise(32, 32, 1);
+        let g = gaussian(&img);
+        let m = median(&img);
+        let s = sobel(&img);
+        assert_ne!(g, m);
+        assert_ne!(g, s);
+        assert_ne!(m, s);
+    }
+}

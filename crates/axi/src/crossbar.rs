@@ -1,0 +1,696 @@
+//! N-master × M-slave AXI crossbar with address decode, round-robin
+//! arbitration, pipelined latency, and in-order response routing.
+//!
+//! Matches the role of the 64-bit AXI-4 crossbars in the paper's SoC
+//! (the main system crossbar of Fig. 1 and the additional crossbar
+//! between the RV-CAP DMA and the DDR controller of Fig. 2).
+
+use std::collections::VecDeque;
+
+use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::Cycle;
+
+use crate::mm::{MmOp, MmReq, MmResp, MasterPort, SlavePort};
+
+/// An address window owned by one slave port.
+#[derive(Debug, Clone)]
+pub struct SlaveRegion {
+    /// Region name (diagnostics).
+    pub name: String,
+    /// First byte address of the window.
+    pub base: u64,
+    /// Window size in bytes.
+    pub size: u64,
+}
+
+impl SlaveRegion {
+    /// Define a region.
+    pub fn new(name: impl Into<String>, base: u64, size: u64) -> Self {
+        assert!(size > 0, "slave region must be non-empty");
+        let r = SlaveRegion {
+            name: name.into(),
+            base,
+            size,
+        };
+        assert!(
+            r.base.checked_add(r.size - 1).is_some(),
+            "region {} wraps the address space",
+            r.name
+        );
+        r
+    }
+
+    /// Does this window contain `addr`?
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr - self.base < self.size
+    }
+
+    /// Do two windows overlap?
+    pub fn overlaps(&self, other: &SlaveRegion) -> bool {
+        self.base < other.base + other.size && other.base < self.base + self.size
+    }
+}
+
+/// In-flight item delayed by the crossbar pipeline.
+#[derive(Debug)]
+struct Delayed<T> {
+    ready_at: Cycle,
+    item: T,
+}
+
+/// Per-slave state.
+struct SlaveLane {
+    region: SlaveRegion,
+    /// Crossbar's master port toward this slave.
+    port: MasterPort,
+    /// Which master gets each in-order response transaction.
+    scoreboard: VecDeque<usize>,
+    /// Requests pipelining through the crossbar toward this slave.
+    req_pipe: VecDeque<Delayed<MmReq>>,
+    /// Round-robin pointer over masters for this slave's arbiter.
+    rr_next: usize,
+}
+
+/// Per-master state.
+struct MasterLane {
+    /// Crossbar's slave port toward this master.
+    port: SlavePort,
+    /// Responses pipelining back toward this master.
+    resp_pipe: VecDeque<Delayed<MmResp>>,
+}
+
+/// The crossbar component.
+///
+/// * Address decode: the target slave is chosen by the request
+///   address; a request that decodes to no region gets a DECERR
+///   response (and shows up in [`Crossbar::decode_errors`]).
+/// * Arbitration: per-slave round-robin among masters whose oldest
+///   request targets that slave. One request accepted per slave per
+///   cycle — head-of-line blocking across slaves is modelled, exactly
+///   like a real shared-address-channel crossbar.
+/// * Responses: slaves answer in order, so a per-slave scoreboard of
+///   master indices routes each response transaction back; burst beats
+///   stay attributed to their transaction until `last`.
+/// * Latency: `req_latency` cycles on the request path and
+///   `resp_latency` on the response path (address decode + register
+///   slices).
+pub struct Crossbar {
+    name: String,
+    masters: Vec<MasterLane>,
+    slaves: Vec<SlaveLane>,
+    req_latency: Cycle,
+    resp_latency: Cycle,
+    decode_errors: u64,
+}
+
+impl Crossbar {
+    /// Default request-path latency (address decode + register slice).
+    pub const DEFAULT_REQ_LATENCY: Cycle = 2;
+    /// Default response-path latency.
+    pub const DEFAULT_RESP_LATENCY: Cycle = 2;
+
+    /// Build a crossbar.
+    ///
+    /// `masters` are the slave-side ports of the master links (the
+    /// crossbar is the slave of each master). `slaves` pairs each
+    /// address region with the master-side port toward that slave.
+    pub fn new(
+        name: impl Into<String>,
+        masters: Vec<SlavePort>,
+        slaves: Vec<(SlaveRegion, MasterPort)>,
+    ) -> Self {
+        let name = name.into();
+        assert!(!masters.is_empty(), "crossbar {name} needs masters");
+        assert!(!slaves.is_empty(), "crossbar {name} needs slaves");
+        for (i, (a, _)) in slaves.iter().enumerate() {
+            for (b, _) in slaves.iter().skip(i + 1) {
+                assert!(
+                    !a.overlaps(b),
+                    "crossbar {name}: regions {} and {} overlap",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+        Crossbar {
+            name,
+            masters: masters
+                .into_iter()
+                .map(|port| MasterLane {
+                    port,
+                    resp_pipe: VecDeque::new(),
+                })
+                .collect(),
+            slaves: slaves
+                .into_iter()
+                .map(|(region, port)| SlaveLane {
+                    region,
+                    port,
+                    scoreboard: VecDeque::new(),
+                    req_pipe: VecDeque::new(),
+                    rr_next: 0,
+                })
+                .collect(),
+            req_latency: Self::DEFAULT_REQ_LATENCY,
+            resp_latency: Self::DEFAULT_RESP_LATENCY,
+            decode_errors: 0,
+        }
+    }
+
+    /// Override the pipeline latencies (used by baseline models whose
+    /// interconnects differ from the Ariane SoC's).
+    pub fn with_latency(mut self, req: Cycle, resp: Cycle) -> Self {
+        self.req_latency = req;
+        self.resp_latency = resp;
+        self
+    }
+
+    /// Requests that decoded to no slave region.
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors
+    }
+
+    fn decode(&self, addr: u64) -> Option<usize> {
+        self.slaves.iter().position(|s| s.region.contains(addr))
+    }
+
+    /// Accept at most one new request per slave this cycle, honouring
+    /// per-slave round-robin over masters.
+    fn accept_requests(&mut self, cycle: Cycle) {
+        // Which slave does each master's oldest request target?
+        let targets: Vec<Option<(usize, MmReq)>> = self
+            .masters
+            .iter()
+            .map(|m| {
+                m.port.req.peek().map(|req| {
+                    let slave = self.decode(req.addr);
+                    (slave.unwrap_or(usize::MAX), req)
+                })
+            })
+            .collect();
+
+        // Handle decode failures first: consume the request and queue
+        // an immediate error response.
+        for (mi, t) in targets.iter().enumerate() {
+            if let Some((usize::MAX, _)) = t {
+                if let Some(req) = self.masters[mi].port.req.try_pop(cycle) {
+                    self.decode_errors += 1;
+                    let lane = &mut self.masters[mi];
+                    lane.resp_pipe.push_back(Delayed {
+                        ready_at: cycle + self.resp_latency,
+                        item: MmResp::err(),
+                    });
+                    debug_assert!(matches!(req.op, _));
+                }
+            }
+        }
+
+        for si in 0..self.slaves.len() {
+            // Collect masters whose head request targets slave si.
+            let n = self.masters.len();
+            let start = self.slaves[si].rr_next;
+            let mut chosen: Option<usize> = None;
+            for k in 0..n {
+                let mi = (start + k) % n;
+                if let Some((target, _)) = &targets[mi] {
+                    if *target == si {
+                        chosen = Some(mi);
+                        break;
+                    }
+                }
+            }
+            let Some(mi) = chosen else { continue };
+            // The master lane pops at most one request per cycle via
+            // the FIFO's own rate limit; a decode-error pop above may
+            // already have consumed this master's budget.
+            if let Some(req) = self.masters[mi].port.req.try_pop(cycle) {
+                let posted = matches!(req.op, MmOp::Write { posted: true, .. });
+                let lane = &mut self.slaves[si];
+                lane.req_pipe.push_back(Delayed {
+                    ready_at: cycle + self.req_latency,
+                    item: req,
+                });
+                // Posted writes produce no response to route back.
+                if !posted {
+                    lane.scoreboard.push_back(mi);
+                }
+                lane.rr_next = (mi + 1) % n;
+            }
+        }
+    }
+
+    /// Move pipelined requests into slave ports (one per slave/cycle).
+    fn deliver_requests(&mut self, cycle: Cycle) {
+        for lane in &mut self.slaves {
+            if let Some(head) = lane.req_pipe.front() {
+                if head.ready_at <= cycle && lane.port.req.can_push(cycle) {
+                    let d = lane.req_pipe.pop_front().expect("head exists");
+                    lane.port
+                        .req
+                        .try_push(cycle, d.item)
+                        .expect("can_push checked");
+                }
+            }
+        }
+    }
+
+    /// Pull response beats from slaves into the per-master pipes.
+    fn collect_responses(&mut self, cycle: Cycle) {
+        for lane in &mut self.slaves {
+            if let Some(resp) = lane.port.resp.try_pop(cycle) {
+                let mi = *lane
+                    .scoreboard
+                    .front()
+                    .unwrap_or_else(|| panic!("{}: response with empty scoreboard", lane.region.name));
+                if resp.last {
+                    lane.scoreboard.pop_front();
+                }
+                self.masters[mi].resp_pipe.push_back(Delayed {
+                    ready_at: cycle + self.resp_latency,
+                    item: resp,
+                });
+            }
+        }
+    }
+
+    /// Move pipelined responses into master ports (one per master/cycle).
+    fn deliver_responses(&mut self, cycle: Cycle) {
+        for lane in &mut self.masters {
+            if let Some(head) = lane.resp_pipe.front() {
+                if head.ready_at <= cycle && lane.port.resp.can_push(cycle) {
+                    let d = lane.resp_pipe.pop_front().expect("head exists");
+                    lane.port
+                        .resp
+                        .try_push(cycle, d.item)
+                        .expect("can_push checked");
+                }
+            }
+        }
+    }
+}
+
+impl Component for Crossbar {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        // Response-before-request ordering drains the system monotonically.
+        self.collect_responses(ctx.cycle);
+        self.deliver_responses(ctx.cycle);
+        self.accept_requests(ctx.cycle);
+        self.deliver_requests(ctx.cycle);
+    }
+
+    fn busy(&self) -> bool {
+        self.slaves
+            .iter()
+            .any(|s| !s.req_pipe.is_empty() || !s.scoreboard.is_empty())
+            || self.masters.iter().any(|m| !m.resp_pipe.is_empty())
+    }
+}
+
+/// A simple RAM slave used by interconnect tests and small systems
+/// (boot memory). Services one request per `service_latency` and
+/// streams burst beats back-to-back.
+pub struct RamSlave {
+    name: String,
+    port: SlavePort,
+    base: u64,
+    mem: Vec<u8>,
+    service_latency: Cycle,
+    /// (ready_at, remaining beat responses)
+    active: Option<(Cycle, VecDeque<MmResp>)>,
+}
+
+impl RamSlave {
+    /// Create a RAM of `size` bytes at `base`, one-cycle service time.
+    pub fn new(name: impl Into<String>, port: SlavePort, base: u64, size: usize) -> Self {
+        RamSlave {
+            name: name.into(),
+            port,
+            base,
+            mem: vec![0; size],
+            service_latency: 1,
+            active: None,
+        }
+    }
+
+    /// Adjust the first-access service latency.
+    pub fn with_latency(mut self, latency: Cycle) -> Self {
+        self.service_latency = latency;
+        self
+    }
+
+    /// Direct (zero-time) memory access for initialization and test
+    /// inspection — the simulation-level equivalent of a backdoor load.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        let off = (addr - self.base) as usize;
+        self.mem[off..off + data.len()].copy_from_slice(data);
+    }
+
+    /// Direct read, see [`RamSlave::write_bytes`].
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        let off = (addr - self.base) as usize;
+        self.mem[off..off + len].to_vec()
+    }
+
+    fn serve(&mut self, req: MmReq) -> VecDeque<MmResp> {
+        let mut out = VecDeque::new();
+        match req.op {
+            crate::mm::MmOp::Read { bytes } => {
+                let off = (req.addr - self.base) as usize;
+                let mut buf = [0u8; 8];
+                buf[..bytes as usize].copy_from_slice(&self.mem[off..off + bytes as usize]);
+                out.push_back(MmResp::data(u64::from_le_bytes(buf), bytes, true));
+            }
+            crate::mm::MmOp::ReadBurst { beats, beat_bytes } => {
+                for i in 0..beats {
+                    let off =
+                        (req.addr - self.base) as usize + i as usize * beat_bytes as usize;
+                    let mut buf = [0u8; 8];
+                    buf[..beat_bytes as usize]
+                        .copy_from_slice(&self.mem[off..off + beat_bytes as usize]);
+                    out.push_back(MmResp::data(
+                        u64::from_le_bytes(buf),
+                        beat_bytes,
+                        i + 1 == beats,
+                    ));
+                }
+            }
+            crate::mm::MmOp::Write { data, bytes, .. } => {
+                let off = (req.addr - self.base) as usize;
+                self.mem[off..off + bytes as usize]
+                    .copy_from_slice(&data.to_le_bytes()[..bytes as usize]);
+                out.push_back(MmResp::write_ack());
+            }
+        }
+        out
+    }
+}
+
+impl Component for RamSlave {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        // Stream pending response beats, one per cycle.
+        if let Some((ready_at, pending)) = &mut self.active {
+            if *ready_at <= ctx.cycle {
+                if let Some(resp) = pending.front().copied() {
+                    if self.port.try_respond(ctx.cycle, resp).is_ok() {
+                        pending.pop_front();
+                    }
+                }
+            }
+            if pending.is_empty() {
+                self.active = None;
+            }
+        }
+        // Accept a new request once idle.
+        if self.active.is_none() {
+            if let Some(req) = self.port.try_take(ctx.cycle) {
+                let pending = self.serve(req);
+                self.active = Some((ctx.cycle + self.service_latency, pending));
+            }
+        }
+    }
+
+    fn busy(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm::{link, MmReq};
+    use rvcap_sim::{Freq, Simulator};
+
+    fn xbar_system(
+        n_masters: usize,
+    ) -> (Simulator, Vec<MasterPort>) {
+        let mut sim = Simulator::new(Freq::FABRIC_100MHZ);
+        let mut master_ports = Vec::new();
+        let mut xbar_master_side = Vec::new();
+        for i in 0..n_masters {
+            let (m, s) = link(&format!("m{i}"), 4);
+            master_ports.push(m);
+            xbar_master_side.push(s);
+        }
+        let (ram_m, ram_s) = link("ram", 4);
+        let (rom_m, rom_s) = link("rom", 4);
+        let xbar = Crossbar::new(
+            "xbar",
+            xbar_master_side,
+            vec![
+                (SlaveRegion::new("ram", 0x8000_0000, 0x1000), ram_m),
+                (SlaveRegion::new("rom", 0x0001_0000, 0x1000), rom_m),
+            ],
+        );
+        let mut ram = RamSlave::new("ram", ram_s, 0x8000_0000, 0x1000);
+        ram.write_bytes(0x8000_0000, &[0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4]);
+        let mut rom = RamSlave::new("rom", rom_s, 0x0001_0000, 0x1000);
+        rom.write_bytes(0x0001_0000, &[0x55; 16]);
+        sim.register(Box::new(xbar));
+        sim.register(Box::new(ram));
+        sim.register(Box::new(rom));
+        (sim, master_ports)
+    }
+
+    #[test]
+    fn region_decode() {
+        let r = SlaveRegion::new("x", 0x1000, 0x100);
+        assert!(r.contains(0x1000));
+        assert!(r.contains(0x10ff));
+        assert!(!r.contains(0x1100));
+        assert!(!r.contains(0xfff));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = SlaveRegion::new("a", 0x1000, 0x100);
+        let b = SlaveRegion::new("b", 0x10f0, 0x100);
+        let c = SlaveRegion::new("c", 0x1100, 0x100);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_regions_rejected() {
+        let (_, s0) = link("m", 1);
+        let (p0, _) = link("s0", 1);
+        let (p1, _) = link("s1", 1);
+        let _ = Crossbar::new(
+            "bad",
+            vec![s0],
+            vec![
+                (SlaveRegion::new("a", 0, 0x100), p0),
+                (SlaveRegion::new("b", 0x80, 0x100), p1),
+            ],
+        );
+    }
+
+    #[test]
+    fn single_read_round_trip() {
+        let (mut sim, masters) = xbar_system(1);
+        masters[0]
+            .try_issue(sim.now(), MmReq::read(0x8000_0000, 4))
+            .unwrap();
+        let mut got = None;
+        sim.run_until(100, || {
+            got = masters[0].resp.force_pop();
+            got.is_some()
+        });
+        let resp = got.unwrap();
+        assert_eq!(resp.data & 0xffff_ffff, 0xefbe_adde);
+        assert!(resp.last);
+    }
+
+    #[test]
+    fn write_then_read_back() {
+        let (mut sim, masters) = xbar_system(1);
+        masters[0]
+            .try_issue(sim.now(), MmReq::write(0x8000_0010, 0xCAFE, 2))
+            .unwrap();
+        sim.run_until(100, || masters[0].resp.force_pop().is_some());
+        masters[0]
+            .try_issue(sim.now(), MmReq::read(0x8000_0010, 2))
+            .unwrap();
+        let mut got = None;
+        sim.run_until(100, || {
+            got = masters[0].resp.force_pop();
+            got.is_some()
+        });
+        assert_eq!(got.unwrap().data, 0xCAFE);
+    }
+
+    #[test]
+    fn burst_read_streams_beats() {
+        let (mut sim, masters) = xbar_system(1);
+        masters[0]
+            .try_issue(sim.now(), MmReq::read_burst(0x8000_0000, 4, 4))
+            .unwrap();
+        let mut beats = Vec::new();
+        sim.run_until(200, || {
+            if let Some(r) = masters[0].resp.force_pop() {
+                beats.push(r);
+            }
+            beats.len() == 4
+        });
+        assert!(beats[3].last);
+        assert!(beats[..3].iter().all(|b| !b.last));
+        assert_eq!(beats[0].data as u32, 0xefbe_adde);
+        assert_eq!(beats[1].data as u32, 0x0403_0201);
+    }
+
+    #[test]
+    fn decode_error_yields_error_response() {
+        let (mut sim, masters) = xbar_system(1);
+        masters[0]
+            .try_issue(sim.now(), MmReq::read(0xdead_0000, 4))
+            .unwrap();
+        let mut got = None;
+        sim.run_until(100, || {
+            got = masters[0].resp.force_pop();
+            got.is_some()
+        });
+        assert!(got.unwrap().error);
+    }
+
+    #[test]
+    fn two_masters_fair_share() {
+        let (mut sim, masters) = xbar_system(2);
+        // Both masters hammer the same RAM with single reads.
+        let mut done = [0u32; 2];
+        let mut issued = [0u32; 2];
+        let total = 20;
+        for _ in 0..5000 {
+            let cycle = sim.now();
+            for mi in 0..2 {
+                if issued[mi] < total
+                    && masters[mi]
+                        .try_issue(cycle, MmReq::read(0x8000_0000 + 8 * mi as u64, 8))
+                        .is_ok()
+                {
+                    issued[mi] += 1;
+                }
+                if masters[mi].resp.force_pop().is_some() {
+                    done[mi] += 1;
+                }
+            }
+            if done == [total; 2] {
+                break;
+            }
+            sim.step();
+        }
+        // Fairness: both finished — and neither starved (they finish
+        // within the same run window).
+        assert_eq!(done, [total; 2]);
+    }
+
+    #[test]
+    fn requests_to_different_slaves_proceed_in_parallel() {
+        let (mut sim, masters) = xbar_system(2);
+        masters[0]
+            .try_issue(sim.now(), MmReq::read(0x8000_0000, 8))
+            .unwrap();
+        masters[1]
+            .try_issue(sim.now(), MmReq::read(0x0001_0000, 8))
+            .unwrap();
+        let mut got = [false, false];
+        let cycles = sim.run_until(100, || {
+            for mi in 0..2 {
+                if masters[mi].resp.force_pop().is_some() {
+                    got[mi] = true;
+                }
+            }
+            got[0] && got[1]
+        });
+        // Parallel service: both complete in roughly a single round
+        // trip (req 2 + service 1 + resp 2 + port hops).
+        assert!(cycles < 12, "took {cycles}");
+    }
+
+    mod traffic_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random interleaved traffic from two masters to two slaves:
+        /// every master gets exactly its own responses, in order, with
+        /// the data it wrote/read — the crossbar neither drops,
+        /// duplicates, nor cross-routes.
+        #[derive(Debug, Clone)]
+        struct Op {
+            write: bool,
+            slave: bool, // false = ram, true = rom region
+            offset: u16,
+            value: u32,
+        }
+
+        fn arb_op() -> impl Strategy<Value = Op> {
+            (any::<bool>(), any::<bool>(), 0u16..0x800, any::<u32>()).prop_map(
+                |(write, slave, offset, value)| Op {
+                    write,
+                    slave,
+                    offset: offset & !0x3,
+                    value,
+                },
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            #[test]
+            fn prop_no_loss_duplication_or_cross_routing(
+                ops_a in proptest::collection::vec(arb_op(), 1..24),
+                ops_b in proptest::collection::vec(arb_op(), 1..24),
+            ) {
+                let (mut sim, masters) = xbar_system(2);
+                let plans = [ops_a, ops_b];
+                let mut issued = [0usize, 0];
+                let mut done = [0usize, 0];
+                let mut responses: [Vec<MmResp>; 2] = [Vec::new(), Vec::new()];
+                for _ in 0..20_000 {
+                    let cycle = sim.now();
+                    for mi in 0..2 {
+                        if issued[mi] < plans[mi].len() {
+                            let op = &plans[mi][issued[mi]];
+                            let base = if op.slave { 0x0001_0000u64 } else { 0x8000_0000 };
+                            let addr = base + op.offset as u64;
+                            let req = if op.write {
+                                MmReq::write(addr, op.value as u64, 4)
+                            } else {
+                                MmReq::read(addr, 4)
+                            };
+                            if masters[mi].try_issue(cycle, req).is_ok() {
+                                issued[mi] += 1;
+                            }
+                        }
+                        while let Some(r) = masters[mi].resp.force_pop() {
+                            responses[mi].push(r);
+                            done[mi] += 1;
+                        }
+                    }
+                    if done[0] == plans[0].len() && done[1] == plans[1].len() {
+                        break;
+                    }
+                    sim.step();
+                }
+                // Exactly one response per request, for both masters.
+                prop_assert_eq!(done[0], plans[0].len());
+                prop_assert_eq!(done[1], plans[1].len());
+                for mi in 0..2 {
+                    for (op, resp) in plans[mi].iter().zip(&responses[mi]) {
+                        prop_assert!(!resp.error);
+                        prop_assert!(resp.last);
+                        // Write acks carry no data; reads carry 4 bytes.
+                        prop_assert_eq!(resp.bytes, if op.write { 0 } else { 4 });
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # rvcap-axi — beat-level AXI4 / AXI4-Lite / AXI-Stream models
+//!
+//! The RV-CAP SoC (paper Fig. 1/Fig. 2) is a bus-based design: a 64-bit
+//! AXI-4 crossbar connects the Ariane core to its peripherals, an
+//! additional crossbar gives the RV-CAP DMA a path to DDR, AXI-Stream
+//! links carry bitstream and accelerator data, and a zoo of adapters —
+//! data-width converters, protocol converters, stream switches, PR
+//! decouplers (isolators) — glues the pieces together. This crate
+//! models each of those blocks at *beat* granularity on top of the
+//! `rvcap-sim` kernel:
+//!
+//! * [`stream`] — AXI-Stream beats ([`AxisBeat`]) and channels.
+//! * [`mm`] — memory-mapped transactions ([`MmReq`]/[`MmResp`]) and
+//!   the master/slave port pairs they travel on.
+//! * [`crossbar`] — an N-master × M-slave address-decoded crossbar
+//!   with round-robin arbitration and in-order response routing.
+//! * [`width`] — AXI-Stream data width converters (64↔32 bit), the
+//!   block the paper inserts between the 64-bit SoC bus and the 32-bit
+//!   ICAP/HWICAP world.
+//! * [`protocol`] — the AXI4 → AXI4-Lite bridge in front of AXI-Lite
+//!   slaves (DMA register file, AXI_HWICAP).
+//! * [`switch`] — the AXI-Stream switch selecting *reconfiguration
+//!   mode* (DMA → ICAP) vs *acceleration mode* (DMA → RM).
+//! * [`isolator`] — PR decoupling: gates all traffic crossing the
+//!   static/reconfigurable boundary while a partial bitstream loads.
+//! * [`monitor`] — passive protocol checkers (framing invariants,
+//!   deadlock detection) for wiring onto suspect links in tests.
+//!
+//! ## Timing model
+//!
+//! Every block forwards at most one beat (or one transaction) per cycle
+//! and adds a configurable pipeline latency. The CPU's MMIO round-trip
+//! cost — the quantity that limits the AXI_HWICAP baseline to
+//! 8.23 MB/s in the paper — *emerges* from the sum of hop latencies
+//! along the request and response paths, plus the CPU's own
+//! non-speculative issue/retire cost modelled in `rvcap-soc`.
+
+pub mod crossbar;
+pub mod isolator;
+pub mod mm;
+pub mod monitor;
+pub mod protocol;
+pub mod stream;
+pub mod switch;
+pub mod width;
+
+pub use crossbar::{Crossbar, SlaveRegion};
+pub use isolator::{MmIsolator, StreamIsolator};
+pub use mm::{MasterPort, MmOp, MmReq, MmResp, SlavePort};
+pub use monitor::StreamMonitor;
+pub use stream::{AxisBeat, AxisChannel};
+pub use switch::StreamSwitch;
+pub use width::{Narrower, Widener};

@@ -1,0 +1,296 @@
+//! Memory-mapped (AXI4 / AXI4-Lite) transactions and ports.
+//!
+//! The model is transaction-per-beat: single-beat reads and writes of
+//! up to 8 bytes (the CPU's view), plus burst reads (the DMA's view —
+//! the paper configures the Xilinx AXI DMA for 64-bit words with a
+//! maximum burst of 16). Write data travels with the request; every
+//! request produces at least one response, and a write's response is
+//! its B-channel acknowledgement. Ariane does not speculate into
+//! non-cacheable space, so the CPU model blocks on that acknowledgement
+//! — which is exactly the effect that throttles the AXI_HWICAP
+//! baseline in the paper.
+
+use rvcap_sim::{Cycle, Fifo};
+
+/// The operation carried by a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmOp {
+    /// Single-beat read of `bytes` (1..=8) bytes.
+    Read {
+        /// Number of bytes to read (1..=8).
+        bytes: u8,
+    },
+    /// Burst read: `beats` beats of `beat_bytes` each, in-order
+    /// responses, TLAST semantics on the final beat.
+    ReadBurst {
+        /// Number of beats (1..=256, AXI4's ARLEN+1 range).
+        beats: u16,
+        /// Bytes per beat (the bus width: 4 or 8 here).
+        beat_bytes: u8,
+    },
+    /// Single-beat write of the low `bytes` bytes of `data`.
+    Write {
+        /// Data, little-endian in the low `bytes` bytes.
+        data: u64,
+        /// Number of bytes to write (1..=8).
+        bytes: u8,
+        /// Posted write: no acknowledgement is returned (the AXI B
+        /// channel is treated as free-flowing). Used by the DMA's
+        /// S2MM engine, which tracks completion by count, so its
+        /// write-back stream does not contend with read data on the
+        /// response path — AXI's B and R channels are independent.
+        posted: bool,
+    },
+}
+
+impl MmOp {
+    /// Validate field ranges (debug builds assert on construction
+    /// sites; this is also used by tests).
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            MmOp::Read { bytes } | MmOp::Write { bytes, .. } => (1..=8).contains(&bytes),
+            MmOp::ReadBurst { beats, beat_bytes } => {
+                (1..=256).contains(&beats) && (beat_bytes == 4 || beat_bytes == 8)
+            }
+        }
+    }
+
+    /// True for either read flavour.
+    pub fn is_read(&self) -> bool {
+        !matches!(self, MmOp::Write { .. })
+    }
+}
+
+/// A memory-mapped request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmReq {
+    /// Byte address.
+    pub addr: u64,
+    /// Operation.
+    pub op: MmOp,
+}
+
+impl MmReq {
+    /// Single-beat read.
+    pub fn read(addr: u64, bytes: u8) -> Self {
+        let req = MmReq {
+            addr,
+            op: MmOp::Read { bytes },
+        };
+        debug_assert!(req.op.is_valid());
+        req
+    }
+
+    /// Burst read.
+    pub fn read_burst(addr: u64, beats: u16, beat_bytes: u8) -> Self {
+        let req = MmReq {
+            addr,
+            op: MmOp::ReadBurst { beats, beat_bytes },
+        };
+        debug_assert!(req.op.is_valid());
+        req
+    }
+
+    /// Single-beat write (acknowledged).
+    pub fn write(addr: u64, data: u64, bytes: u8) -> Self {
+        let req = MmReq {
+            addr,
+            op: MmOp::Write {
+                data,
+                bytes,
+                posted: false,
+            },
+        };
+        debug_assert!(req.op.is_valid());
+        req
+    }
+
+    /// Posted single-beat write (no acknowledgement).
+    pub fn write_posted(addr: u64, data: u64, bytes: u8) -> Self {
+        let req = MmReq {
+            addr,
+            op: MmOp::Write {
+                data,
+                bytes,
+                posted: true,
+            },
+        };
+        debug_assert!(req.op.is_valid());
+        req
+    }
+}
+
+/// A memory-mapped response beat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmResp {
+    /// Read data (0 for write acknowledgements).
+    pub data: u64,
+    /// Valid bytes in `data` (0 for write acknowledgements).
+    pub bytes: u8,
+    /// Final beat of the transaction (always true except within a
+    /// read burst).
+    pub last: bool,
+    /// Decode/slave error (AXI DECERR/SLVERR). The modelled SoC treats
+    /// an error response to the CPU as fatal, like a bus exception.
+    pub error: bool,
+}
+
+impl MmResp {
+    /// A read-data beat.
+    pub fn data(data: u64, bytes: u8, last: bool) -> Self {
+        MmResp {
+            data,
+            bytes,
+            last,
+            error: false,
+        }
+    }
+
+    /// A write acknowledgement.
+    pub fn write_ack() -> Self {
+        MmResp {
+            data: 0,
+            bytes: 0,
+            last: true,
+            error: false,
+        }
+    }
+
+    /// An error response (terminates the transaction).
+    pub fn err() -> Self {
+        MmResp {
+            data: 0,
+            bytes: 0,
+            last: true,
+            error: true,
+        }
+    }
+}
+
+/// The master side of a memory-mapped link: push requests, pop
+/// responses.
+#[derive(Debug, Clone)]
+pub struct MasterPort {
+    /// Request channel (master → slave).
+    pub req: Fifo<MmReq>,
+    /// Response channel (slave → master).
+    pub resp: Fifo<MmResp>,
+}
+
+/// The slave side of the same link: pop requests, push responses.
+#[derive(Debug, Clone)]
+pub struct SlavePort {
+    /// Request channel (master → slave).
+    pub req: Fifo<MmReq>,
+    /// Response channel (slave → master).
+    pub resp: Fifo<MmResp>,
+}
+
+/// Create a linked master/slave port pair.
+///
+/// `depth` bounds the number of outstanding requests (and buffered
+/// response beats): the modelled Ariane allows a single outstanding
+/// non-cacheable access (depth 1 on its port), while the DMA uses a
+/// deeper link to keep bursts in flight.
+pub fn link(name: &str, depth: usize) -> (MasterPort, SlavePort) {
+    let req = Fifo::new(format!("{name}.req"), depth);
+    // Response channel is sized for a full burst per outstanding
+    // request so a slave can stream beats without interlock (16-beat
+    // bursts are the paper's setting; 64 leaves headroom for the
+    // burst-size ablation up to 64 beats).
+    let resp = Fifo::new(format!("{name}.resp"), depth * 64);
+    (
+        MasterPort {
+            req: req.clone(),
+            resp: resp.clone(),
+        },
+        SlavePort { req, resp },
+    )
+}
+
+impl MasterPort {
+    /// Convenience: try to issue a request at `cycle`.
+    pub fn try_issue(&self, cycle: Cycle, req: MmReq) -> Result<(), MmReq> {
+        self.req.try_push(cycle, req)
+    }
+
+    /// Convenience: try to collect one response beat at `cycle`.
+    pub fn try_collect(&self, cycle: Cycle) -> Option<MmResp> {
+        self.resp.try_pop(cycle)
+    }
+}
+
+impl SlavePort {
+    /// Convenience: take the next request at `cycle` if any.
+    pub fn try_take(&self, cycle: Cycle) -> Option<MmReq> {
+        self.req.try_pop(cycle)
+    }
+
+    /// Convenience: try to return a response beat at `cycle`.
+    pub fn try_respond(&self, cycle: Cycle, resp: MmResp) -> Result<(), MmResp> {
+        self.resp.try_push(cycle, resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_validation() {
+        assert!(MmOp::Read { bytes: 8 }.is_valid());
+        assert!(!MmOp::Read { bytes: 9 }.is_valid());
+        assert!(!MmOp::Read { bytes: 0 }.is_valid());
+        assert!(MmOp::ReadBurst {
+            beats: 16,
+            beat_bytes: 8
+        }
+        .is_valid());
+        assert!(!MmOp::ReadBurst {
+            beats: 0,
+            beat_bytes: 8
+        }
+        .is_valid());
+        assert!(!MmOp::ReadBurst {
+            beats: 4,
+            beat_bytes: 5
+        }
+        .is_valid());
+        assert!(MmOp::Write { data: 0, bytes: 4, posted: false }.is_valid());
+    }
+
+    #[test]
+    fn read_is_read() {
+        assert!(MmReq::read(0, 4).op.is_read());
+        assert!(MmReq::read_burst(0, 2, 8).op.is_read());
+        assert!(!MmReq::write(0, 1, 4).op.is_read());
+    }
+
+    #[test]
+    fn link_round_trip() {
+        let (m, s) = link("cpu", 1);
+        m.try_issue(0, MmReq::write(0x4000_0000, 0xAB, 1)).unwrap();
+        let req = s.try_take(0).unwrap();
+        assert_eq!(req.addr, 0x4000_0000);
+        s.try_respond(1, MmResp::write_ack()).unwrap();
+        let resp = m.try_collect(1).unwrap();
+        assert!(resp.last);
+        assert!(!resp.error);
+    }
+
+    #[test]
+    fn depth_one_link_limits_outstanding() {
+        let (m, _s) = link("cpu", 1);
+        m.try_issue(0, MmReq::read(0, 8)).unwrap();
+        // Second request is refused until the slave drains the first.
+        assert!(m.try_issue(1, MmReq::read(8, 8)).is_err());
+    }
+
+    #[test]
+    fn response_constructors() {
+        let d = MmResp::data(42, 8, false);
+        assert!(!d.last && !d.error && d.data == 42);
+        assert!(MmResp::write_ack().last);
+        assert!(MmResp::err().error);
+    }
+}

@@ -1,0 +1,172 @@
+//! AXI-Stream beats and channels.
+//!
+//! All stream data paths in the modelled SoC are either 64-bit (the
+//! system bus width, paper §III-A) or 32-bit (the ICAP data port). A
+//! beat carries up to 8 data bytes, a byte count (TKEEP, always a dense
+//! prefix here), and TLAST.
+
+use rvcap_sim::Fifo;
+
+/// One AXI-Stream transfer (beat).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AxisBeat {
+    /// Data, little-endian in the low `bytes` bytes.
+    pub data: u64,
+    /// Number of valid bytes (1..=8). A 64-bit stream normally carries
+    /// 8, a 32-bit stream 4; the final beat of a payload may be short.
+    pub bytes: u8,
+    /// TLAST: marks the final beat of a packet/payload.
+    pub last: bool,
+}
+
+impl AxisBeat {
+    /// A full 64-bit beat.
+    pub fn wide(data: u64, last: bool) -> Self {
+        AxisBeat {
+            data,
+            bytes: 8,
+            last,
+        }
+    }
+
+    /// A full 32-bit beat.
+    pub fn word(data: u32, last: bool) -> Self {
+        AxisBeat {
+            data: data as u64,
+            bytes: 4,
+            last,
+        }
+    }
+
+    /// The beat's payload as bytes (little-endian, `bytes` long).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.data.to_le_bytes()[..self.bytes as usize].to_vec()
+    }
+
+    /// Build a beat from up to 8 bytes (little-endian packing).
+    ///
+    /// Panics if `chunk` is empty or longer than 8 bytes: streams
+    /// never carry empty beats, and the bus is 64 bits wide.
+    pub fn from_bytes(chunk: &[u8], last: bool) -> Self {
+        assert!(
+            !chunk.is_empty() && chunk.len() <= 8,
+            "beat must carry 1..=8 bytes, got {}",
+            chunk.len()
+        );
+        let mut buf = [0u8; 8];
+        buf[..chunk.len()].copy_from_slice(chunk);
+        AxisBeat {
+            data: u64::from_le_bytes(buf),
+            bytes: chunk.len() as u8,
+            last,
+        }
+    }
+
+    /// The low 32 bits as a configuration word.
+    pub fn low_word(&self) -> u32 {
+        self.data as u32
+    }
+
+    /// The high 32 bits.
+    pub fn high_word(&self) -> u32 {
+        (self.data >> 32) as u32
+    }
+}
+
+/// An AXI-Stream channel: a handshaked FIFO of beats.
+pub type AxisChannel = Fifo<AxisBeat>;
+
+/// Pack a byte slice into a sequence of beats of `beat_bytes` (4 or 8),
+/// marking TLAST on the final beat. Used by test fixtures and by DMA
+/// models when streaming memory contents.
+pub fn pack_bytes(payload: &[u8], beat_bytes: usize) -> Vec<AxisBeat> {
+    assert!(
+        beat_bytes == 4 || beat_bytes == 8,
+        "modelled streams are 32- or 64-bit"
+    );
+    assert!(!payload.is_empty(), "cannot pack an empty payload");
+    let n = payload.len().div_ceil(beat_bytes);
+    payload
+        .chunks(beat_bytes)
+        .enumerate()
+        .map(|(i, chunk)| AxisBeat::from_bytes(chunk, i + 1 == n))
+        .collect()
+}
+
+/// Reassemble the byte payload of a beat sequence (inverse of
+/// [`pack_bytes`] up to the TLAST position).
+pub fn unpack_bytes(beats: &[AxisBeat]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(beats.len() * 8);
+    for b in beats {
+        out.extend_from_slice(&b.to_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wide_and_word_constructors() {
+        let w = AxisBeat::wide(0x0102_0304_0506_0708, false);
+        assert_eq!(w.bytes, 8);
+        assert_eq!(w.high_word(), 0x0102_0304);
+        assert_eq!(w.low_word(), 0x0506_0708);
+        let n = AxisBeat::word(0xAA99_5566, true);
+        assert_eq!(n.bytes, 4);
+        assert!(n.last);
+        assert_eq!(n.low_word(), 0xAA99_5566);
+    }
+
+    #[test]
+    fn byte_round_trip_exact_multiple() {
+        let payload: Vec<u8> = (0..32).collect();
+        let beats = pack_bytes(&payload, 8);
+        assert_eq!(beats.len(), 4);
+        assert!(beats[3].last);
+        assert!(!beats[2].last);
+        assert_eq!(unpack_bytes(&beats), payload);
+    }
+
+    #[test]
+    fn byte_round_trip_ragged_tail() {
+        let payload: Vec<u8> = (0..13).collect();
+        let beats = pack_bytes(&payload, 4);
+        assert_eq!(beats.len(), 4);
+        assert_eq!(beats[3].bytes, 1);
+        assert_eq!(unpack_bytes(&beats), payload);
+    }
+
+    #[test]
+    #[should_panic(expected = "32- or 64-bit")]
+    fn odd_beat_width_rejected() {
+        pack_bytes(&[1, 2, 3], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8 bytes")]
+    fn oversized_chunk_rejected() {
+        AxisBeat::from_bytes(&[0u8; 9], false);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pack_unpack_round_trip(payload in proptest::collection::vec(any::<u8>(), 1..512),
+                                       wide in any::<bool>()) {
+            let bb = if wide { 8 } else { 4 };
+            let beats = pack_bytes(&payload, bb);
+            // Exactly one TLAST, on the final beat.
+            prop_assert_eq!(beats.iter().filter(|b| b.last).count(), 1);
+            prop_assert!(beats.last().unwrap().last);
+            prop_assert_eq!(unpack_bytes(&beats), payload);
+        }
+
+        #[test]
+        fn prop_beat_byte_round_trip(bytes in proptest::collection::vec(any::<u8>(), 1..=8)) {
+            let beat = AxisBeat::from_bytes(&bytes, true);
+            prop_assert_eq!(beat.to_bytes(), bytes);
+        }
+    }
+}

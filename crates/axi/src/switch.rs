@@ -1,0 +1,214 @@
+//! The AXI-Stream switch selecting the RV-CAP operating mode.
+//!
+//! Paper §III-B ④: "An AXI stream switch is inserted between the DMA
+//! and ICAP output ports to select whether the RV-CAP controller
+//! operates in reconfiguration mode or acceleration mode by connecting
+//! the DMA data stream interfaces to the RM or ICAP primitive."
+//!
+//! The switch has one input (the DMA MM2S stream) and N outputs; a
+//! shared select [`Signal`] — written by the `select_ICAP` driver API —
+//! chooses the active output. Beats never duplicate or leak to the
+//! unselected port, and switching while a packet is in flight is
+//! detected (the real IP requires TLAST alignment; the driver's
+//! `decision time` T_d covers reprogramming it between packets).
+
+use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::Signal;
+
+use crate::stream::AxisChannel;
+
+/// Route select for a [`StreamSwitch`]: index into its output list.
+pub type SwitchSelect = Signal<u8>;
+
+/// 1-to-N AXI-Stream switch.
+pub struct StreamSwitch {
+    name: String,
+    input: AxisChannel,
+    outputs: Vec<AxisChannel>,
+    select: SwitchSelect,
+    /// True while a packet (beats up to TLAST) is partially forwarded.
+    mid_packet: bool,
+    /// Select value latched for the in-flight packet.
+    active_route: u8,
+    /// Count of beats forwarded per output (diagnostics/tests).
+    forwarded: Vec<u64>,
+}
+
+impl StreamSwitch {
+    /// Build a switch. `select` chooses the output index; values out
+    /// of range stall the stream (matching a held-in-reset port).
+    pub fn new(
+        name: impl Into<String>,
+        input: AxisChannel,
+        outputs: Vec<AxisChannel>,
+        select: SwitchSelect,
+    ) -> Self {
+        let n = outputs.len();
+        assert!(n >= 1, "switch needs at least one output");
+        StreamSwitch {
+            name: name.into(),
+            input,
+            outputs,
+            select,
+            mid_packet: false,
+            active_route: 0,
+            forwarded: vec![0; n],
+        }
+    }
+
+    /// Beats forwarded to output `i` so far.
+    pub fn forwarded_to(&self, i: usize) -> u64 {
+        self.forwarded[i]
+    }
+}
+
+impl Component for StreamSwitch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        // Latch the route at packet boundaries only: a select change
+        // mid-packet takes effect after TLAST, like the real IP
+        // reprogrammed via its control interface.
+        if !self.mid_packet {
+            self.active_route = self.select.get();
+        }
+        let route = self.active_route as usize;
+        if route >= self.outputs.len() {
+            return; // unrouted: stall
+        }
+        let out = &self.outputs[route];
+        if !out.can_push(ctx.cycle) {
+            return;
+        }
+        if let Some(beat) = self.input.try_pop(ctx.cycle) {
+            self.mid_packet = !beat.last;
+            self.forwarded[route] += 1;
+            out.try_push(ctx.cycle, beat).expect("can_push checked");
+        }
+    }
+
+    fn busy(&self) -> bool {
+        self.mid_packet || !self.input.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{pack_bytes, unpack_bytes, AxisBeat};
+    use rvcap_sim::{Fifo, Freq, Simulator};
+
+    struct Rig {
+        sim: Simulator,
+        input: AxisChannel,
+        icap: AxisChannel,
+        rm: AxisChannel,
+        select: SwitchSelect,
+    }
+
+    fn rig() -> Rig {
+        let mut sim = Simulator::new(Freq::FABRIC_100MHZ);
+        let input: AxisChannel = Fifo::new("in", 1024);
+        let icap: AxisChannel = Fifo::new("icap", 1024);
+        let rm: AxisChannel = Fifo::new("rm", 1024);
+        let select = Signal::new(0u8);
+        sim.register(Box::new(StreamSwitch::new(
+            "switch",
+            input.clone(),
+            vec![icap.clone(), rm.clone()],
+            select.clone(),
+        )));
+        Rig {
+            sim,
+            input,
+            icap,
+            rm,
+            select,
+        }
+    }
+
+    fn drain(ch: &AxisChannel) -> Vec<AxisBeat> {
+        let mut v = Vec::new();
+        while let Some(b) = ch.force_pop() {
+            v.push(b);
+        }
+        v
+    }
+
+    #[test]
+    fn routes_to_selected_output_only() {
+        let mut r = rig();
+        r.select.set(0);
+        for b in pack_bytes(&[1, 2, 3, 4, 5, 6, 7, 8], 8) {
+            r.input.force_push(b);
+        }
+        r.sim.run_until_quiescent(1000);
+        assert_eq!(drain(&r.icap).len(), 1);
+        assert!(r.rm.is_empty());
+    }
+
+    #[test]
+    fn reroute_between_packets() {
+        let mut r = rig();
+        r.select.set(0);
+        let payload_a: Vec<u8> = (0..16).collect();
+        for b in pack_bytes(&payload_a, 8) {
+            r.input.force_push(b);
+        }
+        r.sim.run_until_quiescent(1000);
+        r.select.set(1);
+        let payload_b: Vec<u8> = (100..132).collect();
+        for b in pack_bytes(&payload_b, 8) {
+            r.input.force_push(b);
+        }
+        r.sim.run_until_quiescent(1000);
+        assert_eq!(unpack_bytes(&drain(&r.icap)), payload_a);
+        assert_eq!(unpack_bytes(&drain(&r.rm)), payload_b);
+    }
+
+    #[test]
+    fn mid_packet_select_change_is_deferred() {
+        let mut r = rig();
+        r.select.set(0);
+        let payload: Vec<u8> = (0..64).collect();
+        for b in pack_bytes(&payload, 8) {
+            r.input.force_push(b);
+        }
+        // Let a couple of beats through, then flip the select.
+        r.sim.step_n(3);
+        r.select.set(1);
+        r.sim.run_until_quiescent(1000);
+        // Whole packet still lands on output 0.
+        assert_eq!(unpack_bytes(&drain(&r.icap)), payload);
+        assert!(r.rm.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_select_stalls() {
+        let mut r = rig();
+        r.select.set(7);
+        for b in pack_bytes(&[1, 2, 3, 4], 8) {
+            r.input.force_push(b);
+        }
+        r.sim.step_n(50);
+        assert_eq!(r.input.len(), 1, "beat must stay queued");
+        r.select.set(1);
+        r.sim.run_until_quiescent(1000);
+        assert_eq!(drain(&r.rm).len(), 1);
+    }
+
+    #[test]
+    fn forwarded_counters() {
+        let mut r = rig();
+        r.select.set(0);
+        for b in pack_bytes(&vec![0; 64], 8) {
+            r.input.force_push(b);
+        }
+        r.sim.run_until_quiescent(1000);
+        // Can't reach the component once registered; counters are
+        // exercised through the channel totals instead.
+        assert_eq!(r.icap.total_pushed(), 8);
+    }
+}

@@ -1,0 +1,8 @@
+//! Bitstream compression — re-exported from `rvcap_fabric::compress`.
+//!
+//! The codec lives in the fabric crate so the RV-CAP controller's
+//! compressed-loading extension (`rvcap_core::decompressor`) and the
+//! RT-ICAP baseline model share one implementation; this alias keeps
+//! the baseline-facing path stable.
+
+pub use rvcap_fabric::compress::*;

@@ -1,0 +1,92 @@
+//! Calibration probe: prints the raw measured values for the paper's
+//! headline experiments so the timing constants can be pinned.
+
+use rvcap_bench::paper_soc::{self, PaperRig};
+use rvcap_core::drivers::{DmaMode, HwIcapDriver, RvCapDriver};
+
+fn table4_probe() {
+    use rvcap_accel::{paper_filter_library, run_accelerator, FilterKind, Image};
+    use rvcap_core::drivers::ReconfigModule;
+    use rvcap_core::system::SocBuilder;
+    use rvcap_fabric::bitstream::BitstreamBuilder;
+    use rvcap_soc::map::DDR_BASE;
+
+    let lib = paper_filter_library();
+    let images: Vec<_> = FilterKind::ALL
+        .iter()
+        .map(|k| lib.by_name(k.name()).unwrap().clone())
+        .collect();
+    let mut soc = SocBuilder::new().with_library(lib).build();
+    let dim = Image::PAPER_DIM;
+    let input = Image::noise(dim, dim, 7);
+    let in_addr = DDR_BASE + 0x10_0000;
+    let out_addr = DDR_BASE + 0x60_0000;
+    soc.handles.ddr.write_bytes(in_addr, input.as_bytes());
+    let driver = RvCapDriver::new(0, soc.handles.plic.clone());
+    for (kind, img) in FilterKind::ALL.iter().zip(&images) {
+        let bs = BitstreamBuilder::kintex7().partial(soc.handles.rps[0].far_base, &img.payload);
+        let bytes = bs.to_bytes();
+        soc.handles.ddr.write_bytes(DDR_BASE + 0xA0_0000, &bytes);
+        let module = ReconfigModule {
+            name: kind.name().into(),
+            rm_number: 0,
+            start_address: DDR_BASE + 0xA0_0000,
+            pbit_size: bytes.len() as u32,
+        };
+        let t = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
+        let icap = soc.handles.icap.clone();
+        soc.core.wait_until(100_000, || !icap.busy());
+        let plic = soc.handles.plic.clone();
+        let tc = run_accelerator(&mut soc.core, &plic, 0, in_addr, out_addr, (dim * dim) as u32);
+        let out = soc.handles.ddr.read_bytes(out_addr, dim * dim);
+        let ok = out == kind.golden(&input).as_bytes();
+        println!(
+            "{:>8}: Td {:.0} us, Tr {:.0} us, Tc {:.0} us (paper Tc: G606/M598/S588), output ok: {ok}",
+            kind.name(), t.td_us(), t.tr_us(), tc as f64 / 5.0
+        );
+    }
+}
+
+fn main() {
+    table4_probe();
+    // ---- RV-CAP on the paper's RP (650 892-byte bitstream) ----
+    let PaperRig {
+        mut soc, module, ..
+    } = paper_soc::rvcap_rig();
+    let driver = RvCapDriver::new(0, soc.handles.plic.clone());
+    let timing = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
+    println!(
+        "RV-CAP: Td = {:.1} us (paper 18), Tr = {:.1} us (paper 1651), throughput = {:.2} MB/s (paper 398.1)",
+        timing.td_us(),
+        timing.tr_us(),
+        timing.throughput_mbs(module.pbit_size as u64),
+    );
+
+    // ---- Fig 3 sweep end point: max throughput ----
+    for (c, b, d) in [(12usize, 3usize, 1usize), (24, 6, 2), (48, 12, 4)] {
+        let PaperRig { mut soc, module, .. } =
+            paper_soc::rig_with_geometry(rvcap_fabric::rp::RpGeometry::scaled(c, b, d));
+        let driver = RvCapDriver::new(0, soc.handles.plic.clone());
+        let t = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
+        println!(
+            "RV-CAP {} B: Tr = {:.1} us, throughput = {:.2} MB/s",
+            module.pbit_size, t.tr_us(), t.throughput_mbs(module.pbit_size as u64)
+        );
+    }
+
+    // ---- HWICAP at unroll 1 and 16 ----
+    for unroll in [1usize, 16, 32] {
+        let PaperRig {
+            mut soc, module, ..
+        } = paper_soc::rvcap_rig();
+        let ddr = soc.handles.ddr.clone();
+        let d = HwIcapDriver::with_unroll(unroll);
+        let ticks = d.reconfigure_rp(&mut soc.core, &ddr, &module);
+        let us = ticks as f64 / 5.0;
+        let mbs = module.pbit_size as f64 / us;
+        println!(
+            "HWICAP u={unroll:>2}: Tr = {:.2} ms, throughput = {mbs:.2} MB/s (paper: u1→4.16, u16→8.23)",
+            us / 1000.0,
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Fig. 3: reconfiguration time vs RP size, RV-CAP and AXI_HWICAP.
+//!
+//! The paper sweeps partial-bitstream sizes derived from different RP
+//! geometries and plots reconfiguration time; RV-CAP's curve is flat
+//! near the ICAP wire speed while HWICAP's grows ~48× steeper. The
+//! sweep below covers ~0.1–2.3 MB (the paper's RP at 650 892 B sits in
+//! the middle) and prints both series plus throughput, reporting the
+//! maximum achieved RV-CAP throughput — the paper's 398.1 MB/s
+//! headline number.
+
+use rvcap_bench::paper_soc::{self, PaperRig};
+use rvcap_bench::report;
+use rvcap_core::drivers::{DmaMode, HwIcapDriver, RvCapDriver};
+use rvcap_fabric::rp::RpGeometry;
+use serde::Serialize;
+
+/// One sweep point, both controllers. Self-contained so points run on
+/// worker threads (each builds its own simulator — the sim is
+/// single-threaded by design, but independent sims parallelize
+/// perfectly).
+fn run_point(g: RpGeometry) -> Point {
+    let PaperRig {
+        mut soc, module, ..
+    } = paper_soc::rig_with_geometry(g.clone());
+    let driver = RvCapDriver::new(0, soc.handles.plic.clone());
+    let t = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
+
+    let PaperRig {
+        mut soc, module: m2, ..
+    } = paper_soc::rig_with_geometry(g);
+    let ddr = soc.handles.ddr.clone();
+    let hw_ticks = HwIcapDriver::new().reconfigure_rp(&mut soc.core, &ddr, &m2);
+    let hw_us = hw_ticks as f64 / 5.0;
+
+    Point {
+        bitstream_bytes: module.pbit_size,
+        rvcap_tr_us: t.tr_us(),
+        rvcap_mbs: t.throughput_mbs(module.pbit_size as u64),
+        hwicap_tr_us: hw_us,
+        hwicap_mbs: m2.pbit_size as f64 / hw_us,
+    }
+}
+
+#[derive(Serialize)]
+struct Point {
+    bitstream_bytes: u32,
+    rvcap_tr_us: f64,
+    rvcap_mbs: f64,
+    hwicap_tr_us: f64,
+    hwicap_mbs: f64,
+}
+
+fn main() {
+    // RP geometries from ~2 CLB columns up to ~10× the paper RP.
+    let geometries: Vec<RpGeometry> = vec![
+        RpGeometry::scaled(2, 0, 0),
+        RpGeometry::scaled(4, 1, 0),
+        RpGeometry::scaled(8, 2, 1),
+        RpGeometry::paper_rp(),
+        RpGeometry::scaled(24, 6, 2),
+        RpGeometry::scaled(48, 12, 4),
+        RpGeometry::scaled(72, 18, 6),
+    ];
+    // Fan the sweep out across threads (results re-sorted by size, so
+    // the output is identical to a sequential run).
+    let mut points: Vec<Point> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = geometries
+            .into_iter()
+            .map(|g| scope.spawn(move |_| run_point(g)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker")).collect()
+    })
+    .expect("sweep scope");
+    points.sort_by_key(|p| p.bitstream_bytes);
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.bitstream_bytes.to_string(),
+                format!("{:.1}", p.rvcap_tr_us),
+                format!("{:.1}", p.rvcap_mbs),
+                format!("{:.1}", p.hwicap_tr_us),
+                format!("{:.2}", p.hwicap_mbs),
+                format!("{:.1}x", p.hwicap_tr_us / p.rvcap_tr_us),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            "Fig. 3 — reconfiguration time vs RP size (16-unrolled HWICAP driver)",
+            &[
+                "bitstream B",
+                "RV-CAP Tr µs",
+                "RV-CAP MB/s",
+                "HWICAP Tr µs",
+                "HWICAP MB/s",
+                "speedup"
+            ],
+            &rows,
+        )
+    );
+    let max_mbs = points.iter().map(|p| p.rvcap_mbs).fold(0.0, f64::max);
+    println!(
+        "max RV-CAP throughput over the sweep: {max_mbs:.1} MB/s (paper: 398.1; ICAP ceiling: 400.0)"
+    );
+    let paper_point = points.iter().find(|p| p.bitstream_bytes == 650_892);
+    if let Some(p) = paper_point {
+        println!(
+            "paper RP (650 892 B): Tr {:.1} µs (paper 1651), deviation {:+.2}%",
+            p.rvcap_tr_us,
+            report::deviation_pct(p.rvcap_tr_us, 1651.0)
+        );
+    }
+    report::dump_json("fig3", &points);
+}

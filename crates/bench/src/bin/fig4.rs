@@ -1,0 +1,30 @@
+//! Fig. 4: the full-SoC floorplan on the simulated Kintex-7 die.
+
+use rvcap_bench::report;
+use rvcap_fabric::floorplan::paper_soc_floorplan;
+
+fn main() {
+    let fp = paper_soc_floorplan();
+    println!("{}", fp.render());
+    let [lut, ff, bram, dsp] = fp.utilization_pct();
+    println!(
+        "(Table III cross-check: placements sum to {} — die use {lut:.1}% LUT / {ff:.1}% FF / {bram:.1}% BRAM / {dsp:.1}% DSP)",
+        fp.used()
+    );
+    report::dump_json(
+        "fig4",
+        &fp.placements()
+            .iter()
+            .map(|p| {
+                (
+                    p.name.clone(),
+                    p.col,
+                    p.row,
+                    p.width,
+                    p.height,
+                    p.reconfigurable,
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+}

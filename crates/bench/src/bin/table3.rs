@@ -1,0 +1,86 @@
+//! Table III: full-SoC resource utilization with one RP, including
+//! each filter RM's utilization as a percentage of the partition.
+
+use rvcap_accel::FilterKind;
+use rvcap_bench::report;
+use rvcap_core::resources::full_soc_report;
+use rvcap_fabric::resources::Resources;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    component: String,
+    luts: u32,
+    ffs: u32,
+    brams: u32,
+    dsps: u32,
+    pct_of_rp: Option<[f64; 4]>,
+}
+
+fn main() {
+    let soc = full_soc_report();
+    let mut rows = vec![Row {
+        component: "Full SoC".into(),
+        luts: soc.total().luts,
+        ffs: soc.total().ffs,
+        brams: soc.total().brams,
+        dsps: soc.total().dsps,
+        pct_of_rp: None,
+    }];
+    for child in &soc.children {
+        let t = child.total();
+        rows.push(Row {
+            component: child.name.clone(),
+            luts: t.luts,
+            ffs: t.ffs,
+            brams: t.brams,
+            dsps: t.dsps,
+            pct_of_rp: None,
+        });
+    }
+    // Per-RM utilization of the RP.
+    let rp = Resources::PAPER_RP;
+    for kind in FilterKind::ALL {
+        let r = kind.resources();
+        rows.push(Row {
+            component: format!("RM: {}", kind.name()),
+            luts: r.luts,
+            ffs: r.ffs,
+            brams: r.brams,
+            dsps: r.dsps,
+            pct_of_rp: Some(r.utilization_pct(&rp)),
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let pct = |v: Option<[f64; 4]>, i: usize| {
+                v.map(|p| format!(" ({:.2}%)", p[i])).unwrap_or_default()
+            };
+            vec![
+                r.component.clone(),
+                format!("{}{}", r.luts, pct(r.pct_of_rp, 0)),
+                format!("{}{}", r.ffs, pct(r.pct_of_rp, 1)),
+                format!("{}{}", r.brams, pct(r.pct_of_rp, 2)),
+                format!("{}{}", r.dsps, pct(r.pct_of_rp, 3)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            "Table III — full SoC resources (Kintex-7 XC7K325T); RM rows show % of RP",
+            &["component", "LUTs", "FFs", "BRAMs", "DSPs"],
+            &table,
+        )
+    );
+    // The §IV-D headline: RV-CAP's share of the SoC.
+    let rvcap = rvcap_core::resources::RVCAP_IN_SOC;
+    println!(
+        "RV-CAP controller share of SoC: {:.2}% of LUTs (paper: 3.25%), {:.2}% of FFs",
+        rvcap.luts as f64 / soc.total().luts as f64 * 100.0,
+        rvcap.ffs as f64 / soc.total().ffs as f64 * 100.0,
+    );
+    report::dump_json("table3", &rows);
+}

@@ -1,0 +1,118 @@
+//! §IV-B ablation: HWICAP throughput vs fill-loop unroll factor.
+//!
+//! Two independent reproductions of the paper's loop-unrolling study:
+//!
+//! 1. **Driver model**: the Listing-2 driver with its calibrated loop
+//!    constants, run end-to-end (fill + flush + ICAP) over a small RP.
+//! 2. **Instruction-accurate**: the actual RV64 fill loop, assembled
+//!    at each unroll factor and executed on the RV64IM interpreter
+//!    against the simulated SoC — every `sw` to the keyhole register
+//!    is a real blocking bus round trip, every back-edge `bnez` pays
+//!    the pipeline redirect. This is the paper's experiment performed
+//!    the way the paper performed it (modulo C compiler vs assembler).
+//!
+//! Both show the same shape: ~2× from unroll 1 → 16, and <5 % beyond.
+
+use rvcap_bench::paper_soc::{self, PaperRig};
+use rvcap_bench::report;
+use rvcap_core::drivers::HwIcapDriver;
+use rvcap_core::system::SocBuilder;
+use rvcap_fabric::rp::RpGeometry;
+use rvcap_rv64::{assemble, Cpu, RunExit};
+use rvcap_soc::cpu::InterpreterBus;
+use rvcap_soc::map::DDR_BASE;
+use serde::Serialize;
+
+const UNROLLS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Generate the fill loop at a given unroll factor.
+fn fill_loop_asm(unroll: usize, words: usize) -> String {
+    assert_eq!(words % unroll, 0);
+    let mut s = String::from(
+        "
+        li   a0, 0x40000000     # HWICAP base
+        addi a0, a0, 0x100      # WF keyhole register
+        li   a1, 0x40000000
+        slli a1, a1, 1          # DDR base: bitstream words
+        ",
+    );
+    s.push_str(&format!("li a2, {}\n", words / unroll));
+    s.push_str("loop:\n");
+    for _ in 0..unroll {
+        s.push_str("lw t3, 0(a1)\nsw t3, 0(a0)\naddi a1, a1, 4\n");
+    }
+    s.push_str("addi a2, a2, -1\nbnez a2, loop\necall\n");
+    s
+}
+
+#[derive(Serialize)]
+struct Row {
+    unroll: usize,
+    driver_mbs: f64,
+    interpreter_mbs: f64,
+    interpreter_cycles_per_word: f64,
+}
+
+fn main() {
+    let words = 2048usize;
+    let mut rows = Vec::new();
+    for unroll in UNROLLS {
+        // --- 1: driver model, end to end over a 72-frame RP ---
+        let PaperRig {
+            mut soc, module, ..
+        } = paper_soc::rig_with_geometry(RpGeometry::scaled(2, 0, 0));
+        let ddr = soc.handles.ddr.clone();
+        let ticks = HwIcapDriver::with_unroll(unroll).reconfigure_rp(&mut soc.core, &ddr, &module);
+        let driver_mbs = module.pbit_size as f64 / (ticks as f64 / 5.0);
+
+        // --- 2: instruction-accurate fill loop on the interpreter ---
+        let mut soc = SocBuilder::new()
+            .with_hwicap_depth(words * 2) // fill only; no flush logic
+            .build();
+        soc.handles
+            .ddr
+            .write_bytes(DDR_BASE, &vec![0x5Au8; words * 4]);
+        let program = assemble(&fill_loop_asm(unroll, words), 0x1_0000).expect("asm");
+        let mut cpu = Cpu::new(program, 0x1_0000);
+        let ddr = soc.handles.ddr.clone();
+        let mut bus = InterpreterBus::new(&mut soc.core, ddr);
+        let res = cpu.run(&mut bus, 10_000_000);
+        assert_eq!(res.exit, RunExit::Halted, "unroll {unroll}");
+        let cpw = res.cycles as f64 / words as f64;
+        let interp_mbs = 400.0 / cpw;
+
+        rows.push(Row {
+            unroll,
+            driver_mbs,
+            interpreter_mbs: interp_mbs,
+            interpreter_cycles_per_word: cpw,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.unroll.to_string(),
+                format!("{:.2}", r.driver_mbs),
+                format!("{:.2}", r.interpreter_mbs),
+                format!("{:.1}", r.interpreter_cycles_per_word),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            "Unroll sweep — HWICAP throughput vs fill-loop unroll (paper: u1=4.16, u16=8.23 MB/s, <5% beyond)",
+            &["unroll", "driver model MB/s", "RV64 interpreter MB/s (fill only)", "cycles/word"],
+            &table,
+        )
+    );
+    let at = |u: usize| rows.iter().find(|r| r.unroll == u).unwrap();
+    println!(
+        "driver model: u16/u1 speedup {:.2}x (paper ~1.98x); u64 vs u16 gain {:.1}% (paper <5%)",
+        at(16).driver_mbs / at(1).driver_mbs,
+        (at(64).driver_mbs / at(16).driver_mbs - 1.0) * 100.0
+    );
+    report::dump_json("unroll_sweep", &rows);
+}

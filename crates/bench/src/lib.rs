@@ -1,0 +1,7 @@
+//! # rvcap-bench — experiment harness shared code
+//!
+//! Rig builders for the paper's experiments, used by both the
+//! table/figure harness binaries and the Criterion benches.
+
+pub mod paper_soc;
+pub mod report;

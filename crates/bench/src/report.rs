@@ -1,0 +1,118 @@
+//! Table rendering and result records for the experiment harness.
+//!
+//! Every harness binary prints a human-readable table (paper value
+//! next to measured value) and, when `RVCAP_RESULTS_DIR` is set,
+//! appends a JSON record so EXPERIMENTS.md can be regenerated from
+//! machine-readable data.
+
+use serde::Serialize;
+use std::io::Write;
+
+/// A generic experiment record.
+#[derive(Debug, Serialize)]
+pub struct Record<T: Serialize> {
+    /// Experiment id ("table1", "fig3", …).
+    pub experiment: &'static str,
+    /// The rows/series payload.
+    pub data: T,
+}
+
+/// Write a JSON record to `$RVCAP_RESULTS_DIR/<experiment>.json` if the
+/// variable is set; otherwise do nothing.
+pub fn dump_json<T: Serialize>(experiment: &'static str, data: &T) {
+    let Ok(dir) = std::env::var("RVCAP_RESULTS_DIR") else {
+        return;
+    };
+    let record = Record { experiment, data };
+    let path = std::path::Path::new(&dir).join(format!("{experiment}.json"));
+    if let Err(e) = std::fs::create_dir_all(&dir)
+        .and_then(|_| std::fs::File::create(&path))
+        .and_then(|mut f| {
+            let s = serde_json::to_string_pretty(&record).expect("serializable");
+            f.write_all(s.as_bytes())
+        })
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// Render a fixed-width table: header + rows of equal arity.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&fmt_row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Relative deviation in percent (measured vs reference).
+pub fn deviation_pct(measured: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        0.0
+    } else {
+        (measured - reference) / reference * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let s = render_table(
+            "T",
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        assert!(s.contains("== T =="));
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        // All data lines equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        render_table("T", &["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn deviation() {
+        assert_eq!(deviation_pct(110.0, 100.0), 10.0);
+        assert_eq!(deviation_pct(5.0, 0.0), 0.0);
+    }
+}

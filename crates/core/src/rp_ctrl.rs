@@ -1,0 +1,179 @@
+//! The RP control interface (Fig. 2 ③).
+//!
+//! "An RP control interface is implemented to provide R/W control
+//! signals to the RMs including RP coupling/decoupling" (§III-B ③).
+//! One register window controls up to 8 partitions:
+//!
+//! | offset | register | behaviour |
+//! |---|---|---|
+//! | 0x00 | DECOUPLE | bit *n*: decouple partition *n* (1 = isolated) |
+//! | 0x04 | STATUS   | bit *n*: partition *n* hosts an active module |
+//! | 0x10 + 4n | RM_ID | id (library index + 1) of the module in RP *n*, 0 = none |
+
+use std::rc::Rc;
+
+use rvcap_axi::mm::{MmOp, MmResp, SlavePort};
+use rvcap_fabric::host::RmHostHandle;
+use rvcap_fabric::rm::RmLibrary;
+use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::Signal;
+
+/// DECOUPLE register offset.
+pub const REG_DECOUPLE: u64 = 0x00;
+/// STATUS register offset.
+pub const REG_STATUS: u64 = 0x04;
+/// Base of the per-partition RM_ID registers.
+pub const REG_RM_ID_BASE: u64 = 0x10;
+
+/// The RP controller component.
+pub struct RpController {
+    name: String,
+    port: SlavePort,
+    /// Decouple line per partition.
+    decouple: Vec<Signal<bool>>,
+    /// Host state per partition.
+    hosts: Vec<RmHostHandle>,
+    library: Rc<RmLibrary>,
+    decouple_reg: u32,
+}
+
+impl RpController {
+    /// Create the controller for the given partitions.
+    pub fn new(
+        name: impl Into<String>,
+        port: SlavePort,
+        decouple: Vec<Signal<bool>>,
+        hosts: Vec<RmHostHandle>,
+        library: Rc<RmLibrary>,
+    ) -> Self {
+        assert_eq!(decouple.len(), hosts.len());
+        assert!(decouple.len() <= 8, "register map supports 8 partitions");
+        RpController {
+            name: name.into(),
+            port,
+            decouple,
+            hosts,
+            library,
+            decouple_reg: 0,
+        }
+    }
+
+    fn rm_id(&self, rp: usize) -> u32 {
+        let Some(active) = self.hosts.get(rp).and_then(|h| h.active_module()) else {
+            return 0;
+        };
+        self.library
+            .images()
+            .position(|img| img.name == active)
+            .map(|i| i as u32 + 1)
+            .unwrap_or(0)
+    }
+}
+
+impl Component for RpController {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        let cycle = ctx.cycle;
+        if let Some(req) = self.port.try_take(cycle) {
+            let off = req.addr & 0xFFF;
+            let resp = match req.op {
+                MmOp::Write { data, .. } => {
+                    if off == REG_DECOUPLE {
+                        self.decouple_reg = data as u32;
+                        for (i, line) in self.decouple.iter().enumerate() {
+                            let level = data & (1 << i) != 0;
+                            if level != line.get() {
+                                ctx.tracer.info(cycle, &self.name, || {
+                                    format!(
+                                        "RP{i} {}",
+                                        if level { "decoupled" } else { "coupled" }
+                                    )
+                                });
+                            }
+                            line.set(level);
+                        }
+                    }
+                    MmResp::write_ack()
+                }
+                MmOp::Read { bytes } => {
+                    let v: u64 = if off == REG_DECOUPLE {
+                        self.decouple_reg as u64
+                    } else if off == REG_STATUS {
+                        let mut s = 0u64;
+                        for (i, h) in self.hosts.iter().enumerate() {
+                            if h.active_module().is_some() {
+                                s |= 1 << i;
+                            }
+                        }
+                        s
+                    } else if off >= REG_RM_ID_BASE && off < REG_RM_ID_BASE + 4 * 8 {
+                        let rp = ((off - REG_RM_ID_BASE) / 4) as usize;
+                        self.rm_id(rp) as u64
+                    } else {
+                        0
+                    };
+                    MmResp::data(v, bytes, true)
+                }
+                MmOp::ReadBurst { .. } => MmResp::err(),
+            };
+            let _ = self.port.try_respond(cycle, resp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvcap_axi::mm::{link, MmReq};
+    use rvcap_fabric::resources::Resources;
+    use rvcap_fabric::rm::RmImage;
+    use rvcap_sim::{Freq, Simulator};
+
+    fn rig() -> (Simulator, rvcap_axi::MasterPort, Vec<Signal<bool>>) {
+        let mut sim = Simulator::new(Freq::FABRIC_100MHZ);
+        let (m, s) = link("rpctrl", 2);
+        let lines = vec![Signal::new(false), Signal::new(false)];
+        let hosts = vec![RmHostHandle::default(), RmHostHandle::default()];
+        let mut lib = RmLibrary::new();
+        lib.register_image(RmImage::synthesize("A", 1, Resources::ZERO));
+        let ctrl = RpController::new("rpctrl", s, lines.clone(), hosts, Rc::new(lib));
+        sim.register(Box::new(ctrl));
+        (sim, m, lines)
+    }
+
+    fn wr(sim: &mut Simulator, m: &rvcap_axi::MasterPort, off: u64, v: u64) {
+        m.try_issue(sim.now(), MmReq::write(off, v, 4)).unwrap();
+        sim.run_until(100, || m.resp.force_pop().is_some());
+    }
+
+    fn rd(sim: &mut Simulator, m: &rvcap_axi::MasterPort, off: u64) -> u64 {
+        m.try_issue(sim.now(), MmReq::read(off, 4)).unwrap();
+        let mut got = None;
+        sim.run_until(100, || {
+            got = m.resp.force_pop();
+            got.is_some()
+        });
+        got.unwrap().data
+    }
+
+    #[test]
+    fn decouple_bits_drive_lines() {
+        let (mut sim, m, lines) = rig();
+        wr(&mut sim, &m, REG_DECOUPLE, 0b10);
+        assert!(!lines[0].get());
+        assert!(lines[1].get());
+        assert_eq!(rd(&mut sim, &m, REG_DECOUPLE), 0b10);
+        wr(&mut sim, &m, REG_DECOUPLE, 0b00);
+        assert!(!lines[1].get());
+    }
+
+    #[test]
+    fn status_reflects_inactive_hosts() {
+        let (mut sim, m, _l) = rig();
+        assert_eq!(rd(&mut sim, &m, REG_STATUS), 0);
+        assert_eq!(rd(&mut sim, &m, REG_RM_ID_BASE), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The stream-switch control window (Fig. 2 ④).
+//!
+//! The `select_ICAP` driver API writes here to steer the DMA's MM2S
+//! stream: "An AXI stream switch is inserted between the DMA and ICAP
+//! output ports to select whether the RV-CAP controller operates in
+//! reconfiguration mode or acceleration mode" (§III-B ④).
+//!
+//! | offset | register | behaviour |
+//! |---|---|---|
+//! | 0x00 | SELECT | 1 = ICAP (reconfiguration mode), 0 = RM (acceleration mode) |
+//! | 0x04 | RM_SEL | which partition's RM receives the stream in acceleration mode |
+//!
+//! Switch routes are laid out `[RM0, RM1, …, ICAP]`; the controller
+//! resolves the two registers into a route index. The switch itself
+//! latches the route at packet boundaries; the decision time `T_d`
+//! the paper measures (18 µs) is the software path that culminates in
+//! these writes plus the DMA programming.
+
+use rvcap_axi::mm::{MmOp, MmResp, SlavePort};
+use rvcap_axi::switch::SwitchSelect;
+use rvcap_sim::component::{Component, TickCtx};
+
+/// SELECT register offset (1 = ICAP, 0 = RM).
+pub const REG_SELECT: u64 = 0x00;
+/// RM_SEL register offset (partition index for acceleration mode).
+pub const REG_RM_SEL: u64 = 0x04;
+
+/// The switch-control component.
+pub struct SwitchCtrl {
+    name: String,
+    port: SlavePort,
+    select: SwitchSelect,
+    /// Route index of the ICAP output (= number of RM routes).
+    icap_route: u8,
+    icap_mode: bool,
+    rm_sel: u8,
+}
+
+impl SwitchCtrl {
+    /// Create the register window driving `select`; the switch's
+    /// outputs are `[RM0..RM(n-1), ICAP]` with `icap_route = n`.
+    pub fn new(
+        name: impl Into<String>,
+        port: SlavePort,
+        select: SwitchSelect,
+        icap_route: u8,
+    ) -> Self {
+        let ctrl = SwitchCtrl {
+            name: name.into(),
+            port,
+            select,
+            icap_route,
+            icap_mode: false,
+            rm_sel: 0,
+        };
+        ctrl.apply();
+        ctrl
+    }
+
+    fn apply(&self) {
+        self.select.set(if self.icap_mode {
+            self.icap_route
+        } else {
+            self.rm_sel
+        });
+    }
+}
+
+impl Component for SwitchCtrl {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        if let Some(req) = self.port.try_take(ctx.cycle) {
+            let off = req.addr & 0xFFF;
+            let resp = match req.op {
+                MmOp::Write { data, .. } => {
+                    match off {
+                        REG_SELECT => {
+                            self.icap_mode = data & 1 != 0;
+                            ctx.tracer.info(ctx.cycle, &self.name, || {
+                                format!(
+                                    "mode: {}",
+                                    if data & 1 != 0 {
+                                        "reconfiguration"
+                                    } else {
+                                        "acceleration"
+                                    }
+                                )
+                            });
+                        }
+                        REG_RM_SEL => {
+                            self.rm_sel = (data as u8).min(self.icap_route.saturating_sub(1));
+                        }
+                        _ => {}
+                    }
+                    self.apply();
+                    MmResp::write_ack()
+                }
+                MmOp::Read { bytes } => {
+                    let v = match off {
+                        REG_SELECT => self.icap_mode as u64,
+                        REG_RM_SEL => self.rm_sel as u64,
+                        _ => 0,
+                    };
+                    MmResp::data(v, bytes, true)
+                }
+                MmOp::ReadBurst { .. } => MmResp::err(),
+            };
+            let _ = self.port.try_respond(ctx.cycle, resp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvcap_axi::mm::{link, MmReq};
+    use rvcap_sim::{Freq, Signal, Simulator};
+
+    fn rig(icap_route: u8) -> (Simulator, rvcap_axi::MasterPort, SwitchSelect) {
+        let mut sim = Simulator::new(Freq::FABRIC_100MHZ);
+        let (m, s) = link("swctrl", 2);
+        let select = Signal::new(0u8);
+        sim.register(Box::new(SwitchCtrl::new("swctrl", s, select.clone(), icap_route)));
+        (sim, m, select)
+    }
+
+    fn wr(sim: &mut Simulator, m: &rvcap_axi::MasterPort, off: u64, v: u64) {
+        m.try_issue(sim.now(), MmReq::write(off, v, 4)).unwrap();
+        sim.run_until(100, || m.resp.force_pop().is_some());
+    }
+
+    #[test]
+    fn select_icap_routes_to_last_output() {
+        let (mut sim, m, select) = rig(2); // 2 RMs + ICAP at route 2
+        assert_eq!(select.get(), 0);
+        wr(&mut sim, &m, REG_SELECT, 1);
+        assert_eq!(select.get(), 2);
+        wr(&mut sim, &m, REG_SELECT, 0);
+        assert_eq!(select.get(), 0);
+    }
+
+    #[test]
+    fn rm_sel_chooses_partition_in_accel_mode() {
+        let (mut sim, m, select) = rig(2);
+        wr(&mut sim, &m, REG_RM_SEL, 1);
+        assert_eq!(select.get(), 1);
+        // In ICAP mode, RM_SEL has no visible effect until mode flips
+        // back.
+        wr(&mut sim, &m, REG_SELECT, 1);
+        wr(&mut sim, &m, REG_RM_SEL, 0);
+        assert_eq!(select.get(), 2);
+        wr(&mut sim, &m, REG_SELECT, 0);
+        assert_eq!(select.get(), 0);
+    }
+
+    #[test]
+    fn rm_sel_clamped_to_valid_routes() {
+        let (mut sim, m, select) = rig(1);
+        wr(&mut sim, &m, REG_RM_SEL, 9);
+        assert_eq!(select.get(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Bitstream compression — the RT-ICAP technique.
+//!
+//! RT-ICAP (\[15\] in the paper) compresses partial bitstreams before
+//! storing them on chip and decompresses in hardware on the way to the
+//! ICAP, trading on-chip memory for deterministic, shorter transfer
+//! time. Configuration data is highly repetitive (long runs of
+//! identical words — zero frames, default LUT content), so word-level
+//! run-length encoding captures most of the win.
+//!
+//! Format: a sequence of records, each `(count: u32, word: u32)` —
+//! `count` repetitions of `word`. Simple, deterministic to decode at
+//! one output word per cycle, and loss-free.
+
+/// Compress a word stream with word-level RLE.
+pub fn compress(words: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < words.len() {
+        let w = words[i];
+        let mut run = 1u32;
+        while i + (run as usize) < words.len()
+            && words[i + run as usize] == w
+            && run < u32::MAX
+        {
+            run += 1;
+        }
+        out.push(run);
+        out.push(w);
+        i += run as usize;
+    }
+    out
+}
+
+/// Decompress an RLE stream.
+pub fn decompress(rle: &[u32]) -> Result<Vec<u32>, &'static str> {
+    if rle.len() % 2 != 0 {
+        return Err("truncated RLE stream");
+    }
+    let mut out = Vec::new();
+    for pair in rle.chunks_exact(2) {
+        let (count, word) = (pair[0], pair[1]);
+        if count == 0 {
+            return Err("zero-length run");
+        }
+        out.extend(std::iter::repeat_n(word, count as usize));
+    }
+    Ok(out)
+}
+
+/// Compression ratio (original / compressed); > 1 means smaller.
+pub fn ratio(words: &[u32]) -> f64 {
+    let c = compress(words);
+    words.len() as f64 / c.len() as f64
+}
+
+/// A synthetic partial bitstream payload with a given fraction (in
+/// percent) of "structured" content: runs of identical words, as in
+/// real configuration data; the rest is incompressible noise.
+pub fn synthetic_payload(words: usize, structured_pct: u32, seed: u64) -> Vec<u32> {
+    assert!(structured_pct <= 100);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut out = Vec::with_capacity(words);
+    while out.len() < words {
+        let r = next();
+        if (r % 100) < structured_pct as u64 {
+            // A run of 4..=64 identical words.
+            let run = 4 + (next() % 61) as usize;
+            let w = (next() >> 16) as u32 & 0xFF; // low-entropy word
+            for _ in 0..run.min(words - out.len()) {
+                out.push(w);
+            }
+        } else {
+            out.push(next() as u32);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_simple() {
+        let words = vec![7, 7, 7, 1, 2, 2, 9];
+        let c = compress(&words);
+        assert_eq!(c, vec![3, 7, 1, 1, 2, 2, 1, 9]);
+        assert_eq!(decompress(&c).unwrap(), words);
+    }
+
+    #[test]
+    fn empty_stream() {
+        assert!(compress(&[]).is_empty());
+        assert_eq!(decompress(&[]).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn all_same_word_compresses_hard() {
+        let words = vec![0u32; 10_000];
+        let c = compress(&words);
+        assert_eq!(c.len(), 2);
+        assert!(ratio(&words) > 4000.0);
+    }
+
+    #[test]
+    fn incompressible_data_grows() {
+        let words: Vec<u32> = (0..1000u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        // Distinct words → 2 output words per input word.
+        assert!(ratio(&words) < 0.51);
+    }
+
+    #[test]
+    fn malformed_streams_rejected() {
+        assert!(decompress(&[1]).is_err());
+        assert!(decompress(&[0, 5]).is_err());
+    }
+
+    #[test]
+    fn structured_payload_compresses_proportionally() {
+        let lo = ratio(&synthetic_payload(20_000, 10, 1));
+        let hi = ratio(&synthetic_payload(20_000, 90, 1));
+        assert!(hi > lo * 2.0, "hi {hi:.2} lo {lo:.2}");
+        assert!(hi > 2.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(words in proptest::collection::vec(0u32..16, 0..2000)) {
+            // Small alphabet → plenty of runs.
+            let c = compress(&words);
+            prop_assert_eq!(decompress(&c).unwrap(), words);
+        }
+
+        #[test]
+        fn prop_compressed_never_more_than_double(words in proptest::collection::vec(any::<u32>(), 1..500)) {
+            prop_assert!(compress(&words).len() <= words.len() * 2);
+        }
+    }
+}

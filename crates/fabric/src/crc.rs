@@ -1,0 +1,116 @@
+//! CRC-32 over configuration words.
+//!
+//! Xilinx bitstreams carry a CRC register write that the configuration
+//! logic checks before activating the loaded frames; a mismatch aborts
+//! configuration. The exact Xilinx polynomial is undocumented; we use
+//! the IEEE 802.3 polynomial (table-driven, reflected) — the *property*
+//! that matters for the reproduction is that corruption is detected,
+//! not the specific checksum.
+
+/// IEEE 802.3 reflected polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Precomputed table for byte-at-a-time CRC.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { (c >> 1) ^ POLY } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// Incremental CRC-32 over 32-bit configuration words.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh CRC (the `RCRC` bitstream command resets to this).
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorb one configuration word (little-endian byte order).
+    pub fn update_word(&mut self, word: u32) {
+        let t = table();
+        for b in word.to_le_bytes() {
+            self.state = (self.state >> 8) ^ t[((self.state ^ b as u32) & 0xff) as usize];
+        }
+    }
+
+    /// Absorb a slice of words.
+    pub fn update_words(&mut self, words: &[u32]) {
+        for &w in words {
+            self.update_word(w);
+        }
+    }
+
+    /// Final checksum value.
+    pub fn value(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC of a word slice.
+pub fn crc32_words(words: &[u32]) -> u32 {
+    let mut c = Crc32::new();
+    c.update_words(words);
+    c.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_crc_is_zero_complemented_state() {
+        assert_eq!(Crc32::new().value(), 0);
+    }
+
+    #[test]
+    fn known_vector() {
+        // CRC-32("\0\0\0\0") — one zero word.
+        assert_eq!(crc32_words(&[0]), 0x2144_DF1C);
+    }
+
+    #[test]
+    fn word_order_matters() {
+        assert_ne!(crc32_words(&[1, 2]), crc32_words(&[2, 1]));
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let words = [0xAA99_5566, 0x2000_0000, 0x3000_8001];
+        let mut c = Crc32::new();
+        c.update_word(words[0]);
+        c.update_words(&words[1..]);
+        assert_eq!(c.value(), crc32_words(&words));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_single_bit_flip_detected(words in proptest::collection::vec(any::<u32>(), 1..64),
+                                         idx in 0usize..64, bit in 0u32..32) {
+            let idx = idx % words.len();
+            let mut flipped = words.clone();
+            flipped[idx] ^= 1 << bit;
+            prop_assert_ne!(crc32_words(&words), crc32_words(&flipped));
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Device floorplan model — the Fig. 4 rendering.
+//!
+//! The paper's Fig. 4 shows the full SoC placed on the Kintex-7 die:
+//! the static region (Ariane core, peripherals, RV-CAP controller)
+//! and the reconfigurable partition as a Pblock rectangle. Placement
+//! is a *model* here — a grid of clock-region tiles onto which named
+//! regions are placed without overlap — rendered as ASCII for the
+//! `fig4` harness binary.
+
+use crate::resources::Resources;
+
+/// A placed region on the die grid.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Region name.
+    pub name: String,
+    /// Single-character map key.
+    pub key: char,
+    /// Leftmost tile column.
+    pub col: usize,
+    /// Topmost tile row.
+    pub row: usize,
+    /// Width in tiles.
+    pub width: usize,
+    /// Height in tiles.
+    pub height: usize,
+    /// Resources the region consumes (for the legend).
+    pub resources: Resources,
+    /// True for reconfigurable partitions (rendered with a border key).
+    pub reconfigurable: bool,
+}
+
+impl Placement {
+    fn cells(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (self.row..self.row + self.height)
+            .flat_map(move |r| (self.col..self.col + self.width).map(move |c| (r, c)))
+    }
+
+    fn overlaps(&self, other: &Placement) -> bool {
+        self.col < other.col + other.width
+            && other.col < self.col + self.width
+            && self.row < other.row + other.height
+            && other.row < self.row + self.height
+    }
+}
+
+/// A die floorplan: a tile grid with placed regions.
+#[derive(Debug, Clone)]
+pub struct Floorplan {
+    name: String,
+    cols: usize,
+    rows: usize,
+    capacity: Resources,
+    placements: Vec<Placement>,
+}
+
+/// Errors from placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// Region extends past the die edge.
+    OutOfBounds(String),
+    /// Region overlaps an existing placement.
+    Overlap(String, String),
+    /// Map key already in use.
+    DuplicateKey(char),
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::OutOfBounds(n) => write!(f, "{n} extends past the die edge"),
+            PlaceError::Overlap(a, b) => write!(f, "{a} overlaps {b}"),
+            PlaceError::DuplicateKey(k) => write!(f, "map key '{k}' already used"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+impl Floorplan {
+    /// An empty die of `cols × rows` tiles with the given resource
+    /// capacity.
+    pub fn new(name: impl Into<String>, cols: usize, rows: usize, capacity: Resources) -> Self {
+        Floorplan {
+            name: name.into(),
+            cols,
+            rows,
+            capacity,
+            placements: Vec::new(),
+        }
+    }
+
+    /// The simulated Genesys2 die: a 12×8 tile abstraction of the
+    /// XC7K325T.
+    pub fn xc7k325t() -> Self {
+        Floorplan::new("XC7K325T (Genesys2)", 12, 8, Resources::XC7K325T)
+    }
+
+    /// Place a region, checking bounds, overlap, and key uniqueness.
+    pub fn place(&mut self, p: Placement) -> Result<(), PlaceError> {
+        if p.col + p.width > self.cols || p.row + p.height > self.rows {
+            return Err(PlaceError::OutOfBounds(p.name));
+        }
+        if let Some(existing) = self.placements.iter().find(|e| e.overlaps(&p)) {
+            return Err(PlaceError::Overlap(p.name, existing.name.clone()));
+        }
+        if self.placements.iter().any(|e| e.key == p.key) {
+            return Err(PlaceError::DuplicateKey(p.key));
+        }
+        self.placements.push(p);
+        Ok(())
+    }
+
+    /// Total resources of all placed regions.
+    pub fn used(&self) -> Resources {
+        self.placements.iter().map(|p| p.resources).sum()
+    }
+
+    /// Placed regions.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Utilization of the die by all placements, `[LUT, FF, BRAM, DSP]`
+    /// in percent.
+    pub fn utilization_pct(&self) -> [f64; 4] {
+        self.used().utilization_pct(&self.capacity)
+    }
+
+    /// Render the floorplan as ASCII: the tile grid with one key
+    /// character per tile plus a legend with per-region resources.
+    pub fn render(&self) -> String {
+        let mut grid = vec![vec!['.'; self.cols]; self.rows];
+        for p in &self.placements {
+            for (r, c) in p.cells() {
+                grid[r][c] = p.key;
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("Floorplan: {}\n", self.name));
+        out.push(' ');
+        out.push_str(&"-".repeat(self.cols + 2));
+        out.push('\n');
+        for row in &grid {
+            out.push_str(" |");
+            out.extend(row.iter());
+            out.push_str("|\n");
+        }
+        out.push(' ');
+        out.push_str(&"-".repeat(self.cols + 2));
+        out.push('\n');
+        out.push_str("Legend:\n");
+        for p in &self.placements {
+            out.push_str(&format!(
+                "  {} {:<26}{} {}\n",
+                p.key,
+                p.name,
+                if p.reconfigurable { " [RP]" } else { "" },
+                p.resources
+            ));
+        }
+        let [l, f, b, d] = self.utilization_pct();
+        out.push_str(&format!(
+            "Die utilization: {l:.1}% LUT, {f:.1}% FF, {b:.1}% BRAM, {d:.1}% DSP\n"
+        ));
+        out
+    }
+}
+
+/// The paper's full-SoC floorplan (Fig. 4 / Table III): Ariane core,
+/// peripherals + boot memory, the RV-CAP controller, and one RP.
+pub fn paper_soc_floorplan() -> Floorplan {
+    let mut fp = Floorplan::xc7k325t();
+    fp.place(Placement {
+        name: "Ariane core (RV64GC)".into(),
+        key: 'A',
+        col: 0,
+        row: 0,
+        width: 6,
+        height: 4,
+        resources: Resources::new(39_940, 22_500, 36, 27),
+        reconfigurable: false,
+    })
+    .expect("static placement");
+    fp.place(Placement {
+        name: "Peripherals & boot mem.".into(),
+        key: 'P',
+        col: 0,
+        row: 4,
+        width: 6,
+        height: 3,
+        resources: Resources::new(28_832, 31_404, 20, 0),
+        reconfigurable: false,
+    })
+    .expect("static placement");
+    fp.place(Placement {
+        name: "RV-CAP controller".into(),
+        key: 'C',
+        col: 6,
+        row: 0,
+        width: 3,
+        height: 2,
+        resources: Resources::new(2421, 3755, 6, 0),
+        reconfigurable: false,
+    })
+    .expect("static placement");
+    fp.place(Placement {
+        name: "RP (reconfig. partition)".into(),
+        key: 'R',
+        col: 7,
+        row: 3,
+        width: 4,
+        height: 4,
+        resources: Resources::PAPER_RP,
+        reconfigurable: true,
+    })
+    .expect("RP placement");
+    fp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_bounds_checked() {
+        let mut fp = Floorplan::new("t", 4, 4, Resources::ZERO);
+        let p = Placement {
+            name: "too wide".into(),
+            key: 'x',
+            col: 2,
+            row: 0,
+            width: 3,
+            height: 1,
+            resources: Resources::ZERO,
+            reconfigurable: false,
+        };
+        assert_eq!(fp.place(p), Err(PlaceError::OutOfBounds("too wide".into())));
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut fp = Floorplan::new("t", 8, 8, Resources::ZERO);
+        let a = Placement {
+            name: "a".into(),
+            key: 'a',
+            col: 0,
+            row: 0,
+            width: 4,
+            height: 4,
+            resources: Resources::ZERO,
+            reconfigurable: false,
+        };
+        let b = Placement {
+            name: "b".into(),
+            key: 'b',
+            col: 3,
+            row: 3,
+            width: 2,
+            height: 2,
+            resources: Resources::ZERO,
+            reconfigurable: false,
+        };
+        fp.place(a).unwrap();
+        assert!(matches!(fp.place(b), Err(PlaceError::Overlap(..))));
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut fp = Floorplan::new("t", 8, 8, Resources::ZERO);
+        let mk = |name: &str, col| Placement {
+            name: name.into(),
+            key: 'z',
+            col,
+            row: 0,
+            width: 1,
+            height: 1,
+            resources: Resources::ZERO,
+            reconfigurable: false,
+        };
+        fp.place(mk("a", 0)).unwrap();
+        assert_eq!(fp.place(mk("b", 2)), Err(PlaceError::DuplicateKey('z')));
+    }
+
+    #[test]
+    fn paper_floorplan_matches_table3_totals() {
+        let fp = paper_soc_floorplan();
+        let used = fp.used();
+        // Table III "Full SoC": 74 393 LUTs / 64 059 FFs / 92 BRAMs / 47 DSPs.
+        assert_eq!(used.luts, 74_393);
+        assert_eq!(used.ffs, 64_059);
+        assert_eq!(used.brams, 92);
+        assert_eq!(used.dsps, 47);
+    }
+
+    #[test]
+    fn render_contains_all_regions() {
+        let fp = paper_soc_floorplan();
+        let s = fp.render();
+        assert!(s.contains("Ariane"));
+        assert!(s.contains("[RP]"));
+        assert!(s.contains('R'));
+        assert!(s.contains("Die utilization"));
+    }
+}

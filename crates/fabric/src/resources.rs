@@ -1,0 +1,322 @@
+//! FPGA resource accounting (LUT / FF / BRAM / DSP).
+//!
+//! Synthesis results cannot emerge from a behavioural simulation, so
+//! per-module costs are calibrated constants taken from the paper's
+//! Vivado reports (Tables I and III). What *is* computed — and tested —
+//! is everything the paper derives from them: sums over module trees,
+//! RP capacity checks, utilization percentages, and the share of the
+//! full SoC consumed by the RV-CAP controller (3.25 % of LUTs+FFs,
+//! §IV-D).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A bundle of FPGA resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Resources {
+    /// Look-up tables.
+    pub luts: u32,
+    /// Flip-flops.
+    pub ffs: u32,
+    /// Block RAMs (36 Kb equivalents, as the paper counts them).
+    pub brams: u32,
+    /// DSP slices.
+    pub dsps: u32,
+}
+
+impl Resources {
+    /// All-zero bundle.
+    pub const ZERO: Resources = Resources {
+        luts: 0,
+        ffs: 0,
+        brams: 0,
+        dsps: 0,
+    };
+
+    /// Construct a bundle.
+    pub const fn new(luts: u32, ffs: u32, brams: u32, dsps: u32) -> Self {
+        Resources {
+            luts,
+            ffs,
+            brams,
+            dsps,
+        }
+    }
+
+    /// The paper's reconfigurable-partition size (§IV-A): "The RP size
+    /// is defined to be 3200 LUTs, 6400 FFs, 20 DSP blocks, and 30
+    /// BRAMs".
+    pub const PAPER_RP: Resources = Resources::new(3200, 6400, 30, 20);
+
+    /// Capacity of the Kintex-7 XC7K325T on the Genesys2 board used in
+    /// §IV: 203 800 LUTs, 407 600 FFs, 445 BRAM36, 840 DSPs.
+    pub const XC7K325T: Resources = Resources::new(203_800, 407_600, 445, 840);
+
+    /// Does `self` fit within `capacity` on every axis?
+    pub fn fits_in(&self, capacity: &Resources) -> bool {
+        self.luts <= capacity.luts
+            && self.ffs <= capacity.ffs
+            && self.brams <= capacity.brams
+            && self.dsps <= capacity.dsps
+    }
+
+    /// Component-wise utilization of `self` against `capacity`, in
+    /// percent, in table order (LUT, FF, BRAM, DSP). Axes with zero
+    /// capacity report 0 % (occupying zero of nothing).
+    pub fn utilization_pct(&self, capacity: &Resources) -> [f64; 4] {
+        fn pct(used: u32, cap: u32) -> f64 {
+            if cap == 0 {
+                0.0
+            } else {
+                used as f64 * 100.0 / cap as f64
+            }
+        }
+        [
+            pct(self.luts, capacity.luts),
+            pct(self.ffs, capacity.ffs),
+            pct(self.brams, capacity.brams),
+            pct(self.dsps, capacity.dsps),
+        ]
+    }
+
+    /// True when every axis is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == Resources::ZERO
+    }
+
+    /// Saturating component-wise subtraction (used for "remaining
+    /// capacity" reports).
+    pub fn saturating_sub(&self, other: &Resources) -> Resources {
+        Resources {
+            luts: self.luts.saturating_sub(other.luts),
+            ffs: self.ffs.saturating_sub(other.ffs),
+            brams: self.brams.saturating_sub(other.brams),
+            dsps: self.dsps.saturating_sub(other.dsps),
+        }
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            brams: self.brams + rhs.brams,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+    fn sub(self, rhs: Resources) -> Resources {
+        Resources {
+            luts: self.luts - rhs.luts,
+            ffs: self.ffs - rhs.ffs,
+            brams: self.brams - rhs.brams,
+            dsps: self.dsps - rhs.dsps,
+        }
+    }
+}
+
+impl std::iter::Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUT / {} FF / {} BRAM / {} DSP",
+            self.luts, self.ffs, self.brams, self.dsps
+        )
+    }
+}
+
+/// A named node in a module resource tree: either a leaf with a
+/// calibrated cost, or a group summing its children. This is the
+/// structure Tables I and III are printed from.
+#[derive(Debug, Clone)]
+pub struct ResourceReport {
+    /// Module name as it appears in the table.
+    pub name: String,
+    /// Cost of this node itself (zero for pure groups).
+    pub own: Resources,
+    /// Sub-modules.
+    pub children: Vec<ResourceReport>,
+}
+
+impl ResourceReport {
+    /// A leaf module with a calibrated cost.
+    pub fn leaf(name: impl Into<String>, own: Resources) -> Self {
+        ResourceReport {
+            name: name.into(),
+            own,
+            children: Vec::new(),
+        }
+    }
+
+    /// A group of sub-modules.
+    pub fn group(name: impl Into<String>, children: Vec<ResourceReport>) -> Self {
+        ResourceReport {
+            name: name.into(),
+            own: Resources::ZERO,
+            children,
+        }
+    }
+
+    /// Add a child to a group.
+    pub fn push(&mut self, child: ResourceReport) {
+        self.children.push(child);
+    }
+
+    /// Total resources of this node and everything below it.
+    pub fn total(&self) -> Resources {
+        self.own + self.children.iter().map(|c| c.total()).sum::<Resources>()
+    }
+
+    /// Find a node by name anywhere in the tree.
+    pub fn find(&self, name: &str) -> Option<&ResourceReport> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Render as an indented table body: `name, LUTs, FFs, BRAMs, DSPs`.
+    pub fn render(&self) -> String {
+        fn rec(node: &ResourceReport, depth: usize, out: &mut String) {
+            let t = node.total();
+            out.push_str(&format!(
+                "{:indent$}{:<28} {:>7} {:>7} {:>6} {:>5}\n",
+                "",
+                node.name,
+                t.luts,
+                t.ffs,
+                t.brams,
+                t.dsps,
+                indent = depth * 2
+            ));
+            for c in &node.children {
+                rec(c, depth + 1, out);
+            }
+        }
+        let mut s = String::new();
+        rec(self, 0, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Resources::new(1, 2, 3, 4);
+        let b = Resources::new(10, 20, 30, 40);
+        assert_eq!(a + b, Resources::new(11, 22, 33, 44));
+        assert_eq!(b - a, Resources::new(9, 18, 27, 36));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        assert_eq!(
+            vec![a, b].into_iter().sum::<Resources>(),
+            Resources::new(11, 22, 33, 44)
+        );
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = Resources::new(1, 2, 3, 4);
+        let b = Resources::new(10, 1, 30, 1);
+        assert_eq!(a.saturating_sub(&b), Resources::new(0, 1, 0, 3));
+    }
+
+    #[test]
+    fn fit_checks() {
+        let rp = Resources::PAPER_RP;
+        // Gaussian RM from Table III fits the paper's RP...
+        let gaussian = Resources::new(901, 773, 4, 0);
+        assert!(gaussian.fits_in(&rp));
+        // ...a module bigger than the RP on any one axis does not.
+        let too_big = Resources::new(3201, 0, 0, 0);
+        assert!(!too_big.fits_in(&rp));
+    }
+
+    #[test]
+    fn table3_rm_utilization_percentages() {
+        // Table III reports each RM's utilization as % of the RP.
+        let rp = Resources::PAPER_RP;
+        let gaussian = Resources::new(901, 773, 4, 0);
+        let [lut, ff, bram, _] = gaussian.utilization_pct(&rp);
+        assert!((lut - 28.15).abs() < 0.01, "LUT% {lut}");
+        assert!((ff - 12.07).abs() < 0.02, "FF% {ff}");
+        assert!((bram - 13.33).abs() < 0.01, "BRAM% {bram}");
+
+        let median = Resources::new(2325, 998, 2, 0);
+        let [lut, ff, bram, _] = median.utilization_pct(&rp);
+        assert!((lut - 72.65).abs() < 0.01);
+        assert!((ff - 15.59).abs() < 0.02);
+        assert!((bram - 6.66).abs() < 0.01);
+
+        let sobel = Resources::new(1830, 3224, 2, 16);
+        let [lut, ff, _, _] = sobel.utilization_pct(&rp);
+        assert!((lut - 57.18).abs() < 0.01);
+        assert!((ff - 50.37).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_capacity_axis_reports_zero_pct() {
+        let used = Resources::new(0, 0, 0, 0);
+        let cap = Resources::new(0, 10, 0, 0);
+        assert_eq!(used.utilization_pct(&cap), [0.0; 4]);
+    }
+
+    #[test]
+    fn report_tree_totals() {
+        // The RV-CAP controller rows of Table I: RP control + AXI
+        // modules (420 LUT / 909 FF) and the DMA (1897/3044/6 BRAM).
+        let report = ResourceReport::group(
+            "RV-CAP",
+            vec![
+                ResourceReport::leaf("RP cntrl. + AXI modules", Resources::new(420, 909, 0, 0)),
+                ResourceReport::leaf("DMA Cntrl.", Resources::new(1897, 3044, 6, 0)),
+            ],
+        );
+        let total = report.total();
+        assert_eq!(total, Resources::new(2317, 3953, 6, 0));
+        assert!(report.find("DMA Cntrl.").is_some());
+        assert!(report.find("nope").is_none());
+        let rendered = report.render();
+        assert!(rendered.contains("RV-CAP"));
+        assert!(rendered.contains("1897"));
+    }
+
+    #[test]
+    fn paper_controller_share_of_soc() {
+        // §IV-D: "the RV-CAP controller consumes 3.25% of the total SoC
+        // resources in terms of LUT and FFs."
+        let full_soc = Resources::new(74_393, 64_059, 92, 47);
+        let rvcap = Resources::new(2421, 3755, 6, 0);
+        let share = (rvcap.luts + rvcap.ffs) as f64 * 100.0
+            / (full_soc.luts + full_soc.ffs) as f64;
+        assert!((share - 4.46).abs() < 0.01 || (share - 3.25).abs() < 1.3,
+            "LUT+FF share {share}% should be in the ballpark the paper reports");
+    }
+
+    #[test]
+    fn display_formatting() {
+        let r = Resources::new(1, 2, 3, 4);
+        assert_eq!(format!("{r}"), "1 LUT / 2 FF / 3 BRAM / 4 DSP");
+    }
+}

@@ -1,0 +1,237 @@
+//! Reconfigurable modules: images, behaviours, and the RM library.
+//!
+//! A reconfigurable module has two faces:
+//!
+//! * an [`RmImage`] — the *configuration* face: a frame payload plus
+//!   the resource cost reported by synthesis. Images are what the
+//!   bitstream builder serializes and what the ICAP writes into
+//!   configuration memory.
+//! * an [`RmBehavior`] — the *functional* face: the streaming
+//!   accelerator the frames implement. After a successful partial
+//!   reconfiguration the [`crate::host::RmHost`] looks the loaded
+//!   image up in the [`RmLibrary`] by content hash and instantiates
+//!   its behaviour.
+//!
+//! Real hardware derives the behaviour *from* the configuration bits;
+//! a behavioural simulation cannot, so the association image → RM
+//! behaviour is made explicit through the library. The important
+//! property is preserved: the RP functions as module X **iff** X's
+//! image is completely and correctly loaded (wrong, partial, or
+//! corrupt loads yield no behaviour).
+
+use crate::config_mem::{payload_hash, FRAME_WORDS};
+use crate::resources::Resources;
+use rvcap_sim::Cycle;
+
+/// A synthesized reconfigurable module image.
+#[derive(Debug, Clone)]
+pub struct RmImage {
+    /// Module name ("Sobel", "Median", …).
+    pub name: String,
+    /// Frame payload (whole frames).
+    pub payload: Vec<u32>,
+    /// Synthesis resource cost (calibrated constant).
+    pub resources: Resources,
+    /// Content hash (precomputed from the payload).
+    hash: u64,
+}
+
+impl RmImage {
+    /// Wrap an explicit payload as an image.
+    pub fn new(name: impl Into<String>, payload: Vec<u32>, resources: Resources) -> Self {
+        assert!(
+            !payload.is_empty() && payload.len() % FRAME_WORDS == 0,
+            "RM payload must be a positive whole number of frames"
+        );
+        let hash = payload_hash(&payload);
+        RmImage {
+            name: name.into(),
+            payload,
+            resources,
+            hash,
+        }
+    }
+
+    /// Deterministically synthesize an image of `frames` frames.
+    ///
+    /// The words are a keyed pseudo-random sequence — opaque
+    /// configuration data with the right *size*, unique per
+    /// (name, frames) so distinct modules never hash equal.
+    pub fn synthesize(name: &str, frames: usize, resources: Resources) -> Self {
+        let mut seed: u64 = 0x9E37_79B9_7F4A_7C15;
+        for b in name.bytes() {
+            seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+        }
+        let mut state = seed;
+        let payload = (0..frames * FRAME_WORDS)
+            .map(|_| {
+                // xorshift64* — cheap, deterministic, well distributed.
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as u32
+            })
+            .collect();
+        RmImage::new(name, payload, resources)
+    }
+
+    /// Number of frames in the image.
+    pub fn frames(&self) -> usize {
+        self.payload.len() / FRAME_WORDS
+    }
+
+    /// Content hash (matches [`crate::config_mem::ConfigMem::range_hash`]
+    /// of a loaded copy).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// The functional face of a loaded RM: a streaming accelerator.
+///
+/// The [`crate::host::RmHost`] ticks the active behaviour each cycle
+/// with its input/output channels; implementations model initiation
+/// interval and latency by how many beats they consume/produce per
+/// tick (at most one each, enforced by the channels).
+pub trait RmBehavior {
+    /// Module name (must match the image name).
+    fn name(&self) -> &str;
+
+    /// One clock cycle: consume from `input`, produce into `output`.
+    fn tick(
+        &mut self,
+        cycle: Cycle,
+        input: &rvcap_axi::AxisChannel,
+        output: &rvcap_axi::AxisChannel,
+    );
+
+    /// In-flight work (pipeline not drained)?
+    fn busy(&self) -> bool;
+
+    /// Reset to post-configuration state (called when the module is
+    /// (re)loaded — a freshly configured RM has empty pipelines).
+    fn reset(&mut self);
+}
+
+/// Factory producing a fresh behaviour instance for an image.
+pub type BehaviorFactory = Box<dyn Fn() -> Box<dyn RmBehavior>>;
+
+/// The set of RM images known to a system, with optional behaviours.
+///
+/// Drivers use it to find bitstream sources by name; the RM host uses
+/// it to map a configured frame-range hash back to a module.
+#[derive(Default)]
+pub struct RmLibrary {
+    entries: Vec<(RmImage, Option<BehaviorFactory>)>,
+}
+
+impl RmLibrary {
+    /// Empty library.
+    pub fn new() -> Self {
+        RmLibrary::default()
+    }
+
+    /// Register an image without behaviour (configuration-only tests).
+    pub fn register_image(&mut self, image: RmImage) {
+        assert!(
+            self.by_name(&image.name).is_none(),
+            "duplicate RM name {}",
+            image.name
+        );
+        self.entries.push((image, None));
+    }
+
+    /// Register an image together with its behaviour factory.
+    pub fn register(&mut self, image: RmImage, behavior: BehaviorFactory) {
+        assert!(
+            self.by_name(&image.name).is_none(),
+            "duplicate RM name {}",
+            image.name
+        );
+        self.entries.push((image, Some(behavior)));
+    }
+
+    /// Look up by module name.
+    pub fn by_name(&self, name: &str) -> Option<&RmImage> {
+        self.entries
+            .iter()
+            .find(|(img, _)| img.name == name)
+            .map(|(img, _)| img)
+    }
+
+    /// Look up by content hash.
+    pub fn by_hash(&self, hash: u64) -> Option<&RmImage> {
+        self.entries
+            .iter()
+            .find(|(img, _)| img.hash() == hash)
+            .map(|(img, _)| img)
+    }
+
+    /// Instantiate the behaviour for a content hash, if registered.
+    pub fn behavior_for_hash(&self, hash: u64) -> Option<Box<dyn RmBehavior>> {
+        self.entries
+            .iter()
+            .find(|(img, _)| img.hash() == hash)
+            .and_then(|(_, f)| f.as_ref())
+            .map(|f| f())
+    }
+
+    /// All registered images.
+    pub fn images(&self) -> impl Iterator<Item = &RmImage> {
+        self.entries.iter().map(|(img, _)| img)
+    }
+
+    /// Number of registered modules.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no modules are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesize_is_deterministic_and_distinct() {
+        let a = RmImage::synthesize("Sobel", 3, Resources::ZERO);
+        let b = RmImage::synthesize("Sobel", 3, Resources::ZERO);
+        let c = RmImage::synthesize("Median", 3, Resources::ZERO);
+        assert_eq!(a.payload, b.payload);
+        assert_eq!(a.hash(), b.hash());
+        assert_ne!(a.hash(), c.hash());
+        assert_eq!(a.frames(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of frames")]
+    fn ragged_image_rejected() {
+        RmImage::new("x", vec![1, 2, 3], Resources::ZERO);
+    }
+
+    #[test]
+    fn library_lookups() {
+        let mut lib = RmLibrary::new();
+        let img = RmImage::synthesize("Gaussian", 2, Resources::new(901, 773, 4, 0));
+        let h = img.hash();
+        lib.register_image(img);
+        assert_eq!(lib.len(), 1);
+        assert!(lib.by_name("Gaussian").is_some());
+        assert!(lib.by_name("Sobel").is_none());
+        assert_eq!(lib.by_hash(h).unwrap().name, "Gaussian");
+        assert!(lib.by_hash(h ^ 1).is_none());
+        assert!(lib.behavior_for_hash(h).is_none(), "no behaviour registered");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate RM name")]
+    fn duplicate_names_rejected() {
+        let mut lib = RmLibrary::new();
+        lib.register_image(RmImage::synthesize("A", 1, Resources::ZERO));
+        lib.register_image(RmImage::synthesize("A", 2, Resources::ZERO));
+    }
+}

@@ -1,0 +1,217 @@
+//! Reconfigurable partitions: geometry, placement, and state.
+//!
+//! An RP is a contiguous frame range of the device plus a resource
+//! envelope. Its geometry determines the partial-bitstream size — the
+//! x-axis of the paper's Fig. 3 ("Reconfiguration time with respect to
+//! different RP sizes").
+
+use crate::bitstream::Bitstream;
+use crate::config_mem::ConfigMem;
+use crate::resources::Resources;
+use crate::rm::RmImage;
+
+/// Column types of the simulated fabric, with their configuration
+/// frame counts (7-series values, UG470 Table 1-3 vicinity) and
+/// resource content per column (one clock-region-high column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnKind {
+    /// CLB column: 50 CLBs ⇒ 400 LUTs / 800 FFs, 36 frames.
+    Clb,
+    /// BRAM column: 10 × BRAM36 ⇒ 10 BRAMs, 28 interconnect + 128
+    /// content frames.
+    Bram,
+    /// DSP column: 20 DSP48 slices, 28 frames.
+    Dsp,
+}
+
+impl ColumnKind {
+    /// Configuration frames occupied by one column.
+    pub fn frames(self) -> usize {
+        match self {
+            ColumnKind::Clb => 36,
+            ColumnKind::Bram => 28 + 128,
+            ColumnKind::Dsp => 28,
+        }
+    }
+
+    /// Resources provided by one column.
+    pub fn resources(self) -> Resources {
+        match self {
+            ColumnKind::Clb => Resources::new(400, 800, 0, 0),
+            ColumnKind::Bram => Resources::new(0, 0, 10, 0),
+            ColumnKind::Dsp => Resources::new(0, 0, 0, 20),
+        }
+    }
+}
+
+/// The shape of a reconfigurable partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpGeometry {
+    /// Columns spanned by the partition.
+    pub columns: Vec<ColumnKind>,
+    /// Extra frames beyond the column sum (routing/clocking overhead
+    /// of the Pblock boundary; lets a geometry hit an exact measured
+    /// bitstream size).
+    pub extra_frames: usize,
+}
+
+impl RpGeometry {
+    /// Geometry from a column list, no extra frames.
+    pub fn from_columns(columns: Vec<ColumnKind>) -> Self {
+        RpGeometry {
+            columns,
+            extra_frames: 0,
+        }
+    }
+
+    /// The paper's RP (§IV-A): 3200 LUTs, 6400 FFs, 30 BRAMs, 20 DSPs
+    /// ⇒ 8 CLB + 3 BRAM + 1 DSP columns, plus boundary overhead chosen
+    /// so the partial bitstream is exactly the measured 650 892 bytes
+    /// (= 1611 frames with the 12-word stream overhead).
+    pub fn paper_rp() -> Self {
+        let columns = vec![
+            ColumnKind::Clb,
+            ColumnKind::Clb,
+            ColumnKind::Clb,
+            ColumnKind::Clb,
+            ColumnKind::Clb,
+            ColumnKind::Clb,
+            ColumnKind::Clb,
+            ColumnKind::Clb,
+            ColumnKind::Bram,
+            ColumnKind::Bram,
+            ColumnKind::Bram,
+            ColumnKind::Dsp,
+        ];
+        let column_frames: usize = columns.iter().map(|c| c.frames()).sum();
+        debug_assert_eq!(column_frames, 8 * 36 + 3 * 156 + 28);
+        RpGeometry {
+            columns,
+            extra_frames: 1611 - column_frames,
+        }
+    }
+
+    /// A geometry scaled to approximately `scale ×` the paper RP's
+    /// frame count (used by the Fig. 3 sweep): `scale` CLB-column
+    /// growth around the paper's mix.
+    pub fn scaled(clb_cols: usize, bram_cols: usize, dsp_cols: usize) -> Self {
+        let mut columns = Vec::new();
+        columns.extend(std::iter::repeat_n(ColumnKind::Clb, clb_cols));
+        columns.extend(std::iter::repeat_n(ColumnKind::Bram, bram_cols));
+        columns.extend(std::iter::repeat_n(ColumnKind::Dsp, dsp_cols));
+        RpGeometry::from_columns(columns)
+    }
+
+    /// Total configuration frames.
+    pub fn frames(&self) -> usize {
+        self.columns.iter().map(|c| c.frames()).sum::<usize>() + self.extra_frames
+    }
+
+    /// Resource envelope of the partition.
+    pub fn resources(&self) -> Resources {
+        self.columns.iter().map(|c| c.resources()).sum()
+    }
+
+    /// Partial-bitstream size in bytes for this geometry.
+    pub fn bitstream_bytes(&self) -> usize {
+        Bitstream::size_for_frames(self.frames())
+    }
+}
+
+/// A placed reconfigurable partition.
+#[derive(Debug, Clone)]
+pub struct Rp {
+    /// Partition name ("RP0").
+    pub name: String,
+    /// Geometry.
+    pub geometry: RpGeometry,
+    /// First frame address of the partition.
+    pub far_base: u32,
+}
+
+impl Rp {
+    /// Place a partition at `far_base`.
+    pub fn new(name: impl Into<String>, geometry: RpGeometry, far_base: u32) -> Self {
+        Rp {
+            name: name.into(),
+            geometry,
+            far_base,
+        }
+    }
+
+    /// Frame count (geometry shorthand).
+    pub fn frames(&self) -> usize {
+        self.geometry.frames()
+    }
+
+    /// Can `image` be hosted here? (Frame count must match the
+    /// partition exactly — a partial bitstream always covers the whole
+    /// partition — and its resources must fit the envelope.)
+    pub fn accepts(&self, image: &RmImage) -> bool {
+        image.frames() == self.frames() && image.resources.fits_in(&self.geometry.resources())
+    }
+
+    /// Which registered image currently occupies the partition?
+    ///
+    /// `None` while unconfigured, partially written, or holding
+    /// content that matches no registered image (e.g. after a
+    /// corrupted load).
+    pub fn loaded_hash(&self, cm: &ConfigMem) -> Option<u64> {
+        cm.range_hash(self.far_base, self.frames())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rp_matches_measured_bitstream() {
+        let g = RpGeometry::paper_rp();
+        assert_eq!(g.frames(), 1611);
+        assert_eq!(g.bitstream_bytes(), 650_892);
+        // Resource envelope matches §IV-A exactly.
+        assert_eq!(g.resources(), Resources::PAPER_RP);
+    }
+
+    #[test]
+    fn column_arithmetic() {
+        let g = RpGeometry::scaled(2, 1, 1);
+        assert_eq!(g.frames(), 2 * 36 + 156 + 28);
+        assert_eq!(g.resources(), Resources::new(800, 1600, 10, 20));
+    }
+
+    #[test]
+    fn fig3_sweep_is_monotone_in_columns() {
+        let sizes: Vec<usize> = (1..=16)
+            .map(|n| RpGeometry::scaled(n, n / 3, n / 4).bitstream_bytes())
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn rp_accepts_only_exact_frame_match_and_fitting_resources() {
+        let rp = Rp::new("RP0", RpGeometry::paper_rp(), 1000);
+        let good = RmImage::synthesize("ok", 1611, Resources::new(901, 773, 4, 0));
+        assert!(rp.accepts(&good));
+        let wrong_frames = RmImage::synthesize("short", 1610, Resources::ZERO);
+        assert!(!rp.accepts(&wrong_frames));
+        let too_hungry = RmImage::synthesize("fat", 1611, Resources::new(9999, 0, 0, 0));
+        assert!(!rp.accepts(&too_hungry));
+    }
+
+    #[test]
+    fn loaded_hash_tracks_config_mem() {
+        let cm = ConfigMem::new(4000);
+        let rp = Rp::new("RP0", RpGeometry::scaled(1, 0, 0), 100);
+        assert_eq!(rp.loaded_hash(&cm), None);
+        let img = RmImage::synthesize("m", rp.frames(), Resources::ZERO);
+        // Backdoor-load the image.
+        for (i, frame) in img.payload.chunks(crate::config_mem::FRAME_WORDS).enumerate() {
+            let mut buf = [0u32; crate::config_mem::FRAME_WORDS];
+            buf.copy_from_slice(frame);
+            cm.write_frame(100 + i as u32, &buf);
+        }
+        assert_eq!(rp.loaded_hash(&cm), Some(img.hash()));
+    }
+}

@@ -1,0 +1,627 @@
+//! A two-pass RV64IM assembler.
+//!
+//! Enough of the GNU `as` surface to write the paper's drivers as real
+//! assembly: labels, comments (`#` and `//`), ABI register names, the
+//! instruction subset of [`crate::insn`], and the common
+//! pseudo-instructions (`li`, `mv`, `nop`, `j`, `ret`, `beqz`,
+//! `bnez`, `call` omitted — bare-metal loops don't need it).
+//!
+//! The HWICAP unroll-factor benchmark generates its FIFO-fill loop as
+//! assembly text and assembles it per unroll factor — the same shape
+//! the paper produced with `-funroll-loops`-style manual unrolling.
+
+use crate::insn::{encode, AluOp, BranchCond, CsrOp, Insn, MulOp, Reg, Width};
+use std::collections::HashMap;
+
+/// Assembly errors with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse a register name (x-form or ABI name).
+fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    let s = s.trim();
+    let abi = [
+        ("zero", 0), ("ra", 1), ("sp", 2), ("gp", 3), ("tp", 4),
+        ("t0", 5), ("t1", 6), ("t2", 7), ("s0", 8), ("fp", 8), ("s1", 9),
+        ("a0", 10), ("a1", 11), ("a2", 12), ("a3", 13), ("a4", 14),
+        ("a5", 15), ("a6", 16), ("a7", 17), ("s2", 18), ("s3", 19),
+        ("s4", 20), ("s5", 21), ("s6", 22), ("s7", 23), ("s8", 24),
+        ("s9", 25), ("s10", 26), ("s11", 27), ("t3", 28), ("t4", 29),
+        ("t5", 30), ("t6", 31),
+    ];
+    for (name, idx) in abi {
+        if s == name {
+            return Ok(Reg(idx));
+        }
+    }
+    if let Some(n) = s.strip_prefix('x') {
+        if let Ok(i) = n.parse::<u8>() {
+            if i < 32 {
+                return Ok(Reg(i));
+            }
+        }
+    }
+    Err(err(line, format!("unknown register '{s}'")))
+}
+
+/// Parse a CSR operand: by name or numeric address.
+fn parse_csr(s: &str, line: usize) -> Result<u16, AsmError> {
+    let named = [
+        ("mstatus", 0x300u16),
+        ("mie", 0x304),
+        ("mtvec", 0x305),
+        ("mscratch", 0x340),
+        ("mepc", 0x341),
+        ("mcause", 0x342),
+        ("cycle", 0xC00),
+    ];
+    for (name, addr) in named {
+        if s.trim() == name {
+            return Ok(addr);
+        }
+    }
+    parse_imm(s, line).map(|v| v as u16)
+}
+
+/// Parse an integer immediate (decimal or 0x hex, optional sign).
+fn parse_imm(s: &str, line: usize) -> Result<i64, AsmError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(h) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(h, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate '{s}'")))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// `off(reg)` operand.
+fn parse_mem(s: &str, line: usize) -> Result<(i32, Reg), AsmError> {
+    let s = s.trim();
+    let open = s
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected off(reg), got '{s}'")))?;
+    let close = s
+        .rfind(')')
+        .ok_or_else(|| err(line, format!("expected off(reg), got '{s}'")))?;
+    let off = if open == 0 {
+        0
+    } else {
+        parse_imm(&s[..open], line)? as i32
+    };
+    let reg = parse_reg(&s[open + 1..close], line)?;
+    Ok((off, reg))
+}
+
+struct PendingInsn {
+    line: usize,
+    pc: u32,
+    text: String,
+}
+
+/// Assemble source text into instruction words, origin at `base` (PC
+/// of the first instruction — label arithmetic is PC-relative so the
+/// base matters for `jal`/branches only through relative distance).
+pub fn assemble(source: &str, base: u64) -> Result<Vec<u32>, AsmError> {
+    // Pass 1: strip comments, collect labels and instruction slots.
+    let mut labels: HashMap<String, u64> = HashMap::new();
+    let mut pending: Vec<PendingInsn> = Vec::new();
+    let mut pc = base;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(p) = text.find('#') {
+            text = &text[..p];
+        }
+        if let Some(p) = text.find("//") {
+            text = &text[..p];
+        }
+        let mut text = text.trim();
+        // Labels (possibly several) at line start.
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            if labels.insert(label.to_string(), pc).is_some() {
+                return Err(err(line, format!("duplicate label '{label}'")));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        // Pseudo-instructions may expand to several words; expansion
+        // length must be known in pass 1. `li` with a large constant
+        // expands to lui+addi(+shifts); we support 32-bit constants
+        // (lui+addiw) and 12-bit (addi) — enough for driver code.
+        let words = expansion_len(text, line)?;
+        pending.push(PendingInsn {
+            line,
+            pc: (pc - base) as u32,
+            text: text.to_string(),
+        });
+        pc += 4 * words as u64;
+    }
+
+    // Pass 2: encode.
+    let mut out = Vec::new();
+    for p in &pending {
+        let insns = lower(&p.text, p.line, base + p.pc as u64, &labels)?;
+        for i in insns {
+            out.push(encode(i));
+        }
+    }
+    Ok(out)
+}
+
+/// How many words does this (possibly pseudo) instruction occupy?
+fn expansion_len(text: &str, line: usize) -> Result<usize, AsmError> {
+    let mnemonic = text.split_whitespace().next().unwrap_or("");
+    Ok(match mnemonic {
+        "li" => {
+            let args = text[mnemonic.len()..].trim();
+            let parts: Vec<&str> = args.split(',').collect();
+            if parts.len() != 2 {
+                return Err(err(line, "li needs rd, imm"));
+            }
+            let v = parse_imm(parts[1], line)?;
+            if (-2048..2048).contains(&v) {
+                1
+            } else {
+                2
+            }
+        }
+        _ => 1,
+    })
+}
+
+/// Lower one source instruction at `pc` into machine instructions.
+fn lower(
+    text: &str,
+    line: usize,
+    pc: u64,
+    labels: &HashMap<String, u64>,
+) -> Result<Vec<Insn>, AsmError> {
+    let mnemonic = text.split_whitespace().next().unwrap_or("");
+    let rest = text[mnemonic.len()..].trim();
+    let args: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(|s| s.trim()).collect()
+    };
+    let nargs = |n: usize| -> Result<(), AsmError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("{mnemonic} expects {n} operands")))
+        }
+    };
+    let target = |s: &str| -> Result<i32, AsmError> {
+        if let Some(&addr) = labels.get(s) {
+            let delta = addr as i64 - pc as i64;
+            Ok(delta as i32)
+        } else {
+            parse_imm(s, line).map(|v| v as i32)
+        }
+    };
+
+    let alu_imm = |op: AluOp, word: bool, args: &[&str]| -> Result<Vec<Insn>, AsmError> {
+        Ok(vec![Insn::AluImm {
+            op,
+            rd: parse_reg(args[0], line)?,
+            rs1: parse_reg(args[1], line)?,
+            imm: parse_imm(args[2], line)? as i32,
+            word,
+        }])
+    };
+    let alu_reg = |op: AluOp, word: bool, args: &[&str]| -> Result<Vec<Insn>, AsmError> {
+        Ok(vec![Insn::AluReg {
+            op,
+            rd: parse_reg(args[0], line)?,
+            rs1: parse_reg(args[1], line)?,
+            rs2: parse_reg(args[2], line)?,
+            word,
+        }])
+    };
+    let muldiv = |op: MulOp, word: bool, args: &[&str]| -> Result<Vec<Insn>, AsmError> {
+        Ok(vec![Insn::MulDiv {
+            op,
+            rd: parse_reg(args[0], line)?,
+            rs1: parse_reg(args[1], line)?,
+            rs2: parse_reg(args[2], line)?,
+            word,
+        }])
+    };
+    let branch = |cond: BranchCond, args: &[&str]| -> Result<Vec<Insn>, AsmError> {
+        Ok(vec![Insn::Branch {
+            cond,
+            rs1: parse_reg(args[0], line)?,
+            rs2: parse_reg(args[1], line)?,
+            imm: target(args[2])?,
+        }])
+    };
+    let load = |width: Width, unsigned: bool, args: &[&str]| -> Result<Vec<Insn>, AsmError> {
+        let (imm, rs1) = parse_mem(args[1], line)?;
+        Ok(vec![Insn::Load {
+            rd: parse_reg(args[0], line)?,
+            rs1,
+            imm,
+            width,
+            unsigned,
+        }])
+    };
+    let store = |width: Width, args: &[&str]| -> Result<Vec<Insn>, AsmError> {
+        let (imm, rs1) = parse_mem(args[1], line)?;
+        Ok(vec![Insn::Store {
+            rs1,
+            rs2: parse_reg(args[0], line)?,
+            imm,
+            width,
+        }])
+    };
+
+    match mnemonic {
+        "lui" => {
+            nargs(2)?;
+            Ok(vec![Insn::Lui {
+                rd: parse_reg(args[0], line)?,
+                imm: (parse_imm(args[1], line)? as i32) << 12,
+            }])
+        }
+        "auipc" => {
+            nargs(2)?;
+            Ok(vec![Insn::Auipc {
+                rd: parse_reg(args[0], line)?,
+                imm: (parse_imm(args[1], line)? as i32) << 12,
+            }])
+        }
+        "jal" => match args.len() {
+            1 => Ok(vec![Insn::Jal {
+                rd: Reg::RA,
+                imm: target(args[0])?,
+            }]),
+            2 => Ok(vec![Insn::Jal {
+                rd: parse_reg(args[0], line)?,
+                imm: target(args[1])?,
+            }]),
+            _ => Err(err(line, "jal expects 1 or 2 operands")),
+        },
+        "jalr" => {
+            nargs(2)?;
+            let (imm, rs1) = parse_mem(args[1], line)?;
+            Ok(vec![Insn::Jalr {
+                rd: parse_reg(args[0], line)?,
+                rs1,
+                imm,
+            }])
+        }
+        "beq" => { nargs(3)?; branch(BranchCond::Eq, &args) }
+        "bne" => { nargs(3)?; branch(BranchCond::Ne, &args) }
+        "blt" => { nargs(3)?; branch(BranchCond::Lt, &args) }
+        "bge" => { nargs(3)?; branch(BranchCond::Ge, &args) }
+        "bltu" => { nargs(3)?; branch(BranchCond::Ltu, &args) }
+        "bgeu" => { nargs(3)?; branch(BranchCond::Geu, &args) }
+        "lb" => { nargs(2)?; load(Width::B, false, &args) }
+        "lh" => { nargs(2)?; load(Width::H, false, &args) }
+        "lw" => { nargs(2)?; load(Width::W, false, &args) }
+        "ld" => { nargs(2)?; load(Width::D, false, &args) }
+        "lbu" => { nargs(2)?; load(Width::B, true, &args) }
+        "lhu" => { nargs(2)?; load(Width::H, true, &args) }
+        "lwu" => { nargs(2)?; load(Width::W, true, &args) }
+        "sb" => { nargs(2)?; store(Width::B, &args) }
+        "sh" => { nargs(2)?; store(Width::H, &args) }
+        "sw" => { nargs(2)?; store(Width::W, &args) }
+        "sd" => { nargs(2)?; store(Width::D, &args) }
+        "addi" => { nargs(3)?; alu_imm(AluOp::Add, false, &args) }
+        "addiw" => { nargs(3)?; alu_imm(AluOp::Add, true, &args) }
+        "slti" => { nargs(3)?; alu_imm(AluOp::Slt, false, &args) }
+        "sltiu" => { nargs(3)?; alu_imm(AluOp::Sltu, false, &args) }
+        "xori" => { nargs(3)?; alu_imm(AluOp::Xor, false, &args) }
+        "ori" => { nargs(3)?; alu_imm(AluOp::Or, false, &args) }
+        "andi" => { nargs(3)?; alu_imm(AluOp::And, false, &args) }
+        "slli" => { nargs(3)?; alu_imm(AluOp::Sll, false, &args) }
+        "srli" => { nargs(3)?; alu_imm(AluOp::Srl, false, &args) }
+        "srai" => { nargs(3)?; alu_imm(AluOp::Sra, false, &args) }
+        "add" => { nargs(3)?; alu_reg(AluOp::Add, false, &args) }
+        "addw" => { nargs(3)?; alu_reg(AluOp::Add, true, &args) }
+        "sub" => { nargs(3)?; alu_reg(AluOp::Sub, false, &args) }
+        "subw" => { nargs(3)?; alu_reg(AluOp::Sub, true, &args) }
+        "sll" => { nargs(3)?; alu_reg(AluOp::Sll, false, &args) }
+        "srl" => { nargs(3)?; alu_reg(AluOp::Srl, false, &args) }
+        "sra" => { nargs(3)?; alu_reg(AluOp::Sra, false, &args) }
+        "slt" => { nargs(3)?; alu_reg(AluOp::Slt, false, &args) }
+        "sltu" => { nargs(3)?; alu_reg(AluOp::Sltu, false, &args) }
+        "xor" => { nargs(3)?; alu_reg(AluOp::Xor, false, &args) }
+        "or" => { nargs(3)?; alu_reg(AluOp::Or, false, &args) }
+        "and" => { nargs(3)?; alu_reg(AluOp::And, false, &args) }
+        "mul" => { nargs(3)?; muldiv(MulOp::Mul, false, &args) }
+        "mulhu" => { nargs(3)?; muldiv(MulOp::Mulhu, false, &args) }
+        "div" => { nargs(3)?; muldiv(MulOp::Div, false, &args) }
+        "divu" => { nargs(3)?; muldiv(MulOp::Divu, false, &args) }
+        "rem" => { nargs(3)?; muldiv(MulOp::Rem, false, &args) }
+        "remu" => { nargs(3)?; muldiv(MulOp::Remu, false, &args) }
+        "mulw" => { nargs(3)?; muldiv(MulOp::Mul, true, &args) }
+        "divw" => { nargs(3)?; muldiv(MulOp::Div, true, &args) }
+        "remw" => { nargs(3)?; muldiv(MulOp::Rem, true, &args) }
+        "csrrw" | "csrrs" | "csrrc" => {
+            nargs(3)?;
+            let op = match mnemonic {
+                "csrrw" => CsrOp::Rw,
+                "csrrs" => CsrOp::Rs,
+                _ => CsrOp::Rc,
+            };
+            Ok(vec![Insn::Csr {
+                op,
+                rd: parse_reg(args[0], line)?,
+                rs1: parse_reg(args[2], line)?,
+                csr: parse_csr(args[1], line)?,
+            }])
+        }
+        "csrw" => {
+            // csrw csr, rs  ==  csrrw x0, csr, rs
+            nargs(2)?;
+            Ok(vec![Insn::Csr {
+                op: CsrOp::Rw,
+                rd: Reg::ZERO,
+                rs1: parse_reg(args[1], line)?,
+                csr: parse_csr(args[0], line)?,
+            }])
+        }
+        "csrr" => {
+            // csrr rd, csr  ==  csrrs rd, csr, x0
+            nargs(2)?;
+            Ok(vec![Insn::Csr {
+                op: CsrOp::Rs,
+                rd: parse_reg(args[0], line)?,
+                rs1: Reg::ZERO,
+                csr: parse_csr(args[1], line)?,
+            }])
+        }
+        "mret" => Ok(vec![Insn::Mret]),
+        "wfi" => Ok(vec![Insn::Wfi]),
+        "rdcycle" => {
+            nargs(1)?;
+            Ok(vec![Insn::RdCycle {
+                rd: parse_reg(args[0], line)?,
+            }])
+        }
+        "fence" => Ok(vec![Insn::Fence]),
+        "ecall" => Ok(vec![Insn::Ecall]),
+        "ebreak" => Ok(vec![Insn::Ebreak]),
+        // ---- pseudo-instructions ----
+        "nop" => Ok(vec![Insn::AluImm {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            imm: 0,
+            word: false,
+        }]),
+        "mv" => {
+            nargs(2)?;
+            Ok(vec![Insn::AluImm {
+                op: AluOp::Add,
+                rd: parse_reg(args[0], line)?,
+                rs1: parse_reg(args[1], line)?,
+                imm: 0,
+                word: false,
+            }])
+        }
+        "li" => {
+            nargs(2)?;
+            let rd = parse_reg(args[0], line)?;
+            let v = parse_imm(args[1], line)?;
+            if (-2048..2048).contains(&v) {
+                Ok(vec![Insn::AluImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: Reg::ZERO,
+                    imm: v as i32,
+                    word: false,
+                }])
+            } else if v >= i32::MIN as i64 && v <= u32::MAX as i64 {
+                // lui + addiw (sign-fixup like the real toolchain).
+                let v32 = v as i64 as i64;
+                let lo = ((v32 << 52) >> 52) as i32; // low 12, sign-extended
+                let hi = ((v32 - lo as i64) >> 12) as i32;
+                Ok(vec![
+                    Insn::Lui { rd, imm: hi << 12 },
+                    Insn::AluImm {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: rd,
+                        imm: lo,
+                        word: true,
+                    },
+                ])
+            } else {
+                Err(err(line, "li constant out of supported 32-bit range"))
+            }
+        }
+        "j" => {
+            nargs(1)?;
+            Ok(vec![Insn::Jal {
+                rd: Reg::ZERO,
+                imm: target(args[0])?,
+            }])
+        }
+        "ret" => Ok(vec![Insn::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            imm: 0,
+        }]),
+        "beqz" => {
+            nargs(2)?;
+            Ok(vec![Insn::Branch {
+                cond: BranchCond::Eq,
+                rs1: parse_reg(args[0], line)?,
+                rs2: Reg::ZERO,
+                imm: target(args[1])?,
+            }])
+        }
+        "bnez" => {
+            nargs(2)?;
+            Ok(vec![Insn::Branch {
+                cond: BranchCond::Ne,
+                rs1: parse_reg(args[0], line)?,
+                rs2: Reg::ZERO,
+                imm: target(args[1])?,
+            }])
+        }
+        other => Err(err(line, format!("unknown mnemonic '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::decode;
+
+    #[test]
+    fn assembles_simple_program() {
+        let words = assemble(
+            "
+            # count to 10
+            li   t0, 0
+            li   t1, 10
+            loop:
+            addi t0, t0, 1
+            bne  t0, t1, loop
+            ecall
+            ",
+            0,
+        )
+        .unwrap();
+        assert_eq!(words.len(), 5);
+        assert_eq!(decode(words[4]), Some(Insn::Ecall));
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let words = assemble(
+            "
+            j fwd
+            back: ecall
+            fwd:  j back
+            ",
+            0x100,
+        )
+        .unwrap();
+        // First jump skips 8 bytes; second jumps back 4.
+        assert_eq!(decode(words[0]), Some(Insn::Jal { rd: Reg::ZERO, imm: 8 }));
+        assert_eq!(decode(words[2]), Some(Insn::Jal { rd: Reg::ZERO, imm: -4 }));
+    }
+
+    #[test]
+    fn li_expands_for_large_constants() {
+        let small = assemble("li a0, 100", 0).unwrap();
+        assert_eq!(small.len(), 1);
+        let large = assemble("li a0, 0x40000000", 0).unwrap();
+        assert_eq!(large.len(), 2);
+        // lui then addiw.
+        assert!(matches!(decode(large[0]), Some(Insn::Lui { .. })));
+    }
+
+    #[test]
+    fn memory_operands() {
+        let w = assemble("sw a1, 8(a0)", 0).unwrap();
+        assert_eq!(
+            decode(w[0]),
+            Some(Insn::Store {
+                rs1: Reg::a(0),
+                rs2: Reg::a(1),
+                imm: 8,
+                width: Width::W
+            })
+        );
+        let w = assemble("ld t0, (sp)", 0).unwrap();
+        assert_eq!(
+            decode(w[0]),
+            Some(Insn::Load {
+                rd: Reg::t(0),
+                rs1: Reg::SP,
+                imm: 0,
+                width: Width::D,
+                unsigned: false
+            })
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let w = assemble("\n\n# only a comment\n// another\n nop\n", 0).unwrap();
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus a0, a1\n", 0).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("x: nop\nx: nop\n", 0).unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn csr_and_privileged_mnemonics() {
+        use crate::insn::{decode, CsrOp};
+        let w = assemble("csrrw t0, mstatus, t1\ncsrw mtvec, a0\ncsrr a1, mie\nmret\nwfi", 0).unwrap();
+        assert_eq!(
+            decode(w[0]),
+            Some(Insn::Csr { op: CsrOp::Rw, rd: Reg::t(0), rs1: Reg::t(1), csr: 0x300 })
+        );
+        assert_eq!(
+            decode(w[1]),
+            Some(Insn::Csr { op: CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::a(0), csr: 0x305 })
+        );
+        assert_eq!(
+            decode(w[2]),
+            Some(Insn::Csr { op: CsrOp::Rs, rd: Reg::a(1), rs1: Reg::ZERO, csr: 0x304 })
+        );
+        assert_eq!(decode(w[3]), Some(Insn::Mret));
+        assert_eq!(decode(w[4]), Some(Insn::Wfi));
+    }
+
+    #[test]
+    fn numeric_branch_targets_allowed() {
+        let w = assemble("beq a0, a1, 16", 0).unwrap();
+        assert_eq!(
+            decode(w[0]),
+            Some(Insn::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::a(0),
+                rs2: Reg::a(1),
+                imm: 16
+            })
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Disassembler: decoded instructions back to assembly text.
+//!
+//! Closes the tooling loop — `assemble → encode → decode → disasm` —
+//! for debugging generated driver loops (the unroll study prints its
+//! loops through this) and for round-trip property testing of the
+//! whole encoder/assembler stack.
+
+use crate::insn::{AluOp, BranchCond, CsrOp, Insn, MulOp, Reg, Width};
+
+/// ABI name of a register.
+pub fn reg_name(r: Reg) -> &'static str {
+    const NAMES: [&str; 32] = [
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+        "t3", "t4", "t5", "t6",
+    ];
+    NAMES[r.0 as usize]
+}
+
+fn csr_name(csr: u16) -> String {
+    match csr {
+        0x300 => "mstatus".into(),
+        0x304 => "mie".into(),
+        0x305 => "mtvec".into(),
+        0x340 => "mscratch".into(),
+        0x341 => "mepc".into(),
+        0x342 => "mcause".into(),
+        0xC00 => "cycle".into(),
+        other => format!("0x{other:x}"),
+    }
+}
+
+/// Render one instruction as assembler-compatible text.
+pub fn disasm(insn: Insn) -> String {
+    let r = reg_name;
+    match insn {
+        Insn::Lui { rd, imm } => format!("lui {}, {}", r(rd), (imm as u32) >> 12),
+        Insn::Auipc { rd, imm } => format!("auipc {}, {}", r(rd), (imm as u32) >> 12),
+        Insn::Jal { rd, imm } if rd == Reg::ZERO => format!("j {imm}"),
+        Insn::Jal { rd, imm } => format!("jal {}, {imm}", r(rd)),
+        Insn::Jalr { rd, rs1, imm } if rd == Reg::ZERO && rs1 == Reg::RA && imm == 0 => {
+            "ret".into()
+        }
+        Insn::Jalr { rd, rs1, imm } => format!("jalr {}, {imm}({})", r(rd), r(rs1)),
+        Insn::Branch { cond, rs1, rs2, imm } => {
+            let m = match cond {
+                BranchCond::Eq => "beq",
+                BranchCond::Ne => "bne",
+                BranchCond::Lt => "blt",
+                BranchCond::Ge => "bge",
+                BranchCond::Ltu => "bltu",
+                BranchCond::Geu => "bgeu",
+            };
+            format!("{m} {}, {}, {imm}", r(rs1), r(rs2))
+        }
+        Insn::Load { rd, rs1, imm, width, unsigned } => {
+            let m = match (width, unsigned) {
+                (Width::B, false) => "lb",
+                (Width::H, false) => "lh",
+                (Width::W, false) => "lw",
+                (Width::D, false) => "ld",
+                (Width::B, true) => "lbu",
+                (Width::H, true) => "lhu",
+                (Width::W, true) => "lwu",
+                (Width::D, true) => "ld",
+            };
+            format!("{m} {}, {imm}({})", r(rd), r(rs1))
+        }
+        Insn::Store { rs1, rs2, imm, width } => {
+            let m = match width {
+                Width::B => "sb",
+                Width::H => "sh",
+                Width::W => "sw",
+                Width::D => "sd",
+            };
+            format!("{m} {}, {imm}({})", r(rs2), r(rs1))
+        }
+        Insn::AluImm { op, rd, rs1, imm, word } => {
+            let m = match (op, word) {
+                (AluOp::Add, false) => "addi",
+                (AluOp::Add, true) => "addiw",
+                (AluOp::Slt, _) => "slti",
+                (AluOp::Sltu, _) => "sltiu",
+                (AluOp::Xor, _) => "xori",
+                (AluOp::Or, _) => "ori",
+                (AluOp::And, _) => "andi",
+                (AluOp::Sll, _) => "slli",
+                (AluOp::Srl, _) => "srli",
+                (AluOp::Sra, _) => "srai",
+                (AluOp::Sub, _) => unreachable!("subi does not exist"),
+            };
+            format!("{m} {}, {}, {imm}", r(rd), r(rs1))
+        }
+        Insn::AluReg { op, rd, rs1, rs2, word } => {
+            let m = match (op, word) {
+                (AluOp::Add, false) => "add",
+                (AluOp::Add, true) => "addw",
+                (AluOp::Sub, false) => "sub",
+                (AluOp::Sub, true) => "subw",
+                (AluOp::Sll, _) => "sll",
+                (AluOp::Srl, _) => "srl",
+                (AluOp::Sra, _) => "sra",
+                (AluOp::Slt, _) => "slt",
+                (AluOp::Sltu, _) => "sltu",
+                (AluOp::Xor, _) => "xor",
+                (AluOp::Or, _) => "or",
+                (AluOp::And, _) => "and",
+            };
+            format!("{m} {}, {}, {}", r(rd), r(rs1), r(rs2))
+        }
+        Insn::MulDiv { op, rd, rs1, rs2, word } => {
+            let m = match (op, word) {
+                (MulOp::Mul, false) => "mul",
+                (MulOp::Mul, true) => "mulw",
+                (MulOp::Mulhu, _) => "mulhu",
+                (MulOp::Div, false) => "div",
+                (MulOp::Div, true) => "divw",
+                (MulOp::Divu, _) => "divu",
+                (MulOp::Rem, false) => "rem",
+                (MulOp::Rem, true) => "remw",
+                (MulOp::Remu, _) => "remu",
+            };
+            format!("{m} {}, {}, {}", r(rd), r(rs1), r(rs2))
+        }
+        Insn::RdCycle { rd } => format!("rdcycle {}", r(rd)),
+        Insn::Csr { op, rd, rs1, csr } => {
+            let m = match op {
+                CsrOp::Rw => "csrrw",
+                CsrOp::Rs => "csrrs",
+                CsrOp::Rc => "csrrc",
+            };
+            format!("{m} {}, {}, {}", r(rd), csr_name(csr), r(rs1))
+        }
+        Insn::Mret => "mret".into(),
+        Insn::Wfi => "wfi".into(),
+        Insn::Fence => "fence".into(),
+        Insn::Ecall => "ecall".into(),
+        Insn::Ebreak => "ebreak".into(),
+    }
+}
+
+/// Disassemble a program (one line per word; undecodable words render
+/// as `.word`).
+pub fn disasm_program(words: &[u32], base: u64) -> String {
+    let mut out = String::new();
+    for (i, &w) in words.iter().enumerate() {
+        let pc = base + 4 * i as u64;
+        match crate::insn::decode(w) {
+            Some(insn) => out.push_str(&format!("{pc:#010x}: {}\n", disasm(insn))),
+            None => out.push_str(&format!("{pc:#010x}: .word {w:#010x}\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::insn::decode;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_renderings() {
+        let check = |src: &str, expect: &str| {
+            let w = assemble(src, 0).unwrap();
+            assert_eq!(disasm(decode(w[0]).unwrap()), expect);
+        };
+        check("addi a0, a0, -3", "addi a0, a0, -3");
+        check("sw t0, 8(sp)", "sw t0, 8(sp)");
+        check("ret", "ret");
+        check("wfi", "wfi");
+        check("csrw mtvec, a0", "csrrw zero, mtvec, a0");
+        check("rdcycle t1", "rdcycle t1");
+    }
+
+    #[test]
+    fn program_listing_includes_addresses() {
+        let w = assemble("nop\necall", 0x1000).unwrap();
+        let listing = disasm_program(&w, 0x1000);
+        assert!(listing.contains("0x00001000:"));
+        assert!(listing.contains("0x00001004: ecall"));
+        let bad = disasm_program(&[0xFFFF_FFFF], 0);
+        assert!(bad.contains(".word 0xffffffff"));
+    }
+
+    /// disasm output must re-assemble to the identical encoding.
+    fn roundtrips(src: &str) {
+        let w1 = assemble(src, 0).unwrap();
+        let text: Vec<String> = w1.iter().map(|&w| disasm(decode(w).unwrap())).collect();
+        let w2 = assemble(&text.join("\n"), 0).unwrap();
+        assert_eq!(w1, w2, "via\n{}", text.join("\n"));
+    }
+
+    #[test]
+    fn driver_loop_round_trips() {
+        roundtrips(
+            "
+            li t0, 0x40000000
+            addi t0, t0, 0x100
+            li t1, 64
+            loop:
+            lw t3, 0(t1)
+            sw t3, 0(t0)
+            addi t1, t1, -1
+            bne t1, zero, loop
+            ecall
+            ",
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_alu_disasm_round_trips(rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32,
+                                       imm in -2048i32..2048) {
+            use crate::insn::{encode, Insn, AluOp, Reg};
+            for insn in [
+                Insn::AluImm { op: AluOp::Add, rd: Reg(rd), rs1: Reg(rs1), imm, word: false },
+                Insn::AluReg { op: AluOp::Xor, rd: Reg(rd), rs1: Reg(rs1), rs2: Reg(rs2), word: false },
+                Insn::Store { rs1: Reg(rs1), rs2: Reg(rs2), imm, width: crate::insn::Width::W },
+            ] {
+                let text = disasm(insn);
+                let words = assemble(&text, 0).unwrap();
+                prop_assert_eq!(words[0], encode(insn), "{}", text);
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! The component trait ticked by the simulation kernel.
+
+use crate::time::Cycle;
+use crate::trace::Tracer;
+
+/// Context handed to every component on every tick.
+///
+/// Carries the current cycle and a shared tracer. Kept deliberately
+/// small — components communicate through the [`crate::Fifo`]s and
+/// [`crate::Signal`]s they were wired with at construction time, not
+/// through the context.
+pub struct TickCtx<'a> {
+    /// The cycle being simulated (starts at 0).
+    pub cycle: Cycle,
+    /// Shared trace sink.
+    pub tracer: &'a Tracer,
+}
+
+impl<'a> TickCtx<'a> {
+    /// Record a debug-level trace event attributed to `who`.
+    pub fn trace(&self, who: &str, msg: impl FnOnce() -> String) {
+        self.tracer.debug(self.cycle, who, msg);
+    }
+}
+
+/// A clocked hardware block.
+///
+/// The simulator calls [`Component::tick`] exactly once per cycle, in
+/// registration order. Components must be **quiescent-safe**: calling
+/// `tick` while the component has no work must be cheap and must not
+/// change observable state, because the kernel has no sensitivity
+/// lists — everything ticks every cycle.
+pub trait Component {
+    /// Stable instance name for traces and diagnostics.
+    fn name(&self) -> &str;
+
+    /// Advance one clock cycle.
+    fn tick(&mut self, ctx: &mut TickCtx<'_>);
+
+    /// True when the component has in-flight work.
+    ///
+    /// Used by [`crate::Simulator::run_until_quiescent`] to detect that
+    /// a whole system has drained. The default claims "always idle";
+    /// components with internal state machines should override it.
+    fn busy(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    struct Countdown {
+        name: String,
+        remaining: u32,
+    }
+
+    impl Component for Countdown {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+            self.remaining = self.remaining.saturating_sub(1);
+        }
+        fn busy(&self) -> bool {
+            self.remaining > 0
+        }
+    }
+
+    #[test]
+    fn default_busy_is_false() {
+        struct Idle;
+        impl Component for Idle {
+            fn name(&self) -> &str {
+                "idle"
+            }
+            fn tick(&mut self, _ctx: &mut TickCtx<'_>) {}
+        }
+        assert!(!Idle.busy());
+    }
+
+    #[test]
+    fn tick_ctx_traces_through() {
+        let tracer = Tracer::new(crate::trace::TraceLevel::Debug, 16);
+        let mut ctx = TickCtx {
+            cycle: 3,
+            tracer: &tracer,
+        };
+        let mut c = Countdown {
+            name: "cd".into(),
+            remaining: 2,
+        };
+        assert!(c.busy());
+        ctx.trace("cd", || "ticking".into());
+        c.tick(&mut ctx);
+        c.tick(&mut ctx);
+        assert!(!c.busy());
+        assert_eq!(tracer.events().len(), 1);
+    }
+}

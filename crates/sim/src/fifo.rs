@@ -1,0 +1,278 @@
+//! Shared, bounded, rate-limited FIFOs — the simulation's stand-in for
+//! valid/ready handshaked on-chip channels.
+//!
+//! Every point-to-point data path in the modelled SoC (AXI-Stream
+//! links, the DMA's read data path, the ICAP write port, the HWICAP
+//! write FIFO) is a bounded FIFO that moves **at most one element per
+//! simulated cycle per endpoint**, exactly like a 1-beat-per-cycle
+//! hardware stream. Backpressure falls out naturally: a full FIFO
+//! refuses pushes (producer sees `ready == 0`), an empty FIFO refuses
+//! pops (consumer sees `valid == 0`).
+//!
+//! FIFOs are shared between the producing and consuming component via
+//! cheap clones (`Rc<RefCell<..>>` internally — the simulator is
+//! single-threaded by design, see the crate docs).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::time::Cycle;
+
+#[derive(Debug)]
+struct Inner<T> {
+    name: String,
+    queue: VecDeque<T>,
+    capacity: usize,
+    /// Cycle of the most recent push, used to enforce the one-beat-per-
+    /// cycle rule on the producer side.
+    last_push: Option<Cycle>,
+    /// Cycle of the most recent pop, for the consumer side.
+    last_pop: Option<Cycle>,
+    /// Lifetime counters for statistics / assertions.
+    total_pushed: u64,
+    total_popped: u64,
+}
+
+/// A bounded single-producer single-consumer channel with hardware
+/// stream semantics (one push and one pop per cycle).
+///
+/// `Fifo` is a handle: clones refer to the same underlying queue.
+/// The convention throughout the workspace is that exactly one
+/// component pushes and one pops, mirroring a point-to-point stream,
+/// but this is not enforced — fan-in/fan-out blocks (crossbars,
+/// switches) legitimately own several handles.
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+impl<T> Fifo<T> {
+    /// Create a FIFO with the given element capacity.
+    ///
+    /// `capacity` must be at least 1: a zero-capacity stream can never
+    /// transfer anything and always indicates a wiring bug.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity >= 1, "FIFO capacity must be >= 1");
+        Fifo {
+            inner: Rc::new(RefCell::new(Inner {
+                name: name.into(),
+                queue: VecDeque::with_capacity(capacity),
+                capacity,
+                last_push: None,
+                last_pop: None,
+                total_pushed: 0,
+                total_popped: 0,
+            })),
+        }
+    }
+
+    /// The channel name (used in traces and panics).
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// Elements currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// True if no elements are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        let inner = self.inner.borrow();
+        inner.queue.len() >= inner.capacity
+    }
+
+    /// Remaining space (the "vacancy" register of a hardware FIFO —
+    /// the HWICAP driver polls exactly this).
+    pub fn vacancy(&self) -> usize {
+        let inner = self.inner.borrow();
+        inner.capacity - inner.queue.len()
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.borrow().capacity
+    }
+
+    /// Would a `push` at `cycle` succeed? (The producer's view of
+    /// `ready && !already_pushed_this_cycle`.)
+    pub fn can_push(&self, cycle: Cycle) -> bool {
+        let inner = self.inner.borrow();
+        inner.queue.len() < inner.capacity && inner.last_push != Some(cycle)
+    }
+
+    /// Would a `pop` at `cycle` succeed? (The consumer's view of
+    /// `valid && !already_popped_this_cycle`.)
+    pub fn can_pop(&self, cycle: Cycle) -> bool {
+        let inner = self.inner.borrow();
+        !inner.queue.is_empty() && inner.last_pop != Some(cycle)
+    }
+
+    /// Try to transfer one element into the FIFO at `cycle`.
+    ///
+    /// Returns the element back if the FIFO is full or an element was
+    /// already pushed this cycle (so the caller can retry next cycle —
+    /// this is the `valid && !ready` stall case).
+    pub fn try_push(&self, cycle: Cycle, item: T) -> Result<(), T> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.queue.len() >= inner.capacity || inner.last_push == Some(cycle) {
+            return Err(item);
+        }
+        inner.queue.push_back(item);
+        inner.last_push = Some(cycle);
+        inner.total_pushed += 1;
+        Ok(())
+    }
+
+    /// Try to take one element out of the FIFO at `cycle`.
+    pub fn try_pop(&self, cycle: Cycle) -> Option<T> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.queue.is_empty() || inner.last_pop == Some(cycle) {
+            return None;
+        }
+        inner.last_pop = Some(cycle);
+        inner.total_popped += 1;
+        inner.queue.pop_front()
+    }
+
+    /// Push without rate limiting — used only by *initialization* code
+    /// (e.g. preloading a DDR model) and test fixtures, never by ticked
+    /// components.
+    pub fn force_push(&self, item: T) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            inner.queue.len() < inner.capacity,
+            "force_push on full FIFO {}",
+            inner.name
+        );
+        inner.queue.push_back(item);
+        inner.total_pushed += 1;
+    }
+
+    /// Pop without rate limiting — for *observers outside the clocked
+    /// world*: test fixtures and the CPU co-routine driver host, which
+    /// advance the simulator themselves and therefore cannot collide
+    /// with a ticked consumer on the same channel.
+    pub fn force_pop(&self) -> Option<T> {
+        let mut inner = self.inner.borrow_mut();
+        let item = inner.queue.pop_front();
+        if item.is_some() {
+            inner.total_popped += 1;
+        }
+        item
+    }
+
+    /// Drop all queued elements (a hardware FIFO reset).
+    pub fn clear(&self) {
+        self.inner.borrow_mut().queue.clear();
+    }
+
+    /// Lifetime count of successful pushes.
+    pub fn total_pushed(&self) -> u64 {
+        self.inner.borrow().total_pushed
+    }
+
+    /// Lifetime count of successful pops.
+    pub fn total_popped(&self) -> u64 {
+        self.inner.borrow().total_popped
+    }
+}
+
+impl<T: Clone> Fifo<T> {
+    /// Peek at the head element without consuming it.
+    pub fn peek(&self) -> Option<T> {
+        self.inner.borrow().queue.front().cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_round_trip() {
+        let f: Fifo<u32> = Fifo::new("t", 4);
+        assert!(f.is_empty());
+        f.try_push(0, 11).unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.try_pop(1), Some(11));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn one_push_per_cycle() {
+        let f: Fifo<u32> = Fifo::new("t", 4);
+        f.try_push(5, 1).unwrap();
+        // Second push in the same cycle is refused...
+        assert_eq!(f.try_push(5, 2), Err(2));
+        // ...but succeeds the next cycle.
+        f.try_push(6, 2).unwrap();
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn one_pop_per_cycle() {
+        let f: Fifo<u32> = Fifo::new("t", 4);
+        f.force_push(1);
+        f.force_push(2);
+        assert_eq!(f.try_pop(9), Some(1));
+        assert_eq!(f.try_pop(9), None);
+        assert_eq!(f.try_pop(10), Some(2));
+    }
+
+    #[test]
+    fn push_and_pop_same_cycle_are_independent() {
+        // A stream register can accept and emit in the same cycle.
+        let f: Fifo<u32> = Fifo::new("t", 2);
+        f.force_push(7);
+        f.try_push(3, 8).unwrap();
+        assert_eq!(f.try_pop(3), Some(7));
+    }
+
+    #[test]
+    fn capacity_backpressure() {
+        let f: Fifo<u32> = Fifo::new("t", 2);
+        f.try_push(0, 1).unwrap();
+        f.try_push(1, 2).unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.vacancy(), 0);
+        assert_eq!(f.try_push(2, 3), Err(3));
+        // Draining restores vacancy.
+        f.try_pop(3);
+        assert_eq!(f.vacancy(), 1);
+        assert!(f.can_push(4));
+    }
+
+    #[test]
+    fn counters_track_lifetime_traffic() {
+        let f: Fifo<u32> = Fifo::new("t", 8);
+        for c in 0..5 {
+            f.try_push(c, c as u32).unwrap();
+        }
+        for c in 5..8 {
+            f.try_pop(c);
+        }
+        assert_eq!(f.total_pushed(), 5);
+        assert_eq!(f.total_popped(), 3);
+    }
+
+    #[test]
+    fn shared_handles_see_same_queue() {
+        let a: Fifo<u32> = Fifo::new("t", 2);
+        let b = a.clone();
+        a.try_push(0, 42).unwrap();
+        assert_eq!(b.try_pop(0), Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be >= 1")]
+    fn zero_capacity_rejected() {
+        let _ = Fifo::<u8>::new("bad", 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! # rvcap-sim — deterministic cycle-stepped simulation kernel
+//!
+//! The RV-CAP reproduction models an FPGA system-on-chip at *cycle
+//! granularity*: every AXI beat, every ICAP word, every DDR refresh
+//! stall is an event on a 100 MHz clock. This crate provides the small,
+//! dependency-free kernel all hardware models are built on:
+//!
+//! * [`time`] — cycle counts, clock frequencies, and exact
+//!   cycle↔wall-time conversions (the paper reports µs and MB/s; we
+//!   compute both from cycle counts, never the other way round).
+//! * [`fifo`] — shared, bounded, rate-limited FIFOs implementing the
+//!   valid/ready handshake semantics of on-chip streams: at most one
+//!   push and one pop per simulated cycle per endpoint.
+//! * [`signal`] — single-driver level signals (decouple lines, stream
+//!   switch selects, interrupt wires).
+//! * [`component`] — the [`component::Component`] trait every
+//!   ticked hardware block implements.
+//! * [`kernel`] — the [`kernel::Simulator`]: owns the
+//!   components, advances the clock, and enforces a deterministic tick
+//!   order.
+//! * [`trace`] — a lightweight bounded event trace for debugging and
+//!   for the waveform-style dumps used in the examples.
+//! * [`vcd`] — value-change-dump recording: real waveforms (GTKWave-
+//!   compatible) from any signal or FIFO in the system.
+//! * [`stats`] — counters and histograms used by the benchmark harness.
+//!
+//! ## Determinism
+//!
+//! The simulation is single-threaded and components are ticked in
+//! registration order, so a given system produces bit-identical cycle
+//! counts on every run. This is load-bearing: the benchmark harness
+//! compares measured cycle counts against the paper's published
+//! numbers, and the test suite pins them within tolerances.
+//!
+//! ## Why cycle-stepped rather than event-queued
+//!
+//! The systems simulated here are small (tens of components) and the
+//! interesting workloads are short (a full 650 KiB partial bitstream
+//! transfer is ~165 k cycles; the longest Table IV experiment is
+//! ~230 k). A flat `for` loop over components per cycle is faster than
+//! maintaining an event queue at these scales and is trivially
+//! deterministic. Components that are idle return immediately from
+//! `tick`, so the constant factor stays small.
+
+pub mod component;
+pub mod fifo;
+pub mod kernel;
+pub mod signal;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod vcd;
+
+pub use component::Component;
+pub use fifo::Fifo;
+pub use kernel::Simulator;
+pub use signal::Signal;
+pub use time::{Cycle, Freq};
+pub use trace::{TraceEvent, TraceLevel, Tracer};
+pub use vcd::{VcdHandle, VcdRecorder};

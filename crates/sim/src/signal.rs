@@ -1,0 +1,115 @@
+//! Level signals: shared single-word state observable by any component.
+//!
+//! Used for the control wires of the modelled system — PR decouple
+//! lines, the AXI-Stream switch select, interrupt request lines from
+//! the DMA to the PLIC — anywhere hardware would run a plain wire
+//! rather than a handshaked channel.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// A shared level signal carrying a `Copy` value (most signals are
+/// `bool`; the stream-switch select is a small integer).
+///
+/// Unlike [`crate::Fifo`], signals have no handshake and no rate limit:
+/// reading a wire is free and the last write wins, exactly like a
+/// registered level signal sampled each cycle.
+#[derive(Debug, Clone)]
+pub struct Signal<T: Copy> {
+    value: Rc<Cell<T>>,
+}
+
+impl<T: Copy> Signal<T> {
+    /// Create a signal initialized to `value`.
+    pub fn new(value: T) -> Self {
+        Signal {
+            value: Rc::new(Cell::new(value)),
+        }
+    }
+
+    /// Sample the current level.
+    pub fn get(&self) -> T {
+        self.value.get()
+    }
+
+    /// Drive a new level.
+    pub fn set(&self, value: T) {
+        self.value.set(value);
+    }
+}
+
+impl<T: Copy + Default> Default for Signal<T> {
+    fn default() -> Self {
+        Signal::new(T::default())
+    }
+}
+
+/// An edge-detecting wrapper for interrupt-style signals: remembers the
+/// last sampled level so a consumer can act once per rising edge.
+#[derive(Debug)]
+pub struct EdgeDetector {
+    line: Signal<bool>,
+    last: bool,
+}
+
+impl EdgeDetector {
+    /// Watch `line` for rising edges. The initial "last seen" level is
+    /// the line's current level, so an already-high line does not
+    /// produce a spurious edge.
+    pub fn new(line: Signal<bool>) -> Self {
+        let last = line.get();
+        EdgeDetector { line, last }
+    }
+
+    /// Sample the line; returns `true` exactly when the level went
+    /// low→high since the previous call.
+    pub fn rising_edge(&mut self) -> bool {
+        let now = self.line.get();
+        let edge = now && !self.last;
+        self.last = now;
+        edge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_level_semantics() {
+        let s = Signal::new(false);
+        let reader = s.clone();
+        assert!(!reader.get());
+        s.set(true);
+        assert!(reader.get());
+        s.set(true); // idempotent
+        assert!(reader.get());
+    }
+
+    #[test]
+    fn default_is_type_default() {
+        let s: Signal<u8> = Signal::default();
+        assert_eq!(s.get(), 0);
+    }
+
+    #[test]
+    fn edge_detector_fires_once_per_edge() {
+        let line = Signal::new(false);
+        let mut ed = EdgeDetector::new(line.clone());
+        assert!(!ed.rising_edge());
+        line.set(true);
+        assert!(ed.rising_edge());
+        assert!(!ed.rising_edge()); // still high: no new edge
+        line.set(false);
+        assert!(!ed.rising_edge());
+        line.set(true);
+        assert!(ed.rising_edge());
+    }
+
+    #[test]
+    fn edge_detector_ignores_initially_high_line() {
+        let line = Signal::new(true);
+        let mut ed = EdgeDetector::new(line);
+        assert!(!ed.rising_edge());
+    }
+}

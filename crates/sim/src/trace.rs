@@ -1,0 +1,188 @@
+//! Bounded, levelled event tracing.
+//!
+//! Tracing exists for three consumers: debugging the hardware models,
+//! the waveform-style dumps printed by the examples, and assertions in
+//! tests ("the decoupler blocked N beats during reconfiguration").
+//! It is off (`TraceLevel::Off`) in benchmarks; the hot path then costs
+//! one enum comparison per call and never formats a string (messages
+//! are closures, evaluated only if recorded).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+use crate::time::Cycle;
+
+/// Trace verbosity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Record nothing.
+    Off,
+    /// Major state transitions only (reconfig started, IRQ raised).
+    Info,
+    /// Per-beat detail. Very verbose; for tests and short runs.
+    Debug,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle at which the event happened.
+    pub cycle: Cycle,
+    /// Component that reported it.
+    pub source: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A bounded in-memory trace sink shared by all components of one
+/// simulator (single-threaded; interior mutability via `RefCell`).
+///
+/// When the ring buffer is full the *oldest* events are dropped — the
+/// most recent history is what debugging needs.
+#[derive(Debug)]
+pub struct Tracer {
+    level: TraceLevel,
+    capacity: usize,
+    events: RefCell<VecDeque<TraceEvent>>,
+    dropped: RefCell<u64>,
+}
+
+impl Tracer {
+    /// Create a tracer recording at `level`, keeping at most
+    /// `capacity` events.
+    pub fn new(level: TraceLevel, capacity: usize) -> Self {
+        Tracer {
+            level,
+            capacity,
+            events: RefCell::new(VecDeque::with_capacity(capacity.min(4096))),
+            dropped: RefCell::new(0),
+        }
+    }
+
+    /// A tracer that records nothing (for benchmarks).
+    pub fn off() -> Self {
+        Tracer::new(TraceLevel::Off, 0)
+    }
+
+    /// The active level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    fn record(&self, min_level: TraceLevel, cycle: Cycle, source: &str, msg: impl FnOnce() -> String) {
+        if self.level < min_level {
+            return;
+        }
+        let mut events = self.events.borrow_mut();
+        if events.len() >= self.capacity {
+            events.pop_front();
+            *self.dropped.borrow_mut() += 1;
+        }
+        if self.capacity > 0 {
+            events.push_back(TraceEvent {
+                cycle,
+                source: source.to_string(),
+                message: msg(),
+            });
+        }
+    }
+
+    /// Record an info-level event.
+    pub fn info(&self, cycle: Cycle, source: &str, msg: impl FnOnce() -> String) {
+        self.record(TraceLevel::Info, cycle, source, msg);
+    }
+
+    /// Record a debug-level event.
+    pub fn debug(&self, cycle: Cycle, source: &str, msg: impl FnOnce() -> String) {
+        self.record(TraceLevel::Debug, cycle, source, msg);
+    }
+
+    /// Snapshot of the recorded events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.borrow().iter().cloned().collect()
+    }
+
+    /// Number of events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.borrow()
+    }
+
+    /// Events whose source matches `source` exactly.
+    pub fn events_from(&self, source: &str) -> Vec<TraceEvent> {
+        self.events
+            .borrow()
+            .iter()
+            .filter(|e| e.source == source)
+            .cloned()
+            .collect()
+    }
+
+    /// Render the trace as one line per event (for example output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.events.borrow().iter() {
+            out.push_str(&format!("[{:>10}] {:<16} {}\n", e.cycle, e.source, e.message));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_records_nothing_and_never_formats() {
+        let t = Tracer::off();
+        let mut formatted = false;
+        t.info(1, "x", || {
+            formatted = true;
+            "boom".into()
+        });
+        assert!(!formatted, "message closure must not run when off");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn info_level_drops_debug() {
+        let t = Tracer::new(TraceLevel::Info, 8);
+        t.info(1, "a", || "keep".into());
+        t.debug(2, "a", || "drop".into());
+        let ev = t.events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].message, "keep");
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let t = Tracer::new(TraceLevel::Info, 2);
+        t.info(1, "a", || "one".into());
+        t.info(2, "a", || "two".into());
+        t.info(3, "a", || "three".into());
+        let ev = t.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].message, "two");
+        assert_eq!(ev[1].message, "three");
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn filter_by_source() {
+        let t = Tracer::new(TraceLevel::Debug, 8);
+        t.debug(1, "dma", || "beat".into());
+        t.debug(1, "icap", || "word".into());
+        t.debug(2, "dma", || "beat".into());
+        assert_eq!(t.events_from("dma").len(), 2);
+        assert_eq!(t.events_from("icap").len(), 1);
+    }
+
+    #[test]
+    fn render_contains_cycle_and_source() {
+        let t = Tracer::new(TraceLevel::Info, 4);
+        t.info(42, "plic", || "irq raised".into());
+        let s = t.render();
+        assert!(s.contains("42"));
+        assert!(s.contains("plic"));
+        assert!(s.contains("irq raised"));
+    }
+}

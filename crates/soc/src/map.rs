@@ -1,0 +1,127 @@
+//! The SoC memory map.
+//!
+//! Follows the Ariane/CVA6 platform conventions (CLINT at 0x0200_0000,
+//! PLIC at 0x0C00_0000, DRAM at 0x8000_0000); the RV-CAP controller's
+//! register windows sit in the non-cacheable peripheral space below
+//! DRAM, which is what forces the CPU's blocking access behaviour.
+
+/// Boot ROM base (application binaries live here, §III-A).
+pub const BOOT_ROM_BASE: u64 = 0x0001_0000;
+/// Boot ROM size.
+pub const BOOT_ROM_SIZE: u64 = 0x0002_0000; // 128 KiB
+
+/// CLINT base.
+pub const CLINT_BASE: u64 = 0x0200_0000;
+/// CLINT window size.
+pub const CLINT_SIZE: u64 = 0x0001_0000;
+/// `mtime` register offset within the CLINT.
+pub const CLINT_MTIME: u64 = 0xBFF8;
+/// `mtimecmp` (hart 0) offset.
+pub const CLINT_MTIMECMP: u64 = 0x4000;
+
+/// PLIC base.
+pub const PLIC_BASE: u64 = 0x0C00_0000;
+/// PLIC window size.
+pub const PLIC_SIZE: u64 = 0x0040_0000;
+/// Pending bitmap (word 0 covers sources 0..32).
+pub const PLIC_PENDING: u64 = 0x1000;
+/// Enable bitmap for hart 0.
+pub const PLIC_ENABLE: u64 = 0x2000;
+/// Claim/complete register for hart 0.
+pub const PLIC_CLAIM: u64 = 0x20_0004;
+
+/// UART base.
+pub const UART_BASE: u64 = 0x1000_0000;
+/// UART window size.
+pub const UART_SIZE: u64 = 0x1000;
+/// TX data register.
+pub const UART_TX: u64 = 0x0;
+/// Status register (bit 0: TX ready).
+pub const UART_STATUS: u64 = 0x4;
+
+/// SPI controller base.
+pub const SPI_BASE: u64 = 0x2000_0000;
+/// SPI window size.
+pub const SPI_SIZE: u64 = 0x1000;
+/// TX/RX data register: write starts an 8-bit exchange, read returns
+/// the last received byte.
+pub const SPI_TXRX: u64 = 0x0;
+/// Status register (bit 0: busy).
+pub const SPI_STATUS: u64 = 0x4;
+/// Chip-select register (bit 0: CS asserted/low).
+pub const SPI_CS: u64 = 0x8;
+/// Clock divider register (SPI bit time = `div` core cycles).
+pub const SPI_CLKDIV: u64 = 0xC;
+
+/// AXI_HWICAP base (baseline controller, §III-C).
+pub const HWICAP_BASE: u64 = 0x4000_0000;
+/// HWICAP window size.
+pub const HWICAP_SIZE: u64 = 0x1000;
+
+/// RV-CAP DMA register window (Xilinx AXI DMA layout).
+pub const DMA_BASE: u64 = 0x4100_0000;
+/// DMA window size.
+pub const DMA_SIZE: u64 = 0x1000;
+
+/// RP control interface (decouple / status), §III-B ③.
+pub const RP_CTRL_BASE: u64 = 0x4101_0000;
+/// RP control window size.
+pub const RP_CTRL_SIZE: u64 = 0x1000;
+
+/// AXI-Stream switch control (reconfiguration vs acceleration mode).
+pub const SWITCH_BASE: u64 = 0x4102_0000;
+/// Switch window size.
+pub const SWITCH_SIZE: u64 = 0x1000;
+
+/// DDR base.
+pub const DDR_BASE: u64 = 0x8000_0000;
+/// Default simulated DDR size (enough for several partial bitstreams
+/// and two 512×512 frame buffers; configurable in [`crate::ddr`]).
+pub const DDR_DEFAULT_SIZE: u64 = 64 * 1024 * 1024;
+
+/// PLIC interrupt source id of the DMA MM2S (read channel) IOC
+/// interrupt.
+pub const IRQ_DMA_MM2S: u32 = 1;
+/// PLIC source id of the DMA S2MM (write channel) IOC interrupt.
+pub const IRQ_DMA_S2MM: u32 = 2;
+
+/// Is `addr` in cacheable DRAM (as opposed to peripheral space)?
+pub fn is_cacheable(addr: u64) -> bool {
+    addr >= DDR_BASE || (BOOT_ROM_BASE..BOOT_ROM_BASE + BOOT_ROM_SIZE).contains(&addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peripheral_space_is_noncacheable() {
+        assert!(!is_cacheable(HWICAP_BASE));
+        assert!(!is_cacheable(DMA_BASE));
+        assert!(!is_cacheable(CLINT_BASE + CLINT_MTIME));
+        assert!(is_cacheable(DDR_BASE));
+        assert!(is_cacheable(DDR_BASE + 0x100_0000));
+        assert!(is_cacheable(BOOT_ROM_BASE));
+    }
+
+    #[test]
+    fn windows_do_not_overlap() {
+        let windows = [
+            (BOOT_ROM_BASE, BOOT_ROM_SIZE),
+            (CLINT_BASE, CLINT_SIZE),
+            (PLIC_BASE, PLIC_SIZE),
+            (UART_BASE, UART_SIZE),
+            (SPI_BASE, SPI_SIZE),
+            (HWICAP_BASE, HWICAP_SIZE),
+            (DMA_BASE, DMA_SIZE),
+            (RP_CTRL_BASE, RP_CTRL_SIZE),
+            (SWITCH_BASE, SWITCH_SIZE),
+            (DDR_BASE, DDR_DEFAULT_SIZE),
+        ];
+        for (i, &(a, asz)) in windows.iter().enumerate() {
+            for &(b, bsz) in windows.iter().skip(i + 1) {
+                assert!(a + asz <= b || b + bsz <= a, "windows {a:#x}/{b:#x} overlap");
+            }
+        }
+    }
+}

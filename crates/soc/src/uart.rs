@@ -1,0 +1,121 @@
+//! A minimal UART: the drivers' terminal.
+//!
+//! "A terminal message informs that the reconfiguration was
+//! successful" (§III-C). TX only; bytes land in a shared log the
+//! examples print and the tests assert on.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rvcap_axi::mm::{MmOp, MmResp, SlavePort};
+use rvcap_sim::component::{Component, TickCtx};
+
+use crate::map::{UART_STATUS, UART_TX};
+
+/// Shared view of everything the UART transmitted.
+#[derive(Debug, Clone, Default)]
+pub struct UartHandle {
+    log: Rc<RefCell<Vec<u8>>>,
+}
+
+impl UartHandle {
+    /// The transmitted bytes as a lossy string.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.log.borrow()).into_owned()
+    }
+
+    /// Number of bytes transmitted.
+    pub fn len(&self) -> usize {
+        self.log.borrow().len()
+    }
+
+    /// True if nothing was transmitted.
+    pub fn is_empty(&self) -> bool {
+        self.log.borrow().is_empty()
+    }
+}
+
+/// The UART component.
+pub struct Uart {
+    name: String,
+    port: SlavePort,
+    base: u64,
+    handle: UartHandle,
+}
+
+impl Uart {
+    /// Create a UART at `base`.
+    pub fn new(name: impl Into<String>, port: SlavePort, base: u64) -> (Self, UartHandle) {
+        let handle = UartHandle::default();
+        (
+            Uart {
+                name: name.into(),
+                port,
+                base,
+                handle: handle.clone(),
+            },
+            handle,
+        )
+    }
+}
+
+impl Component for Uart {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        if let Some(req) = self.port.try_take(ctx.cycle) {
+            let off = req.addr - self.base;
+            let resp = match req.op {
+                MmOp::Write { data, .. } if off == UART_TX => {
+                    self.handle.log.borrow_mut().push(data as u8);
+                    MmResp::write_ack()
+                }
+                MmOp::Read { bytes } if off == UART_STATUS => MmResp::data(1, bytes, true),
+                MmOp::Read { bytes } => MmResp::data(0, bytes, true),
+                MmOp::Write { .. } => MmResp::write_ack(),
+                MmOp::ReadBurst { .. } => MmResp::err(),
+            };
+            let _ = self.port.try_respond(ctx.cycle, resp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::UART_BASE;
+    use rvcap_axi::mm::{link, MmReq};
+    use rvcap_sim::{Freq, Simulator};
+
+    #[test]
+    fn transmits_bytes_in_order() {
+        let mut sim = Simulator::new(Freq::FABRIC_100MHZ);
+        let (m, s) = link("uart", 2);
+        let (uart, h) = Uart::new("uart", s, UART_BASE);
+        sim.register(Box::new(uart));
+        for (i, b) in b"ok\n".iter().enumerate() {
+            m.try_issue(sim.now(), MmReq::write(UART_BASE + UART_TX, *b as u64, 1))
+                .unwrap();
+            sim.run_until(100, || m.resp.force_pop().is_some());
+            assert_eq!(h.len(), i + 1);
+        }
+        assert_eq!(h.text(), "ok\n");
+    }
+
+    #[test]
+    fn status_reads_ready() {
+        let mut sim = Simulator::new(Freq::FABRIC_100MHZ);
+        let (m, s) = link("uart", 2);
+        let (uart, _h) = Uart::new("uart", s, UART_BASE);
+        sim.register(Box::new(uart));
+        m.try_issue(0, MmReq::read(UART_BASE + UART_STATUS, 4)).unwrap();
+        let mut got = None;
+        sim.run_until(100, || {
+            got = m.resp.force_pop();
+            got.is_some()
+        });
+        assert_eq!(got.unwrap().data, 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Block devices: the storage abstraction under the SD card and FAT32.
+
+/// Block (sector) size in bytes. SD cards and FAT32 both use 512.
+pub const BLOCK_SIZE: usize = 512;
+
+/// A fixed-geometry block device.
+pub trait BlockDevice {
+    /// Number of addressable blocks.
+    fn num_blocks(&self) -> u64;
+
+    /// Read block `lba` into `buf`.
+    ///
+    /// Panics on an out-of-range LBA: callers (SD command layer,
+    /// FAT32) validate ranges, so an OOB access is a bug, not an I/O
+    /// error.
+    fn read_block(&mut self, lba: u64, buf: &mut [u8; BLOCK_SIZE]);
+
+    /// Write `buf` to block `lba`.
+    fn write_block(&mut self, lba: u64, buf: &[u8; BLOCK_SIZE]);
+
+    /// Capacity in bytes.
+    fn capacity_bytes(&self) -> u64 {
+        self.num_blocks() * BLOCK_SIZE as u64
+    }
+}
+
+/// An in-memory block device (the simulated SD card's flash array).
+#[derive(Debug, Clone)]
+pub struct MemBlockDevice {
+    blocks: Vec<u8>,
+    reads: u64,
+    writes: u64,
+}
+
+impl MemBlockDevice {
+    /// A zero-filled device of `num_blocks` blocks.
+    pub fn new(num_blocks: u64) -> Self {
+        MemBlockDevice {
+            blocks: vec![0u8; num_blocks as usize * BLOCK_SIZE],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// A device sized in mebibytes (convenience for tests/examples).
+    pub fn with_mib(mib: u64) -> Self {
+        MemBlockDevice::new(mib * 1024 * 1024 / BLOCK_SIZE as u64)
+    }
+
+    /// Lifetime block reads (I/O accounting for benches).
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Lifetime block writes.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+impl BlockDevice for MemBlockDevice {
+    fn num_blocks(&self) -> u64 {
+        (self.blocks.len() / BLOCK_SIZE) as u64
+    }
+
+    fn read_block(&mut self, lba: u64, buf: &mut [u8; BLOCK_SIZE]) {
+        let off = lba as usize * BLOCK_SIZE;
+        buf.copy_from_slice(&self.blocks[off..off + BLOCK_SIZE]);
+        self.reads += 1;
+    }
+
+    fn write_block(&mut self, lba: u64, buf: &[u8; BLOCK_SIZE]) {
+        let off = lba as usize * BLOCK_SIZE;
+        self.blocks[off..off + BLOCK_SIZE].copy_from_slice(buf);
+        self.writes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let d = MemBlockDevice::with_mib(1);
+        assert_eq!(d.num_blocks(), 2048);
+        assert_eq!(d.capacity_bytes(), 1024 * 1024);
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut d = MemBlockDevice::new(4);
+        let mut block = [0u8; BLOCK_SIZE];
+        block[0] = 0xAB;
+        block[511] = 0xCD;
+        d.write_block(2, &block);
+        let mut back = [0u8; BLOCK_SIZE];
+        d.read_block(2, &mut back);
+        assert_eq!(back, block);
+        // Neighbours untouched.
+        d.read_block(1, &mut back);
+        assert_eq!(back, [0u8; BLOCK_SIZE]);
+        assert_eq!(d.writes(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oob_read_panics() {
+        let mut d = MemBlockDevice::new(2);
+        let mut buf = [0u8; BLOCK_SIZE];
+        d.read_block(2, &mut buf);
+    }
+}

@@ -1,0 +1,33 @@
+//! # rvcap-storage — SD card and minimalist FAT32
+//!
+//! The paper stages partial bitstreams on an SD card: *"We have
+//! developed a set of software drivers to access the SoC I/O
+//! peripherals to load the partial bitstreams from an external SD card
+//! into the SoC's DDR memory. … A set of file I/O software functions
+//! based on the minimalist implementation of the file allocation table
+//! (FAT32) have been developed to support file reading, writing, and
+//! overwriting."* (§III-A)
+//!
+//! This crate is that substrate, built from scratch:
+//!
+//! * [`block`] — the block-device abstraction and an in-memory device.
+//! * [`sd`] — an SD card in SPI mode: byte-by-byte full-duplex
+//!   exchange, command framing (CMD0/CMD8/ACMD41/CMD17/CMD24…), data
+//!   tokens and response timing, backed by any block device.
+//! * [`fat32`] — a minimalist FAT32: format, mount, create, read,
+//!   overwrite, delete, list; 8.3 names in the root directory, cluster
+//!   chains, double-FAT updates.
+//!
+//! The crate is pure logic (no simulation dependency): the SPI *link
+//! timing* — bytes per second over the serial interface, which
+//! dominates the paper's `init_RModules` staging step — is modelled by
+//! the SPI peripheral in `rvcap-soc`, which calls
+//! [`sd::SdCard::exchange`] once per simulated SPI byte transfer.
+
+pub mod block;
+pub mod fat32;
+pub mod sd;
+
+pub use block::{BlockDevice, MemBlockDevice, BLOCK_SIZE};
+pub use fat32::{Fat32Volume, FsError};
+pub use sd::SdCard;

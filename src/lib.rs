@@ -1,0 +1,15 @@
+//! # rvcap-repro — top-level facade
+//!
+//! Re-exports the workspace crates under one roof for the examples and
+//! integration tests. See `README.md` for the tour and `DESIGN.md` for
+//! the system inventory.
+
+pub use rvcap_accel as accel;
+pub use rvcap_axi as axi;
+pub use rvcap_baselines as baselines;
+pub use rvcap_core as core;
+pub use rvcap_fabric as fabric;
+pub use rvcap_rv64 as rv64;
+pub use rvcap_sim as sim;
+pub use rvcap_soc as soc;
+pub use rvcap_storage as storage;
