@@ -67,7 +67,7 @@ mod tests {
         let driver = RvCapDriver::new(0, soc.handles.plic.clone());
         driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
         let icap = soc.handles.icap.clone();
-        soc.core.wait_until(100_000, || !icap.busy());
+        soc.core.wait_until(100_000, || !icap.busy()).unwrap();
         assert_eq!(
             soc.handles.rm_hosts[0].active_module().as_deref(),
             Some("Sobel")
@@ -109,8 +109,7 @@ mod tests {
         let driver = RvCapDriver::new(0, soc.handles.plic.clone());
 
         for (kind, img) in FilterKind::ALL.iter().zip(&images) {
-            let bs =
-                BitstreamBuilder::kintex7().partial(soc.handles.rps[0].far_base, &img.payload);
+            let bs = BitstreamBuilder::kintex7().partial(soc.handles.rps[0].far_base, &img.payload);
             let bytes = bs.to_bytes();
             soc.handles.ddr.write_bytes(STAGE, &bytes);
             let module = ReconfigModule {
@@ -121,7 +120,7 @@ mod tests {
             };
             driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
             let icap = soc.handles.icap.clone();
-            soc.core.wait_until(100_000, || !icap.busy());
+            soc.core.wait_until(100_000, || !icap.busy()).unwrap();
             let plic = soc.handles.plic.clone();
             super::run_accelerator(
                 &mut soc.core,

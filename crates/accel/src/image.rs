@@ -73,7 +73,7 @@ impl Image {
         let pixels = (0..height)
             .flat_map(|r| {
                 (0..width).map(move |c| {
-                    if (r / cell + c / cell) % 2 == 0 {
+                    if (r / cell + c / cell).is_multiple_of(2) {
                         0u8
                     } else {
                         255u8

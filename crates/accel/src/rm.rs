@@ -85,7 +85,11 @@ impl StreamingFilter {
             let cc = c.clamp(0, w - 1) as usize;
             self.inbuf[rr * self.width + cc]
         };
-        (self.kernel)(&win, (pos / self.width) as isize, (pos % self.width) as isize)
+        (self.kernel)(
+            &win,
+            (pos / self.width) as isize,
+            (pos % self.width) as isize,
+        )
     }
 }
 
@@ -118,7 +122,9 @@ impl RmBehavior for StreamingFilter {
         if !output.can_push(cycle) {
             return; // downstream backpressure
         }
-        let bytes: Vec<u8> = (0..beat_len).map(|i| self.compute(self.out_pos + i)).collect();
+        let bytes: Vec<u8> = (0..beat_len)
+            .map(|i| self.compute(self.out_pos + i))
+            .collect();
         let last = remaining == beat_len;
         output
             .try_push(cycle, AxisBeat::from_bytes(&bytes, last))

@@ -73,7 +73,9 @@ impl Component for StreamIsolator {
             return;
         }
         if let Some(beat) = self.input.try_pop(ctx.cycle) {
-            self.output.try_push(ctx.cycle, beat).expect("can_push checked");
+            self.output
+                .try_push(ctx.cycle, beat)
+                .expect("can_push checked");
         }
     }
 
@@ -82,6 +84,17 @@ impl Component for StreamIsolator {
         // is intentionally parked, and quiescence detection must not
         // spin on it.
         !self.decouple.get() && !self.input.is_empty()
+    }
+
+    fn next_activity(&self, now: rvcap_sim::Cycle) -> Option<rvcap_sim::Cycle> {
+        // A decoupled tick with a queued beat is NOT a no-op: it
+        // increments `blocked_cycles`. Any queued input therefore
+        // means activity now, coupled or not.
+        if self.input.is_empty() {
+            Some(rvcap_sim::Cycle::MAX)
+        } else {
+            Some(now)
+        }
     }
 }
 
@@ -160,6 +173,14 @@ impl Component for MmIsolator {
     fn busy(&self) -> bool {
         false
     }
+
+    fn next_activity(&self, now: rvcap_sim::Cycle) -> Option<rvcap_sim::Cycle> {
+        if self.upstream.req.is_empty() && self.downstream.resp.is_empty() {
+            Some(rvcap_sim::Cycle::MAX)
+        } else {
+            Some(now)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -175,12 +196,17 @@ mod tests {
         let a: AxisChannel = Fifo::new("a", 64);
         let b: AxisChannel = Fifo::new("b", 64);
         let dec = Signal::new(false);
-        sim.register(Box::new(StreamIsolator::new("iso", a.clone(), b.clone(), dec)));
+        sim.register(Box::new(StreamIsolator::new(
+            "iso",
+            a.clone(),
+            b.clone(),
+            dec,
+        )));
         let payload: Vec<u8> = (0..32).collect();
         for beat in pack_bytes(&payload, 8) {
             a.force_push(beat);
         }
-        sim.run_until_quiescent(1000);
+        sim.run_until_quiescent(1000).unwrap();
         let mut got = Vec::new();
         while let Some(x) = b.force_pop() {
             got.push(x);
@@ -194,7 +220,12 @@ mod tests {
         let a: AxisChannel = Fifo::new("a", 64);
         let b: AxisChannel = Fifo::new("b", 64);
         let dec = Signal::new(true);
-        sim.register(Box::new(StreamIsolator::new("iso", a.clone(), b.clone(), dec.clone())));
+        sim.register(Box::new(StreamIsolator::new(
+            "iso",
+            a.clone(),
+            b.clone(),
+            dec.clone(),
+        )));
         a.force_push(AxisBeat::wide(42, true));
         sim.step_n(100);
         assert_eq!(a.len(), 1, "beat must be held, not dropped");
@@ -218,13 +249,14 @@ mod tests {
         sim.run_until(100, || {
             got = cpu_m.resp.force_pop();
             got.is_some()
-        });
+        })
+        .unwrap();
         assert!(got.unwrap().error, "decoupled read must error, not hang");
         assert!(rp_s.req.is_empty(), "request must not reach the RP");
         // Couple and retry: flows through.
         dec.set(false);
         cpu_m.try_issue(sim.now(), MmReq::read(0x100, 4)).unwrap();
-        sim.run_until(100, || !rp_s.req.is_empty());
+        sim.run_until(100, || !rp_s.req.is_empty()).unwrap();
     }
 
     #[test]
@@ -235,7 +267,7 @@ mod tests {
         let dec = Signal::new(false);
         sim.register(Box::new(MmIsolator::new("iso", cpu_s, rp_m, dec)));
         cpu_m.try_issue(0, MmReq::write(0x8, 9, 4)).unwrap();
-        sim.run_until(100, || !rp_s.req.is_empty());
+        sim.run_until(100, || !rp_s.req.is_empty()).unwrap();
         let req = rp_s.try_take(sim.now()).unwrap();
         assert_eq!(req.addr, 0x8);
         rp_s.try_respond(sim.now(), MmResp::write_ack()).unwrap();
@@ -243,7 +275,8 @@ mod tests {
         sim.run_until(100, || {
             got = cpu_m.resp.force_pop();
             got.is_some()
-        });
+        })
+        .unwrap();
         assert!(!got.unwrap().error);
     }
 }

@@ -256,7 +256,12 @@ mod tests {
             beat_bytes: 5
         }
         .is_valid());
-        assert!(MmOp::Write { data: 0, bytes: 4, posted: false }.is_valid());
+        assert!(MmOp::Write {
+            data: 0,
+            bytes: 4,
+            posted: false
+        }
+        .is_valid());
     }
 
     #[test]

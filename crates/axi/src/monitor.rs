@@ -99,9 +99,7 @@ impl Component for StreamMonitor {
                 assert!(
                     head.last,
                     "{} @{}: short ({} B) beat without TLAST",
-                    self.name,
-                    ctx.cycle,
-                    head.bytes
+                    self.name, ctx.cycle, head.bytes
                 );
             }
         }

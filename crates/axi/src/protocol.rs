@@ -124,6 +124,26 @@ impl Component for MmAdapter {
     fn busy(&self) -> bool {
         !self.req_pipe.is_empty() || !self.resp_pipe.is_empty()
     }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if !self.upstream.req.is_empty() || !self.downstream.resp.is_empty() {
+            return Some(now);
+        }
+        // Pipe heads deliver at their ready cycle, then retry every
+        // cycle while the destination FIFO refuses the push.
+        let mut at = Cycle::MAX;
+        let heads = [
+            self.req_pipe.front().map(|&(ready, _)| ready),
+            self.resp_pipe.front().map(|&(ready, _)| ready),
+        ];
+        for ready in heads.into_iter().flatten() {
+            if ready <= now {
+                return Some(now);
+            }
+            at = at.min(ready);
+        }
+        Some(at)
+    }
 }
 
 #[cfg(test)]
@@ -151,12 +171,15 @@ mod tests {
     #[test]
     fn lite_adapter_round_trip_and_latency() {
         let (mut sim, cpu) = adapter_system(true);
-        cpu.try_issue(0, MmReq::write(0x4000_0000, 0x77, 1)).unwrap();
+        cpu.try_issue(0, MmReq::write(0x4000_0000, 0x77, 1))
+            .unwrap();
         let mut got = None;
-        let cycles = sim.run_until(100, || {
-            got = cpu.resp.force_pop();
-            got.is_some()
-        });
+        let cycles = sim
+            .run_until(100, || {
+                got = cpu.resp.force_pop();
+                got.is_some()
+            })
+            .unwrap();
         assert!(got.unwrap().last);
         // 4 req + service + 4 resp plus port hops: noticeably more
         // than a direct connection.
@@ -169,6 +192,7 @@ mod tests {
             let (mut sim, cpu) = adapter_system(lite);
             cpu.try_issue(0, MmReq::read(0x4000_0000, 4)).unwrap();
             sim.run_until(100, || cpu.resp.force_pop().is_some())
+                .unwrap()
         };
         assert!(time(false) < time(true));
     }
@@ -195,7 +219,8 @@ mod tests {
                 return r.last;
             }
             false
-        });
+        })
+        .unwrap();
         assert_eq!(beats, 4);
     }
 
@@ -212,6 +237,7 @@ mod tests {
                 acks += 1;
             }
             acks == 2
-        });
+        })
+        .unwrap();
     }
 }

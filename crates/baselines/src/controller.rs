@@ -142,16 +142,14 @@ impl Component for PacedSource {
 pub fn measure_throughput(spec: &ControllerSpec, payload_words: usize) -> f64 {
     let payload: Vec<u32> = {
         // A whole number of frames for the ICAP FSM.
-        let frames = payload_words.div_ceil(rvcap_fabric::config_mem::FRAME_WORDS).max(1);
+        let frames = payload_words
+            .div_ceil(rvcap_fabric::config_mem::FRAME_WORDS)
+            .max(1);
         if matches!(spec.model, ControllerModel::CompressedStream { .. }) {
             // RT-ICAP's premise is that real configuration data is
             // highly repetitive; feed it a realistic (80 % structured)
             // payload rather than incompressible noise.
-            compression::synthetic_payload(
-                frames * rvcap_fabric::config_mem::FRAME_WORDS,
-                80,
-                7,
-            )
+            compression::synthetic_payload(frames * rvcap_fabric::config_mem::FRAME_WORDS, 80, 7)
         } else {
             rvcap_fabric::rm::RmImage::synthesize(spec.name, frames, Resources::ZERO).payload
         }
@@ -196,7 +194,12 @@ pub fn measure_throughput(spec: &ControllerSpec, payload_words: usize) -> f64 {
             // Compression makes the source *faster* than wire speed is
             // impossible into a 1-word/cycle ICAP; the win is bounded
             // at wire speed, exactly as RT-ICAP reports (~382 MB/s).
-            (overhead_cycles, 0, stall_per_mille + extra_mille, stream_words)
+            (
+                overhead_cycles,
+                0,
+                stall_per_mille + extra_mille,
+                stream_words,
+            )
         }
     };
 
@@ -208,7 +211,7 @@ pub fn measure_throughput(spec: &ControllerSpec, payload_words: usize) -> f64 {
         spec.name, chan, words, start, gap, stall,
     )));
     sim.register(Box::new(icap));
-    let cycles = sim.run_until_quiescent(1_000_000_000);
+    let cycles = sim.run_until_quiescent(1_000_000_000).unwrap();
     assert!(
         handle.last_load().is_some_and(|r| r.crc_ok),
         "{}: load failed",

@@ -187,7 +187,10 @@ mod tests {
     fn resource_figures_are_the_published_ones() {
         let specs = prior_work();
         assert_eq!(specs.len(), 8);
-        let rticap = specs.iter().find(|s| s.name.starts_with("RT-ICAP")).unwrap();
+        let rticap = specs
+            .iter()
+            .find(|s| s.name.starts_with("RT-ICAP"))
+            .unwrap();
         assert_eq!(rticap.resources, Resources::new(289, 105, 0, 0));
         assert!(rticap.custom_drivers);
     }

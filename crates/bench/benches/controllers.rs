@@ -1,78 +1,76 @@
-//! Criterion benches over the controller simulations themselves:
-//! how fast the host machine can run the paper's experiments. These
-//! complement the harness binaries (which report *simulated* time) by
-//! tracking the cost of the simulation — a regression here makes every
-//! table slower to regenerate.
+//! Host-performance benches over the controller simulations: how fast
+//! this machine can run the paper's experiments. These complement the
+//! harness binaries (which report *simulated* time) by tracking the
+//! cost of the simulation — a regression here makes every table slower
+//! to regenerate.
+//!
+//! Run with `cargo bench -p rvcap-bench --bench controllers`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rvcap_bench::hostbench::bench_with_setup;
 use rvcap_bench::paper_soc::{self, PaperRig};
 use rvcap_core::drivers::{DmaMode, HwIcapDriver, RvCapDriver};
 use rvcap_fabric::rp::RpGeometry;
 
-/// Full RV-CAP reconfiguration (simulated 650 KB → ~165 k cycles).
-fn bench_rvcap_reconfig(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rvcap_reconfiguration");
+fn main() {
+    println!("== controllers: host wall-clock per simulated experiment ==");
+
+    // Full RV-CAP reconfiguration (paper RP simulates ~165 k cycles).
     for (name, geometry) in [
-        ("72-frame-rp", RpGeometry::scaled(2, 0, 0)),
-        ("paper-rp-1611-frames", RpGeometry::paper_rp()),
+        ("rvcap-reconfig/72-frame-rp", RpGeometry::scaled(2, 0, 0)),
+        (
+            "rvcap-reconfig/paper-rp-1611-frames",
+            RpGeometry::paper_rp(),
+        ),
     ] {
         let bytes = geometry.bitstream_bytes() as u64;
-        group.throughput(Throughput::Bytes(bytes));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &geometry, |b, g| {
-            b.iter_with_setup(
-                || paper_soc::rig_with_geometry(g.clone()),
-                |PaperRig {
-                     mut soc, module, ..
-                 }| {
-                    let d = RvCapDriver::new(0, soc.handles.plic.clone());
-                    d.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking)
-                },
-            );
-        });
+        bench_with_setup(
+            name,
+            Some(bytes),
+            10,
+            || paper_soc::rig_with_geometry(geometry.clone()),
+            |PaperRig {
+                 mut soc, module, ..
+             }| {
+                let d = RvCapDriver::new(0, soc.handles.plic.clone());
+                let t = d.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
+                (t, soc)
+            },
+        );
     }
-    group.finish();
-}
 
-/// HWICAP reconfiguration at the paper's unroll factor (small RP —
-/// the CPU-driven path simulates ~50 cycles per word).
-fn bench_hwicap_reconfig(c: &mut Criterion) {
-    let geometry = RpGeometry::scaled(1, 0, 0);
-    let bytes = geometry.bitstream_bytes() as u64;
-    let mut group = c.benchmark_group("hwicap_reconfiguration");
-    group.throughput(Throughput::Bytes(bytes));
-    group.bench_function("36-frame-rp-unroll-16", |b| {
-        b.iter_with_setup(
+    // HWICAP reconfiguration at the paper's unroll factor (small RP —
+    // the CPU-driven path simulates ~50 cycles per word).
+    {
+        let geometry = RpGeometry::scaled(1, 0, 0);
+        let bytes = geometry.bitstream_bytes() as u64;
+        bench_with_setup(
+            "hwicap-reconfig/36-frame-rp-unroll-16",
+            Some(bytes),
+            10,
             || paper_soc::rig_with_geometry(geometry.clone()),
             |PaperRig {
                  mut soc, module, ..
              }| {
                 let ddr = soc.handles.ddr.clone();
-                HwIcapDriver::new().reconfigure_rp(&mut soc.core, &ddr, &module)
+                let t = HwIcapDriver::new().reconfigure_rp(&mut soc.core, &ddr, &module);
+                (t, soc)
             },
         );
-    });
-    group.finish();
-}
+    }
 
-/// Table II baseline models (each is a real simulation run).
-fn bench_baseline_models(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_models");
+    // Table II baseline models (each is a real simulation run).
     for spec in rvcap_baselines::table2::prior_work() {
         // Keyhole models simulate ~30 cycles/word; keep them small.
         let words = match spec.model {
             rvcap_baselines::ControllerModel::CpuKeyhole { .. } => 101 * 20,
             _ => 101 * 100,
         };
-        group.bench_with_input(BenchmarkId::from_parameter(spec.name), &spec, |b, s| {
-            b.iter(|| rvcap_baselines::measure_throughput(s, words));
-        });
+        bench_with_setup(
+            format!("table2-model/{}", spec.name),
+            Some(words as u64 * 4),
+            10,
+            || (),
+            |()| (rvcap_baselines::measure_throughput(&spec, words), ()),
+        );
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_rvcap_reconfig, bench_hwicap_reconfig, bench_baseline_models
-}
-criterion_main!(benches);

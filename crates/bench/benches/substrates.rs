@@ -1,102 +1,107 @@
-//! Criterion benches for the substrate hot paths: bitstream
-//! build/parse, CRC, FAT32 file I/O, SD protocol, the golden filters,
-//! the RLE codec, and raw simulator stepping throughput.
+//! Host-performance benches for the substrate hot paths: bitstream
+//! build/parse, CRC, FAT32 file I/O, the golden filters, the RLE
+//! codec, and raw simulator stepping throughput.
+//!
+//! Run with `cargo bench -p rvcap-bench --bench substrates`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rvcap_accel::Image;
 use rvcap_baselines::compression;
+use rvcap_bench::hostbench::{bench, bench_with_setup};
 use rvcap_fabric::bitstream::{parse, BitstreamBuilder, KINTEX7_IDCODE};
 use rvcap_fabric::crc::crc32_words;
 use rvcap_fabric::resources::Resources;
 use rvcap_fabric::rm::RmImage;
 use rvcap_storage::{Fat32Volume, MemBlockDevice};
 
-fn bench_bitstream(c: &mut Criterion) {
+fn main() {
+    println!("== substrates: host wall-clock of the hot paths ==");
+
+    // --- bitstream build / parse / CRC over 400 frames ---
     let img = RmImage::synthesize("bench", 400, Resources::ZERO);
     let builder = BitstreamBuilder::kintex7();
     let bs = builder.partial(0, &img.payload);
     let bytes = bs.len_bytes() as u64;
-
-    let mut group = c.benchmark_group("bitstream");
-    group.throughput(Throughput::Bytes(bytes));
-    group.bench_function("build-400-frames", |b| {
-        b.iter(|| builder.partial(0, &img.payload))
+    bench("bitstream/build-400-frames", Some(bytes), 10, || {
+        builder.partial(0, &img.payload)
     });
-    group.bench_function("parse-validate-400-frames", |b| {
-        b.iter(|| parse(&bs, KINTEX7_IDCODE).unwrap())
+    bench(
+        "bitstream/parse-validate-400-frames",
+        Some(bytes),
+        10,
+        || parse(&bs, KINTEX7_IDCODE).unwrap(),
+    );
+    bench("bitstream/crc32-400-frames", Some(bytes), 10, || {
+        crc32_words(&img.payload)
     });
-    group.bench_function("crc32-400-frames", |b| b.iter(|| crc32_words(&img.payload)));
-    group.finish();
-}
 
-fn bench_fat32(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fat32");
+    // --- FAT32 write/read of the paper's 650 892-byte bitstream ---
     let payload = vec![0xA5u8; 650_892];
-    group.throughput(Throughput::Bytes(payload.len() as u64));
-    group.bench_function("write-650KB-bitstream", |b| {
-        b.iter_with_setup(
-            || Fat32Volume::format(MemBlockDevice::with_mib(16)).unwrap(),
-            |mut vol| vol.create("PBIT.BIN", &payload).unwrap(),
-        )
-    });
-    group.bench_function("read-650KB-bitstream", |b| {
+    bench_with_setup(
+        "fat32/write-650KB-bitstream",
+        Some(payload.len() as u64),
+        10,
+        || Fat32Volume::format(MemBlockDevice::with_mib(16)).unwrap(),
+        |mut vol| {
+            vol.create("PBIT.BIN", &payload).unwrap();
+            (vol, ())
+        },
+    );
+    {
         let mut vol = Fat32Volume::format(MemBlockDevice::with_mib(16)).unwrap();
         vol.create("PBIT.BIN", &payload).unwrap();
-        b.iter(|| vol.read("PBIT.BIN").unwrap())
-    });
-    group.finish();
-}
-
-fn bench_filters(c: &mut Criterion) {
-    let img = Image::noise(Image::PAPER_DIM, Image::PAPER_DIM, 3);
-    let mut group = c.benchmark_group("golden_filters_512x512");
-    group.throughput(Throughput::Elements(
-        (Image::PAPER_DIM * Image::PAPER_DIM) as u64,
-    ));
-    group.bench_function("gaussian", |b| b.iter(|| rvcap_accel::golden::gaussian(&img)));
-    group.bench_function("median", |b| b.iter(|| rvcap_accel::golden::median(&img)));
-    group.bench_function("sobel", |b| b.iter(|| rvcap_accel::golden::sobel(&img)));
-    group.finish();
-}
-
-fn bench_compression(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rle_codec");
-    for structured in [25u32, 75] {
-        let payload = compression::synthetic_payload(101 * 400, structured, 5);
-        group.throughput(Throughput::Bytes((payload.len() * 4) as u64));
-        group.bench_with_input(
-            BenchmarkId::new("compress", format!("{structured}pct-structured")),
-            &payload,
-            |b, p| b.iter(|| compression::compress(p)),
-        );
-        let compressed = compression::compress(&payload);
-        group.bench_with_input(
-            BenchmarkId::new("decompress", format!("{structured}pct-structured")),
-            &compressed,
-            |b, p| b.iter(|| compression::decompress(p).unwrap()),
+        bench(
+            "fat32/read-650KB-bitstream",
+            Some(payload.len() as u64),
+            10,
+            || vol.read("PBIT.BIN").unwrap(),
         );
     }
-    group.finish();
-}
 
-fn bench_simulator(c: &mut Criterion) {
-    use rvcap_bench::paper_soc;
-    use rvcap_fabric::rp::RpGeometry;
-    let mut group = c.benchmark_group("simulator");
-    // Raw stepping rate of the full SoC (idle components).
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("step-100k-cycles-full-soc", |b| {
-        b.iter_with_setup(
-            || paper_soc::rig_with_geometry(RpGeometry::scaled(1, 0, 0)).soc,
-            |mut soc| soc.core.compute(100_000),
-        )
+    // --- golden filters on the paper's 512×512 frame ---
+    let frame = Image::noise(Image::PAPER_DIM, Image::PAPER_DIM, 3);
+    let pixels = (Image::PAPER_DIM * Image::PAPER_DIM) as u64;
+    bench("filters-512x512/gaussian", Some(pixels), 10, || {
+        rvcap_accel::golden::gaussian(&frame)
     });
-    group.finish();
-}
+    bench("filters-512x512/median", Some(pixels), 10, || {
+        rvcap_accel::golden::median(&frame)
+    });
+    bench("filters-512x512/sobel", Some(pixels), 10, || {
+        rvcap_accel::golden::sobel(&frame)
+    });
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_bitstream, bench_fat32, bench_filters, bench_compression, bench_simulator
+    // --- RLE codec over structured/noisy payloads ---
+    for structured in [25u32, 75] {
+        let payload = compression::synthetic_payload(101 * 400, structured, 5);
+        let payload_bytes = (payload.len() * 4) as u64;
+        bench(
+            format!("rle/compress-{structured}pct-structured"),
+            Some(payload_bytes),
+            10,
+            || compression::compress(&payload),
+        );
+        let compressed = compression::compress(&payload);
+        bench(
+            format!("rle/decompress-{structured}pct-structured"),
+            Some(payload_bytes),
+            10,
+            || compression::decompress(&compressed).unwrap(),
+        );
+    }
+
+    // --- raw stepping rate of the full SoC (idle components) ---
+    {
+        use rvcap_bench::paper_soc;
+        use rvcap_fabric::rp::RpGeometry;
+        bench_with_setup(
+            "simulator/step-100k-cycles-full-soc",
+            None,
+            10,
+            || paper_soc::rig_with_geometry(RpGeometry::scaled(1, 0, 0)).soc,
+            |mut soc| {
+                soc.core.compute(100_000);
+                (soc, ())
+            },
+        );
+    }
 }
-criterion_main!(benches);

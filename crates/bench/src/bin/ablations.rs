@@ -18,9 +18,8 @@ use rvcap_bench::report;
 use rvcap_core::drivers::{DmaMode, HwIcapDriver, RvCapDriver};
 use rvcap_core::system::SocBuilder;
 use rvcap_fabric::rp::RpGeometry;
-use serde::Serialize;
 
-#[derive(Serialize, Default)]
+#[derive(Default)]
 struct Results {
     burst_sweep: Vec<(u16, f64)>,
     fifo_sweep: Vec<(usize, f64)>,
@@ -30,6 +29,15 @@ struct Results {
     decision_steps_cycles: Vec<(String, u64)>,
     compression_sweep: Vec<(u32, f64)>,
 }
+rvcap_bench::impl_json_struct!(Results {
+    burst_sweep,
+    fifo_sweep,
+    blocking_tr_us,
+    nonblocking_tr_us,
+    cpu_free_pct_nonblocking,
+    decision_steps_cycles,
+    compression_sweep
+});
 
 fn main() {
     let mut results = Results::default();
@@ -77,7 +85,10 @@ fn main() {
 
     // ---- 3. blocking vs non-blocking ----
     println!("== Ablation 3: polling vs interrupt completion ==");
-    for (mode, name) in [(DmaMode::Blocking, "blocking"), (DmaMode::NonBlocking, "interrupt")] {
+    for (mode, name) in [
+        (DmaMode::Blocking, "blocking"),
+        (DmaMode::NonBlocking, "interrupt"),
+    ] {
         let PaperRig {
             mut soc, module, ..
         } = paper_soc::rvcap_rig();
@@ -112,7 +123,10 @@ fn main() {
             let t0 = soc.core.now();
             soc.core
                 .compute(rvcap_core::drivers::rvcap::DECISION_SOFTWARE_CYCLES);
-            v.push(("module lookup + validation (software)".to_string(), soc.core.now() - t0));
+            v.push((
+                "module lookup + validation (software)".to_string(),
+                soc.core.now() - t0,
+            ));
             let t0 = soc.core.now();
             d.decouple_accel(&mut soc.core, true);
             v.push(("decouple_accel(1)".to_string(), soc.core.now() - t0));
@@ -127,9 +141,15 @@ fn main() {
         };
         let total: u64 = steps.iter().map(|(_, c)| c).sum();
         for (name, cycles) in &steps {
-            println!("  {name:<42} {cycles:>5} cycles ({:.1} µs)", *cycles as f64 / 100.0);
+            println!(
+                "  {name:<42} {cycles:>5} cycles ({:.1} µs)",
+                *cycles as f64 / 100.0
+            );
         }
-        println!("  total ≈ {:.1} µs (measured Td includes the two mtime reads)\n", total as f64 / 100.0);
+        println!(
+            "  total ≈ {:.1} µs (measured Td includes the two mtime reads)\n",
+            total as f64 / 100.0
+        );
         results.decision_steps_cycles = steps;
     }
 
@@ -168,7 +188,9 @@ fn main() {
                 .with_library(lib)
                 .build();
             let input = Image::noise(dim, dim, 3);
-            soc.handles.ddr.write_bytes(DDR_BASE + 0x10_0000, input.as_bytes());
+            soc.handles
+                .ddr
+                .write_bytes(DDR_BASE + 0x10_0000, input.as_bytes());
             let mut sched = ReconfigScheduler::new(0, policy);
             for (i, img) in images.iter().enumerate() {
                 let stage = DDR_BASE + 0x40_0000 + i as u64 * 0x10_0000;

@@ -35,9 +35,16 @@ fn table4_probe() {
         };
         let t = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
         let icap = soc.handles.icap.clone();
-        soc.core.wait_until(100_000, || !icap.busy());
+        soc.core.wait_until(100_000, || !icap.busy()).unwrap();
         let plic = soc.handles.plic.clone();
-        let tc = run_accelerator(&mut soc.core, &plic, 0, in_addr, out_addr, (dim * dim) as u32);
+        let tc = run_accelerator(
+            &mut soc.core,
+            &plic,
+            0,
+            in_addr,
+            out_addr,
+            (dim * dim) as u32,
+        );
         let out = soc.handles.ddr.read_bytes(out_addr, dim * dim);
         let ok = out == kind.golden(&input).as_bytes();
         println!(
@@ -64,13 +71,16 @@ fn main() {
 
     // ---- Fig 3 sweep end point: max throughput ----
     for (c, b, d) in [(12usize, 3usize, 1usize), (24, 6, 2), (48, 12, 4)] {
-        let PaperRig { mut soc, module, .. } =
-            paper_soc::rig_with_geometry(rvcap_fabric::rp::RpGeometry::scaled(c, b, d));
+        let PaperRig {
+            mut soc, module, ..
+        } = paper_soc::rig_with_geometry(rvcap_fabric::rp::RpGeometry::scaled(c, b, d));
         let driver = RvCapDriver::new(0, soc.handles.plic.clone());
         let t = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
         println!(
             "RV-CAP {} B: Tr = {:.1} us, throughput = {:.2} MB/s",
-            module.pbit_size, t.tr_us(), t.throughput_mbs(module.pbit_size as u64)
+            module.pbit_size,
+            t.tr_us(),
+            t.throughput_mbs(module.pbit_size as u64)
         );
     }
 

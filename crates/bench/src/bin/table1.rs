@@ -1,62 +1,21 @@
 //! Table I: resource utilization and throughput of the RV-CAP
 //! controller vs the AXI_HWICAP baseline, both measured on the full
 //! simulated SoC with the paper's 650 892-byte partial bitstream.
+//!
+//! The measurement itself lives in [`rvcap_bench::tables`] so the
+//! determinism tests can pin it bit-identical with idle fast-forward
+//! on and off; this binary renders it.
 
-use rvcap_bench::paper_soc::{self, PaperRig};
 use rvcap_bench::report;
-use rvcap_core::drivers::{DmaMode, HwIcapDriver, RvCapDriver};
+use rvcap_bench::tables::{table1_run, Table1Run};
 use rvcap_core::resources::{hwicap_report, rvcap_report};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    controller: String,
-    module: String,
-    luts: u32,
-    ffs: u32,
-    brams: u32,
-    throughput_mbs: Option<f64>,
-    paper_throughput_mbs: Option<f64>,
-}
 
 fn main() {
-    // ---- measured throughputs ----
-    let PaperRig {
-        mut soc, module, ..
-    } = paper_soc::rvcap_rig();
-    let driver = RvCapDriver::new(0, soc.handles.plic.clone());
-    let t = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
-    // The paper's headline throughput is the max over the Fig. 3
-    // sweep; at the Table I reference bitstream the distinction is
-    // under 1 % — we report the measured value for this bitstream.
-    let rvcap_mbs = t.throughput_mbs(module.pbit_size as u64);
-
-    let PaperRig {
-        mut soc, module, ..
-    } = paper_soc::rvcap_rig();
-    let ddr = soc.handles.ddr.clone();
-    let ticks = HwIcapDriver::new().reconfigure_rp(&mut soc.core, &ddr, &module);
-    let hwicap_mbs = module.pbit_size as f64 / (ticks as f64 / 5.0);
-
-    // ---- resource trees (calibrated constants, derived totals) ----
-    let mut rows: Vec<Row> = Vec::new();
-    for (report, mbs, paper) in [
-        (rvcap_report(), Some(rvcap_mbs), Some(398.1)),
-        (hwicap_report(), Some(hwicap_mbs), Some(8.23)),
-    ] {
-        for (i, child) in report.children.iter().enumerate() {
-            let r = child.total();
-            rows.push(Row {
-                controller: if i == 0 { report.name.clone() } else { String::new() },
-                module: child.name.clone(),
-                luts: r.luts,
-                ffs: r.ffs,
-                brams: r.brams,
-                throughput_mbs: if i == 0 { mbs } else { None },
-                paper_throughput_mbs: if i == 0 { paper } else { None },
-            });
-        }
-    }
+    let Table1Run {
+        rows,
+        rvcap_stats,
+        hwicap_stats,
+    } = table1_run(true);
 
     let table_rows: Vec<Vec<String>> = rows
         .iter()
@@ -80,7 +39,15 @@ fn main() {
         "{}",
         report::render_table(
             "Table I — resource utilization & throughput (Kintex-7, 100 MHz)",
-            &["DPR controller", "module", "LUTs", "FFs", "BRAMs", "measured MB/s", "paper MB/s"],
+            &[
+                "DPR controller",
+                "module",
+                "LUTs",
+                "FFs",
+                "BRAMs",
+                "measured MB/s",
+                "paper MB/s"
+            ],
             &table_rows,
         )
     );
@@ -89,5 +56,7 @@ fn main() {
         rvcap_report().total(),
         hwicap_report().total()
     );
+    println!("\nkernel accounting, RV-CAP run:\n{}", rvcap_stats.render());
+    println!("kernel accounting, HWICAP run:\n{}", hwicap_stats.render());
     report::dump_json("table1", &rows);
 }

@@ -9,9 +9,7 @@ use rvcap_baselines::table2_rows;
 use rvcap_bench::paper_soc::{self, PaperRig};
 use rvcap_bench::report;
 use rvcap_core::drivers::{DmaMode, HwIcapDriver, RvCapDriver};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     controller: String,
     processor: String,
@@ -23,6 +21,17 @@ struct Row {
     published_mbs: f64,
     freq_mhz: u32,
 }
+rvcap_bench::impl_json_struct!(Row {
+    controller,
+    processor,
+    custom_drivers,
+    luts,
+    ffs,
+    brams,
+    measured_mbs,
+    published_mbs,
+    freq_mhz
+});
 
 fn main() {
     // Prior work: models over a 300-frame reference bitstream.
@@ -91,7 +100,10 @@ fn main() {
                 r.brams.to_string(),
                 format!("{:.1}", r.measured_mbs),
                 format!("{:.1}", r.published_mbs),
-                format!("{:+.1}%", report::deviation_pct(r.measured_mbs, r.published_mbs)),
+                format!(
+                    "{:+.1}%",
+                    report::deviation_pct(r.measured_mbs, r.published_mbs)
+                ),
                 r.freq_mhz.to_string(),
             ]
         })

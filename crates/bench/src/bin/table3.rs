@@ -5,9 +5,7 @@ use rvcap_accel::FilterKind;
 use rvcap_bench::report;
 use rvcap_core::resources::full_soc_report;
 use rvcap_fabric::resources::Resources;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     component: String,
     luts: u32,
@@ -16,6 +14,14 @@ struct Row {
     dsps: u32,
     pct_of_rp: Option<[f64; 4]>,
 }
+rvcap_bench::impl_json_struct!(Row {
+    component,
+    luts,
+    ffs,
+    brams,
+    dsps,
+    pct_of_rp
+});
 
 fn main() {
     let soc = full_soc_report();

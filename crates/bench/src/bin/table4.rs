@@ -11,9 +11,7 @@ use rvcap_core::drivers::{DmaMode, ReconfigModule, RvCapDriver};
 use rvcap_core::system::SocBuilder;
 use rvcap_fabric::bitstream::BitstreamBuilder;
 use rvcap_soc::map::DDR_BASE;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     accelerator: &'static str,
     td_us: f64,
@@ -23,6 +21,15 @@ struct Row {
     paper: [f64; 4],
     output_matches_golden: bool,
 }
+rvcap_bench::impl_json_struct!(Row {
+    accelerator,
+    td_us,
+    tr_us,
+    tc_us,
+    tex_us,
+    paper,
+    output_matches_golden
+});
 
 fn main() {
     let lib = paper_filter_library();
@@ -58,10 +65,16 @@ fn main() {
         };
         let t = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
         let icap = soc.handles.icap.clone();
-        soc.core.wait_until(100_000, || !icap.busy());
+        soc.core.wait_until(100_000, || !icap.busy()).unwrap();
         let plic = soc.handles.plic.clone();
-        let tc_ticks =
-            run_accelerator(&mut soc.core, &plic, 0, in_addr, out_addr, (dim * dim) as u32);
+        let tc_ticks = run_accelerator(
+            &mut soc.core,
+            &plic,
+            0,
+            in_addr,
+            out_addr,
+            (dim * dim) as u32,
+        );
         let out = soc.handles.ddr.read_bytes(out_addr, dim * dim);
         let ok = out == kind.golden(&input).as_bytes();
         let (td, tr, tc) = (t.td_us(), t.tr_us(), tc_ticks as f64 / 5.0);

@@ -21,7 +21,6 @@ use rvcap_fabric::rp::RpGeometry;
 use rvcap_rv64::{assemble, Cpu, RunExit};
 use rvcap_soc::cpu::InterpreterBus;
 use rvcap_soc::map::DDR_BASE;
-use serde::Serialize;
 
 const UNROLLS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 
@@ -45,13 +44,18 @@ fn fill_loop_asm(unroll: usize, words: usize) -> String {
     s
 }
 
-#[derive(Serialize)]
 struct Row {
     unroll: usize,
     driver_mbs: f64,
     interpreter_mbs: f64,
     interpreter_cycles_per_word: f64,
 }
+rvcap_bench::impl_json_struct!(Row {
+    unroll,
+    driver_mbs,
+    interpreter_mbs,
+    interpreter_cycles_per_word
+});
 
 fn main() {
     let words = 2048usize;

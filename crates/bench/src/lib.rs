@@ -1,7 +1,9 @@
 //! # rvcap-bench — experiment harness shared code
 //!
 //! Rig builders for the paper's experiments, used by both the
-//! table/figure harness binaries and the Criterion benches.
+//! table/figure harness binaries and the host-performance benches.
 
+pub mod hostbench;
 pub mod paper_soc;
 pub mod report;
+pub mod tables;

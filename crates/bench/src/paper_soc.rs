@@ -32,17 +32,10 @@ pub fn rig_with_geometry(geometry: RpGeometry) -> PaperRig {
 /// Like [`rig_with_geometry`] but starting from a customized builder
 /// (ablations override burst size, FIFO depth, …).
 pub fn rig_with_builder(builder: SocBuilder, geometry: RpGeometry) -> PaperRig {
-    let img = RmImage::synthesize(
-        "Module0",
-        geometry.frames(),
-        Resources::new(901, 773, 4, 0),
-    );
+    let img = RmImage::synthesize("Module0", geometry.frames(), Resources::new(901, 773, 4, 0));
     let mut lib = RmLibrary::new();
     lib.register_image(img.clone());
-    let soc = builder
-        .with_rps(vec![geometry])
-        .with_library(lib)
-        .build();
+    let soc = builder.with_rps(vec![geometry]).with_library(lib).build();
     let bs = BitstreamBuilder::kintex7().partial(soc.handles.rps[0].far_base, &img.payload);
     let bytes = bs.to_bytes();
     soc.handles.ddr.write_bytes(STAGE_ADDR, &bytes);
@@ -52,7 +45,11 @@ pub fn rig_with_builder(builder: SocBuilder, geometry: RpGeometry) -> PaperRig {
         start_address: STAGE_ADDR,
         pbit_size: bytes.len() as u32,
     };
-    PaperRig { soc, module, image: img }
+    PaperRig {
+        soc,
+        module,
+        image: img,
+    }
 }
 
 /// The paper's exact configuration (1611-frame RP, 650 892 B).

@@ -78,7 +78,9 @@ enum Mm2sState {
     Idle,
     /// Start-up latency after the LENGTH write (engine command
     /// pipeline) before the first burst request issues.
-    Starting { until: Cycle },
+    Starting {
+        until: Cycle,
+    },
     Running,
 }
 
@@ -205,17 +207,16 @@ impl XilinxDma {
                     self.mm2s_sr |= SR_HALTED;
                 }
             }
-            MM2S_DMASR => {
+            MM2S_DMASR
                 // W1C on IOC.
-                if v & SR_IOC != 0 {
+                if v & SR_IOC != 0 => {
                     self.mm2s_sr &= !SR_IOC;
                     self.mm2s_irq.set(false);
                 }
-            }
             MM2S_SA => self.mm2s_sa = (self.mm2s_sa & !0xFFFF_FFFF) | v as u64,
             MM2S_SA_MSB => self.mm2s_sa = (self.mm2s_sa & 0xFFFF_FFFF) | ((v as u64) << 32),
-            MM2S_LENGTH => {
-                if self.mm2s_cr & CR_RS != 0 && v > 0 {
+            MM2S_LENGTH
+                if self.mm2s_cr & CR_RS != 0 && v > 0 => {
                     self.fetch_addr = self.mm2s_sa;
                     self.fetch_remaining = v as u64;
                     self.emit_remaining = v as u64;
@@ -225,7 +226,6 @@ impl XilinxDma {
                     };
                     self.mm2s_sr &= !SR_IDLE;
                 }
-            }
             S2MM_DMACR => {
                 self.s2mm_cr = v;
                 if v & CR_RS != 0 {
@@ -235,21 +235,19 @@ impl XilinxDma {
                     self.s2mm_sr |= SR_HALTED;
                 }
             }
-            S2MM_DMASR => {
-                if v & SR_IOC != 0 {
+            S2MM_DMASR
+                if v & SR_IOC != 0 => {
                     self.s2mm_sr &= !SR_IOC;
                     self.s2mm_irq.set(false);
                 }
-            }
             S2MM_DA => self.s2mm_da = (self.s2mm_da & !0xFFFF_FFFF) | v as u64,
             S2MM_DA_MSB => self.s2mm_da = (self.s2mm_da & 0xFFFF_FFFF) | ((v as u64) << 32),
-            S2MM_LENGTH => {
-                if self.s2mm_cr & CR_RS != 0 && v > 0 {
+            S2MM_LENGTH
+                if self.s2mm_cr & CR_RS != 0 && v > 0 => {
                     self.s2mm_addr = self.s2mm_da;
                     self.s2mm_remaining = v as u64;
                     self.s2mm_sr &= !SR_IDLE;
                 }
-            }
             _ => {}
         }
     }
@@ -333,9 +331,7 @@ impl Component for XilinxDma {
                     bytes,
                     last,
                 };
-                self.mm2s
-                    .try_push(cycle, beat)
-                    .expect("can_push checked");
+                self.mm2s.try_push(cycle, beat).expect("can_push checked");
                 self.beats_streamed += 1;
                 if last {
                     self.mm2s_complete(ctx);
@@ -372,6 +368,29 @@ impl Component for XilinxDma {
             self.mm2s_state,
             Mm2sState::Starting { .. } | Mm2sState::Running
         ) || self.s2mm_remaining > 0
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if !self.ctrl.req.is_empty() {
+            return Some(now);
+        }
+        match self.mm2s_state {
+            // Running covers the whole fetch/emit pipeline: burst
+            // issue retries every cycle and the state only leaves
+            // Running once the final beat is emitted.
+            Mm2sState::Running => return Some(now),
+            // The command pipeline wakes exactly at its deadline; the
+            // ticks in between only re-check `until`.
+            Mm2sState::Starting { until } => return Some(until.max(now)),
+            Mm2sState::Halted | Mm2sState::Idle => {}
+        }
+        if self.emit_remaining > 0 && !self.mem.resp.is_empty() {
+            return Some(now);
+        }
+        if self.s2mm_remaining > 0 && !self.s2mm.is_empty() {
+            return Some(now);
+        }
+        Some(Cycle::MAX)
     }
 }
 
@@ -440,18 +459,20 @@ mod tests {
             }
             r.sim.step();
         }
-        r.sim.run_until(1000, || r.ctrl.resp.force_pop().is_some());
+        r.sim
+            .run_until(1000, || r.ctrl.resp.force_pop().is_some())
+            .unwrap();
     }
 
     fn rd(r: &mut Rig, off: u64) -> u32 {
-        r.ctrl
-            .try_issue(r.sim.now(), MmReq::read(off, 4))
-            .unwrap();
+        r.ctrl.try_issue(r.sim.now(), MmReq::read(off, 4)).unwrap();
         let mut got = None;
-        r.sim.run_until(1000, || {
-            got = r.ctrl.resp.force_pop();
-            got.is_some()
-        });
+        r.sim
+            .run_until(1000, || {
+                got = r.ctrl.resp.force_pop();
+                got.is_some()
+            })
+            .unwrap();
         got.unwrap().data as u32
     }
 
@@ -487,12 +508,14 @@ mod tests {
         r.ddr.write_bytes(DDR_BASE + 0x1000, &payload);
         start_mm2s(&mut r, DDR_BASE + 0x1000, 200, false);
         let mut beats = Vec::new();
-        r.sim.run_until(5000, || {
-            while let Some(b) = r.mm2s.force_pop() {
-                beats.push(b);
-            }
-            beats.last().is_some_and(|b| b.last)
-        });
+        r.sim
+            .run_until(5000, || {
+                while let Some(b) = r.mm2s.force_pop() {
+                    beats.push(b);
+                }
+                beats.last().is_some_and(|b| b.last)
+            })
+            .unwrap();
         assert_eq!(rvcap_axi::stream::unpack_bytes(&beats), payload);
         // 200 bytes = 25 beats, ragged tail 8×25=200 exact.
         assert_eq!(beats.len(), 25);
@@ -504,7 +527,7 @@ mod tests {
         let mut r = rig();
         r.ddr.write_bytes(DDR_BASE, &[0u8; 64]);
         start_mm2s(&mut r, DDR_BASE, 64, true);
-        r.sim.run_until(5000, || r.irq.get());
+        r.sim.run_until(5000, || r.irq.get()).unwrap();
         assert_eq!(rd(&mut r, MM2S_DMASR) & SR_IOC, SR_IOC);
         // Drain the stream and clear.
         while r.mm2s.force_pop().is_some() {}
@@ -521,12 +544,14 @@ mod tests {
         start_mm2s(&mut r, DDR_BASE, len, false);
         let start = r.sim.now();
         let mut beats = 0u64;
-        r.sim.run_until(200_000, || {
-            while r.mm2s.force_pop().is_some() {
-                beats += 1;
-            }
-            beats == len as u64 / 8
-        });
+        r.sim
+            .run_until(200_000, || {
+                while r.mm2s.force_pop().is_some() {
+                    beats += 1;
+                }
+                beats == len as u64 / 8
+            })
+            .unwrap();
         let cycles = r.sim.now() - start;
         // Consumer drains instantly, so the DMA should sustain ~1
         // beat/cycle (8 B/cycle) minus startup + refresh.
@@ -562,12 +587,14 @@ mod tests {
         for i in 0..3 {
             start_mm2s(&mut r, DDR_BASE + i * 64, 64, false);
             let mut beats = 0;
-            r.sim.run_until(5000, || {
-                while r.mm2s.force_pop().is_some() {
-                    beats += 1;
-                }
-                beats == 8
-            });
+            r.sim
+                .run_until(5000, || {
+                    while r.mm2s.force_pop().is_some() {
+                        beats += 1;
+                    }
+                    beats == 8
+                })
+                .unwrap();
         }
     }
 }

@@ -154,16 +154,11 @@ impl HwIcapDriver {
     /// Every word comes back over a blocking MMIO read — verification
     /// costs roughly as much as a CPU-driven load, which is why
     /// safety-oriented controllers make it optional.
-    pub fn readback_verify(
-        &self,
-        core: &mut SocCore,
-        far: u32,
-        expected: &[u32],
-    ) -> bool {
+    pub fn readback_verify(&self, core: &mut SocCore, far: u32, expected: &[u32]) -> bool {
         use crate::hwicap::{CR_READ, READ_FIFO_DEPTH, REG_FAR, REG_RF, REG_SZ};
         const FRAME_WORDS: usize = rvcap_fabric::config_mem::FRAME_WORDS;
         assert!(
-            expected.len() % FRAME_WORDS == 0,
+            expected.len().is_multiple_of(FRAME_WORDS),
             "readback verifies whole frames"
         );
         // Whole frames per chunk so the FAR repointing stays aligned;
@@ -208,7 +203,11 @@ mod tests {
     use rvcap_fabric::rp::RpGeometry;
     use rvcap_soc::map::DDR_BASE;
 
-    fn staged_soc() -> (crate::system::RvCapSoc, super::super::ReconfigModule, RmImage) {
+    fn staged_soc() -> (
+        crate::system::RvCapSoc,
+        super::super::ReconfigModule,
+        RmImage,
+    ) {
         let geometry = RpGeometry::scaled(1, 0, 0);
         let img = RmImage::synthesize("HwRm", geometry.frames(), Resources::ZERO);
         let mut lib = RmLibrary::new();
@@ -236,17 +235,18 @@ mod tests {
         let ddr = soc.handles.ddr.clone();
         let driver = HwIcapDriver::new();
         let ticks = driver.init_reconfig_process(&mut soc.core, &ddr, &module, 0);
-        soc.core.wait_until(100_000, {
-            let icap = soc.handles.icap.clone();
-            move || !icap.busy()
-        });
+        soc.core
+            .wait_until(100_000, {
+                let icap = soc.handles.icap.clone();
+                move || !icap.busy()
+            })
+            .unwrap();
         let rec = soc.handles.icap.last_load().unwrap();
         assert!(rec.crc_ok, "load record: {rec:?}");
         assert_eq!(
-            soc.handles.config_mem.range_hash(
-                soc.handles.rps[0].far_base,
-                soc.handles.rps[0].frames()
-            ),
+            soc.handles
+                .config_mem
+                .range_hash(soc.handles.rps[0].far_base, soc.handles.rps[0].frames()),
             Some(img.hash())
         );
         assert!(ticks > 0);
@@ -260,7 +260,7 @@ mod tests {
         let driver = HwIcapDriver::new();
         driver.init_reconfig_process(&mut soc.core, &ddr, &module, 0);
         let icap = soc.handles.icap.clone();
-        soc.core.wait_until(100_000, || !icap.busy());
+        soc.core.wait_until(100_000, || !icap.busy()).unwrap();
         let far = soc.handles.rps[0].far_base;
         assert!(
             driver.readback_verify(&mut soc.core, far, &img.payload),
@@ -285,7 +285,7 @@ mod tests {
         let driver = HwIcapDriver::new();
         driver.init_reconfig_process(&mut soc.core, &ddr, &module, 0);
         let icap = soc.handles.icap.clone();
-        soc.core.wait_until(100_000, || !icap.busy());
+        soc.core.wait_until(100_000, || !icap.busy()).unwrap();
         let t0 = soc.core.now();
         driver.readback_verify(&mut soc.core, soc.handles.rps[0].far_base, &img.payload);
         let cycles = soc.core.now() - t0;

@@ -28,8 +28,8 @@ pub mod storage;
 pub mod timer;
 
 pub use hwicap::HwIcapDriver;
-pub use scrubber::{ScrubOutcome, Scrubber};
 pub use rvcap::{DmaMode, ReconfigTiming, RvCapDriver};
+pub use scrubber::{ScrubOutcome, Scrubber};
 pub use storage::init_rmodules;
 pub use timer::Stopwatch;
 

@@ -105,8 +105,8 @@ pub fn run_stream_job(
     len: u32,
 ) -> u64 {
     use crate::dma::{
-        MM2S_LENGTH as LEN, MM2S_SA as SA, MM2S_SA_MSB as SA_MSB, S2MM_DA, S2MM_DA_MSB,
-        S2MM_DMACR, S2MM_DMASR, S2MM_LENGTH,
+        MM2S_LENGTH as LEN, MM2S_SA as SA, MM2S_SA_MSB as SA_MSB, S2MM_DA, S2MM_DA_MSB, S2MM_DMACR,
+        S2MM_DMASR, S2MM_LENGTH,
     };
     use rvcap_soc::map::IRQ_DMA_S2MM;
     let t0 = read_mtime(core);
@@ -123,7 +123,8 @@ pub fn run_stream_job(
     core.write_reg(DMA_BASE + SA_MSB, (in_addr >> 32) as u32);
     core.write_reg(DMA_BASE + LEN, len);
     let plic = plic.clone();
-    core.wait_until(1_000_000_000, || plic.is_pending(IRQ_DMA_S2MM));
+    core.wait_until(1_000_000_000, || plic.is_pending(IRQ_DMA_S2MM))
+        .unwrap();
     core.compute(IRQ_TRAP_CYCLES);
     let src = core.read_reg(PLIC_BASE + PLIC_CLAIM);
     debug_assert_eq!(src, IRQ_DMA_S2MM);
@@ -215,7 +216,8 @@ impl RvCapDriver {
                 // The processor is free here; we idle until the PLIC
                 // pends (a real application would run other work).
                 let plic = self.plic.clone();
-                core.wait_until(100_000_000, || plic.is_pending(IRQ_DMA_MM2S));
+                core.wait_until(100_000_000, || plic.is_pending(IRQ_DMA_MM2S))
+                    .unwrap();
                 // Trap entry: context save + dispatch.
                 core.compute(IRQ_TRAP_CYCLES);
                 // Interrupt handler: claim, clear IOC, complete.
@@ -312,15 +314,16 @@ mod tests {
         // Allow the few-cycle skid between the DMA interrupt and the
         // ICAP consuming the trailer words.
         let icap = soc.handles.icap.clone();
-        soc.core.wait_until(10_000, || !icap.busy() && icap.load_count() > 0);
+        soc.core
+            .wait_until(10_000, || !icap.busy() && icap.load_count() > 0)
+            .unwrap();
         let rec = soc.handles.icap.last_load().unwrap();
         assert!(rec.crc_ok);
         assert_eq!(rec.far_start, soc.handles.rps[0].far_base);
         assert_eq!(
-            soc.handles.config_mem.range_hash(
-                soc.handles.rps[0].far_base,
-                soc.handles.rps[0].frames()
-            ),
+            soc.handles
+                .config_mem
+                .range_hash(soc.handles.rps[0].far_base, soc.handles.rps[0].frames()),
             Some(img.hash())
         );
         assert!(timing.td_ticks > 0);
@@ -399,10 +402,9 @@ mod tests {
             "module never activated through the compressed path"
         );
         assert_eq!(
-            soc.handles.config_mem.range_hash(
-                soc.handles.rps[0].far_base,
-                soc.handles.rps[0].frames()
-            ),
+            soc.handles
+                .config_mem
+                .range_hash(soc.handles.rps[0].far_base, soc.handles.rps[0].frames()),
             Some(img.hash())
         );
         // The DMA moved only the compressed bytes.

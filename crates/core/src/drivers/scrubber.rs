@@ -129,7 +129,9 @@ mod tests {
             .with_library(lib)
             .build();
         let far = soc.handles.rps[0].far_base;
-        let bytes = BitstreamBuilder::kintex7().partial(far, &img.payload).to_bytes();
+        let bytes = BitstreamBuilder::kintex7()
+            .partial(far, &img.payload)
+            .to_bytes();
         soc.handles.ddr.write_bytes(DDR_BASE + 0x40_0000, &bytes);
         let module = ReconfigModule {
             name: "GUARDED".into(),
@@ -141,7 +143,13 @@ mod tests {
         let driver = RvCapDriver::new(0, soc.handles.plic.clone());
         driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
         soc.core.compute(128);
-        let scrubber = Scrubber::new(0, far, img.payload.clone(), module, soc.handles.plic.clone());
+        let scrubber = Scrubber::new(
+            0,
+            far,
+            img.payload.clone(),
+            module,
+            soc.handles.plic.clone(),
+        );
         (soc, scrubber, img)
     }
 
@@ -162,7 +170,9 @@ mod tests {
         frame[55] ^= 1 << 9;
         soc.handles.config_mem.write_frame(far + 3, &frame);
         assert_ne!(
-            soc.handles.config_mem.range_hash(far, soc.handles.rps[0].frames()),
+            soc.handles
+                .config_mem
+                .range_hash(far, soc.handles.rps[0].frames()),
             Some(img.hash()),
             "upset corrupted the configuration"
         );
@@ -172,7 +182,9 @@ mod tests {
         assert_eq!(scrubber.stats().repairs, 1);
         // Configuration restored exactly.
         assert_eq!(
-            soc.handles.config_mem.range_hash(far, soc.handles.rps[0].frames()),
+            soc.handles
+                .config_mem
+                .range_hash(far, soc.handles.rps[0].frames()),
             Some(img.hash())
         );
         // And subsequent passes are clean again.
@@ -189,13 +201,12 @@ mod tests {
         let mut frame = soc.handles.config_mem.read_frame(far).unwrap();
         frame[0] ^= 2;
         soc.handles.config_mem.write_frame(far, &frame);
-        let staged = soc
-            .handles
-            .ddr
-            .read_bytes(DDR_BASE + 0x40_0000, 64);
+        let staged = soc.handles.ddr.read_bytes(DDR_BASE + 0x40_0000, 64);
         let mut corrupted = staged.clone();
         corrupted[50] ^= 0xFF;
-        soc.handles.ddr.write_bytes(DDR_BASE + 0x40_0000, &corrupted);
+        soc.handles
+            .ddr
+            .write_bytes(DDR_BASE + 0x40_0000, &corrupted);
 
         assert_eq!(scrubber.scrub(&mut soc.core), ScrubOutcome::RepairFailed);
         assert_eq!(scrubber.stats().repairs, 0);

@@ -179,11 +179,7 @@ impl Component for AxiHwicap {
         // Drain toward the ICAP, one word per cycle, while writing.
         if self.writing {
             if let Some(&w) = self.fifo.front() {
-                if self
-                    .icap
-                    .try_push(cycle, AxisBeat::word(w, false))
-                    .is_ok()
-                {
+                if self.icap.try_push(cycle, AxisBeat::word(w, false)).is_ok() {
                     self.fifo.pop_front();
                     self.words_written += 1;
                 }
@@ -197,13 +193,12 @@ impl Component for AxiHwicap {
             let resp = match req.op {
                 MmOp::Write { data, .. } => {
                     match off {
-                        REG_WF => {
+                        REG_WF
                             // Keyhole: full-FIFO writes are dropped by
                             // the real IP; drivers must respect WFV.
-                            if self.fifo.len() < self.depth {
+                            if self.fifo.len() < self.depth => {
                                 self.fifo.push_back(data as u32);
                             }
-                        }
                         REG_CR => {
                             if data as u32 & CR_WRITE != 0 && !self.fifo.is_empty() {
                                 self.writing = true;
@@ -248,6 +243,16 @@ impl Component for AxiHwicap {
     fn busy(&self) -> bool {
         self.writing || self.reading_remaining > 0
     }
+
+    fn next_activity(&self, now: rvcap_sim::Cycle) -> Option<rvcap_sim::Cycle> {
+        // Both engines move (or retry) a word every cycle while
+        // active, and a queued register access must be serviced now.
+        if self.writing || self.reading_remaining > 0 || !self.port.req.is_empty() {
+            Some(now)
+        } else {
+            Some(rvcap_sim::Cycle::MAX)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -273,21 +278,28 @@ mod tests {
 
     fn wr(r: &mut Rig, off: u64, v: u32) {
         loop {
-            if r.m.try_issue(r.sim.now(), MmReq::write(off, v as u64, 4)).is_ok() {
+            if r.m
+                .try_issue(r.sim.now(), MmReq::write(off, v as u64, 4))
+                .is_ok()
+            {
                 break;
             }
             r.sim.step();
         }
-        r.sim.run_until(1000, || r.m.resp.force_pop().is_some());
+        r.sim
+            .run_until(1000, || r.m.resp.force_pop().is_some())
+            .unwrap();
     }
 
     fn rd(r: &mut Rig, off: u64) -> u32 {
         r.m.try_issue(r.sim.now(), MmReq::read(off, 4)).unwrap();
         let mut got = None;
-        r.sim.run_until(1000, || {
-            got = r.m.resp.force_pop();
-            got.is_some()
-        });
+        r.sim
+            .run_until(1000, || {
+                got = r.m.resp.force_pop();
+                got.is_some()
+            })
+            .unwrap();
         got.unwrap().data as u32
     }
 

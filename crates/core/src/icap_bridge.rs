@@ -62,6 +62,10 @@ impl Component for Axis2Icap {
     fn busy(&self) -> bool {
         self.inner.busy()
     }
+
+    fn next_activity(&self, now: rvcap_sim::Cycle) -> Option<rvcap_sim::Cycle> {
+        self.inner.next_activity(now)
+    }
 }
 
 #[cfg(test)]
@@ -75,7 +79,11 @@ mod tests {
         let mut sim = Simulator::new(Freq::FABRIC_100MHZ);
         let input: AxisChannel = Fifo::new("in", 64);
         let output: AxisChannel = Fifo::new("out", 128);
-        sim.register(Box::new(Axis2Icap::new("axis2icap", input.clone(), output.clone())));
+        sim.register(Box::new(Axis2Icap::new(
+            "axis2icap",
+            input.clone(),
+            output.clone(),
+        )));
         // A sync word followed by a type-1 header, as the DMA would
         // fetch them from DDR (little-endian words).
         let mut bytes = Vec::new();
@@ -84,7 +92,7 @@ mod tests {
         for b in pack_bytes(&bytes, 8) {
             input.force_push(b);
         }
-        sim.run_until_quiescent(1000);
+        sim.run_until_quiescent(1000).unwrap();
         let w0 = output.force_pop().unwrap();
         let w1 = output.force_pop().unwrap();
         assert_eq!(w0.low_word(), 0xAA99_5566);
@@ -102,14 +110,14 @@ mod tests {
             input.force_push(b);
         }
         sim.register(Box::new(bridge));
-        sim.run_until_quiescent(1000);
+        sim.run_until_quiescent(1000).unwrap();
         assert_eq!(output.total_pushed(), 64);
     }
 
     #[test]
     fn control_levels_are_write_mode() {
         // The paper's fixed control wiring.
-        assert!(!RDWRB_LEVEL);
-        assert!(!CSIB_ACTIVE);
+        const { assert!(!RDWRB_LEVEL) };
+        const { assert!(!CSIB_ACTIVE) };
     }
 }

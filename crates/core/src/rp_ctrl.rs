@@ -87,10 +87,7 @@ impl Component for RpController {
                             let level = data & (1 << i) != 0;
                             if level != line.get() {
                                 ctx.tracer.info(cycle, &self.name, || {
-                                    format!(
-                                        "RP{i} {}",
-                                        if level { "decoupled" } else { "coupled" }
-                                    )
+                                    format!("RP{i} {}", if level { "decoupled" } else { "coupled" })
                                 });
                             }
                             line.set(level);
@@ -109,7 +106,7 @@ impl Component for RpController {
                             }
                         }
                         s
-                    } else if off >= REG_RM_ID_BASE && off < REG_RM_ID_BASE + 4 * 8 {
+                    } else if (REG_RM_ID_BASE..REG_RM_ID_BASE + 4 * 8).contains(&off) {
                         let rp = ((off - REG_RM_ID_BASE) / 4) as usize;
                         self.rm_id(rp) as u64
                     } else {
@@ -120,6 +117,14 @@ impl Component for RpController {
                 MmOp::ReadBurst { .. } => MmResp::err(),
             };
             let _ = self.port.try_respond(cycle, resp);
+        }
+    }
+
+    fn next_activity(&self, now: rvcap_sim::Cycle) -> Option<rvcap_sim::Cycle> {
+        if self.port.req.is_empty() {
+            Some(rvcap_sim::Cycle::MAX)
+        } else {
+            Some(now)
         }
     }
 }
@@ -146,7 +151,7 @@ mod tests {
 
     fn wr(sim: &mut Simulator, m: &rvcap_axi::MasterPort, off: u64, v: u64) {
         m.try_issue(sim.now(), MmReq::write(off, v, 4)).unwrap();
-        sim.run_until(100, || m.resp.force_pop().is_some());
+        sim.run_until(100, || m.resp.force_pop().is_some()).unwrap();
     }
 
     fn rd(sim: &mut Simulator, m: &rvcap_axi::MasterPort, off: u64) -> u64 {
@@ -155,7 +160,8 @@ mod tests {
         sim.run_until(100, || {
             got = m.resp.force_pop();
             got.is_some()
-        });
+        })
+        .unwrap();
         got.unwrap().data
     }
 

@@ -201,8 +201,11 @@ mod tests {
         fn tick(&mut self, cycle: Cycle, input: &AxisChannel, output: &AxisChannel) {
             if output.can_push(cycle) {
                 if let Some(b) = input.try_pop(cycle) {
-                    let bytes: Vec<u8> =
-                        b.to_bytes().iter().map(|x| x.wrapping_add(self.k)).collect();
+                    let bytes: Vec<u8> = b
+                        .to_bytes()
+                        .iter()
+                        .map(|x| x.wrapping_add(self.k))
+                        .collect();
                     output
                         .try_push(cycle, AxisBeat::from_bytes(&bytes, b.last))
                         .expect("can_push checked");
@@ -250,7 +253,9 @@ mod tests {
         let far = soc.handles.rps[0].far_base;
         let mut scheduler = ReconfigScheduler::new(0, policy);
         for (img, stage) in [(&img_a, STAGE_A), (&img_b, STAGE_B)] {
-            let bytes = BitstreamBuilder::kintex7().partial(far, &img.payload).to_bytes();
+            let bytes = BitstreamBuilder::kintex7()
+                .partial(far, &img.payload)
+                .to_bytes();
             soc.handles.ddr.write_bytes(stage, &bytes);
             scheduler.register_bitstream(ReconfigModule {
                 name: img.name.clone(),
@@ -290,7 +295,10 @@ mod tests {
         for i in 0..6u64 {
             let expect = if i % 2 == 0 { 101u8 } else { 110u8 };
             assert_eq!(
-                r.soc.handles.ddr.read_bytes(OUT_ADDR + i * 0x1000, LEN as usize),
+                r.soc
+                    .handles
+                    .ddr
+                    .read_bytes(OUT_ADDR + i * 0x1000, LEN as usize),
                 vec![expect; LEN as usize],
                 "job {i}"
             );
@@ -310,7 +318,10 @@ mod tests {
         for i in 0..6u64 {
             let expect = if i % 2 == 0 { 101u8 } else { 110u8 };
             assert_eq!(
-                r.soc.handles.ddr.read_bytes(OUT_ADDR + i * 0x1000, LEN as usize),
+                r.soc
+                    .handles
+                    .ddr
+                    .read_bytes(OUT_ADDR + i * 0x1000, LEN as usize),
                 vec![expect; LEN as usize],
                 "job {i}"
             );

@@ -111,6 +111,14 @@ impl Component for SwitchCtrl {
             let _ = self.port.try_respond(ctx.cycle, resp);
         }
     }
+
+    fn next_activity(&self, now: rvcap_sim::Cycle) -> Option<rvcap_sim::Cycle> {
+        if self.port.req.is_empty() {
+            Some(rvcap_sim::Cycle::MAX)
+        } else {
+            Some(now)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -123,13 +131,18 @@ mod tests {
         let mut sim = Simulator::new(Freq::FABRIC_100MHZ);
         let (m, s) = link("swctrl", 2);
         let select = Signal::new(0u8);
-        sim.register(Box::new(SwitchCtrl::new("swctrl", s, select.clone(), icap_route)));
+        sim.register(Box::new(SwitchCtrl::new(
+            "swctrl",
+            s,
+            select.clone(),
+            icap_route,
+        )));
         (sim, m, select)
     }
 
     fn wr(sim: &mut Simulator, m: &rvcap_axi::MasterPort, off: u64, v: u64) {
         m.try_issue(sim.now(), MmReq::write(off, v, 4)).unwrap();
-        sim.run_until(100, || m.resp.force_pop().is_some());
+        sim.run_until(100, || m.resp.force_pop().is_some()).unwrap();
     }
 
     #[test]

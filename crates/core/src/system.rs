@@ -35,9 +35,9 @@ use rvcap_fabric::host::{RmHost, RmHostHandle};
 use rvcap_fabric::icap::{Icap, IcapHandle};
 use rvcap_fabric::rm::RmLibrary;
 use rvcap_fabric::rp::{Rp, RpGeometry};
-use rvcap_sim::{Fifo, Freq, Signal, Simulator};
 use rvcap_sim::trace::TraceLevel;
 use rvcap_sim::vcd::{VcdHandle, VcdRecorder};
+use rvcap_sim::{Fifo, Freq, Signal, Simulator};
 use rvcap_soc::clint::{Clint, ClintHandle};
 use rvcap_soc::cpu::SocCore;
 use rvcap_soc::ddr::{Ddr, DdrConfig, DdrHandle};
@@ -225,15 +225,27 @@ impl SocBuilder {
             "xbar",
             vec![cpu_s, dma_mem_s],
             vec![
-                (SlaveRegion::new("boot", BOOT_ROM_BASE, BOOT_ROM_SIZE), boot_m),
+                (
+                    SlaveRegion::new("boot", BOOT_ROM_BASE, BOOT_ROM_SIZE),
+                    boot_m,
+                ),
                 (SlaveRegion::new("clint", CLINT_BASE, CLINT_SIZE), clint_m),
                 (SlaveRegion::new("plic", PLIC_BASE, PLIC_SIZE), plic_m),
                 (SlaveRegion::new("uart", UART_BASE, UART_SIZE), uart_m),
                 (SlaveRegion::new("spi", SPI_BASE, SPI_SIZE), spi_m),
-                (SlaveRegion::new("hwicap", HWICAP_BASE, HWICAP_SIZE), hwicap_up_m),
+                (
+                    SlaveRegion::new("hwicap", HWICAP_BASE, HWICAP_SIZE),
+                    hwicap_up_m,
+                ),
                 (SlaveRegion::new("dma", DMA_BASE, DMA_SIZE), dma_up_m),
-                (SlaveRegion::new("rpctrl", RP_CTRL_BASE, RP_CTRL_SIZE), rpctrl_m),
-                (SlaveRegion::new("swctrl", SWITCH_BASE, SWITCH_SIZE), swctrl_m),
+                (
+                    SlaveRegion::new("rpctrl", RP_CTRL_BASE, RP_CTRL_SIZE),
+                    rpctrl_m,
+                ),
+                (
+                    SlaveRegion::new("swctrl", SWITCH_BASE, SWITCH_SIZE),
+                    swctrl_m,
+                ),
                 (SlaveRegion::new("ddr", DDR_BASE, self.ddr_cfg.size), ddr_m),
             ],
         );
@@ -322,9 +334,8 @@ impl SocBuilder {
         let mm2s_irq = dma.mm2s_irq.clone();
         let mm2s_irq_for_vcd = dma.mm2s_irq.clone();
         let s2mm_irq = dma.s2mm_irq.clone();
-        let hwicap =
-            AxiHwicap::with_depth("hwicap", hwicap_dn_s, icap_in, self.hwicap_fifo_depth)
-                .with_readback(config_mem.clone());
+        let hwicap = AxiHwicap::with_depth("hwicap", hwicap_dn_s, icap_in, self.hwicap_fifo_depth)
+            .with_readback(config_mem.clone());
         let dma_adapter = MmAdapter::axi4_to_lite("dma.adapter", dma_up_s, dma_dn_m);
         let hwicap_adapter = MmAdapter::axi4_to_lite("hwicap.adapter", hwicap_up_s, hwicap_dn_m);
         let rpctrl = RpController::new(
@@ -348,11 +359,9 @@ impl SocBuilder {
         let (uart, uart_h) = Uart::new("uart", uart_s, UART_BASE);
         let mut sd_dev = MemBlockDevice::with_mib(64);
         if !self.sd_files.is_empty() {
-            let mut vol = Fat32Volume::format(std::mem::replace(
-                &mut sd_dev,
-                MemBlockDevice::new(1),
-            ))
-            .expect("SD format");
+            let mut vol =
+                Fat32Volume::format(std::mem::replace(&mut sd_dev, MemBlockDevice::new(1)))
+                    .expect("SD format");
             for (name, data) in &self.sd_files {
                 vol.write(name, data).expect("SD preload");
             }
@@ -459,7 +468,10 @@ mod tests {
     #[test]
     fn multi_rp_placement_does_not_overlap() {
         let soc = SocBuilder::new()
-            .with_rps(vec![RpGeometry::scaled(2, 1, 0), RpGeometry::scaled(4, 0, 1)])
+            .with_rps(vec![
+                RpGeometry::scaled(2, 1, 0),
+                RpGeometry::scaled(4, 0, 1),
+            ])
             .build();
         let a = &soc.handles.rps[0];
         let b = &soc.handles.rps[1];

@@ -107,8 +107,8 @@ pub fn decode_header(word: u32) -> Result<Packet, BitstreamError> {
         (0b001, 0b00) => Ok(Packet::Noop),
         (0b001, 0b10) => {
             let reg_addr = (word >> 13) & 0x3FFF;
-            let reg = ConfigReg::from_addr(reg_addr)
-                .ok_or(BitstreamError::UnknownRegister(reg_addr))?;
+            let reg =
+                ConfigReg::from_addr(reg_addr).ok_or(BitstreamError::UnknownRegister(reg_addr))?;
             Ok(Packet::Type1Write {
                 reg,
                 count: word & 0x7FF,
@@ -160,10 +160,16 @@ impl std::fmt::Display for BitstreamError {
             BitstreamError::UnknownRegister(r) => write!(f, "unknown config register {r:#x}"),
             BitstreamError::Truncated => write!(f, "truncated bitstream"),
             BitstreamError::CrcMismatch { expected, computed } => {
-                write!(f, "CRC mismatch: stream {expected:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "CRC mismatch: stream {expected:#010x}, computed {computed:#010x}"
+                )
             }
             BitstreamError::IdcodeMismatch { found, device } => {
-                write!(f, "IDCODE mismatch: stream {found:#010x}, device {device:#010x}")
+                write!(
+                    f,
+                    "IDCODE mismatch: stream {found:#010x}, device {device:#010x}"
+                )
             }
             BitstreamError::RaggedPayload(n) => {
                 write!(f, "payload of {n} words is not a whole number of frames")
@@ -199,7 +205,7 @@ impl Bitstream {
 
     /// Reconstruct from bytes. Length must be a multiple of 4.
     pub fn from_bytes(bytes: &[u8]) -> Result<Bitstream, BitstreamError> {
-        if bytes.len() % 4 != 0 {
+        if !bytes.len().is_multiple_of(4) {
             return Err(BitstreamError::Truncated);
         }
         Ok(Bitstream {
@@ -246,7 +252,7 @@ impl BitstreamBuilder {
     /// frames) starting at frame address `far_base`.
     pub fn partial(&self, far_base: u32, payload: &[u32]) -> Bitstream {
         assert!(
-            payload.len() % FRAME_WORDS == 0 && !payload.is_empty(),
+            payload.len().is_multiple_of(FRAME_WORDS) && !payload.is_empty(),
             "payload must be a positive whole number of {FRAME_WORDS}-word frames, got {}",
             payload.len()
         );
@@ -346,12 +352,9 @@ pub fn parse(bs: &Bitstream, device_idcode: u32) -> Result<ParsedBitstream, Bits
                             match v {
                                 cmd::RCRC => crc = Crc32::new(),
                                 cmd::DESYNC => {
-                                    let far_base =
-                                        far.ok_or(BitstreamError::Truncated)?;
+                                    let far_base = far.ok_or(BitstreamError::Truncated)?;
                                     if payload.len() % FRAME_WORDS != 0 || payload.is_empty() {
-                                        return Err(BitstreamError::RaggedPayload(
-                                            payload.len(),
-                                        ));
+                                        return Err(BitstreamError::RaggedPayload(payload.len()));
                                     }
                                     if !crc_checked {
                                         // A stream without a CRC check is
@@ -484,7 +487,10 @@ mod tests {
         let cut = Bitstream::from_bytes(&bytes[..bytes.len() - 40]).unwrap();
         let err = parse(&cut, KINTEX7_IDCODE).unwrap_err();
         assert!(
-            matches!(err, BitstreamError::Truncated | BitstreamError::MissingDesync),
+            matches!(
+                err,
+                BitstreamError::Truncated | BitstreamError::MissingDesync
+            ),
             "got {err:?}"
         );
     }
@@ -496,7 +502,10 @@ mod tests {
         let mut bytes = bs.to_bytes();
         bytes[0] ^= 0xFF;
         let bad = Bitstream::from_bytes(&bytes).unwrap();
-        assert_eq!(parse(&bad, KINTEX7_IDCODE), Err(BitstreamError::MissingSync));
+        assert_eq!(
+            parse(&bad, KINTEX7_IDCODE),
+            Err(BitstreamError::MissingSync)
+        );
     }
 
     #[test]
@@ -516,7 +525,10 @@ mod tests {
             }
         );
         let h2 = type2_write(162_711);
-        assert_eq!(decode_header(h2).unwrap(), Packet::Type2Write { count: 162_711 });
+        assert_eq!(
+            decode_header(h2).unwrap(),
+            Packet::Type2Write { count: 162_711 }
+        );
         assert!(decode_header(0xFFFF_FFFF).is_err());
     }
 

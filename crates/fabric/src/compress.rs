@@ -18,10 +18,7 @@ pub fn compress(words: &[u32]) -> Vec<u32> {
     while i < words.len() {
         let w = words[i];
         let mut run = 1u32;
-        while i + (run as usize) < words.len()
-            && words[i + run as usize] == w
-            && run < u32::MAX
-        {
+        while i + (run as usize) < words.len() && words[i + run as usize] == w && run < u32::MAX {
             run += 1;
         }
         out.push(run);
@@ -33,7 +30,7 @@ pub fn compress(words: &[u32]) -> Vec<u32> {
 
 /// Decompress an RLE stream.
 pub fn decompress(rle: &[u32]) -> Result<Vec<u32>, &'static str> {
-    if rle.len() % 2 != 0 {
+    if !rle.len().is_multiple_of(2) {
         return Err("truncated RLE stream");
     }
     let mut out = Vec::new();
@@ -111,7 +108,9 @@ mod tests {
 
     #[test]
     fn incompressible_data_grows() {
-        let words: Vec<u32> = (0..1000u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        let words: Vec<u32> = (0..1000u32)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect();
         // Distinct words → 2 output words per input word.
         assert!(ratio(&words) < 0.51);
     }

@@ -157,6 +157,18 @@ impl Component for RmHost {
     fn busy(&self) -> bool {
         self.active.as_ref().is_some_and(|b| b.busy())
     }
+
+    fn next_activity(&self, now: rvcap_sim::Cycle) -> Option<rvcap_sim::Cycle> {
+        // An unseen ICAP load must be evaluated now. A hosted
+        // behaviour is opaque (the `RmBehavior` trait declares no
+        // activity), so an occupied partition is conservatively always
+        // active; only an empty/inert partition can be skipped.
+        if self.icap.load_count() != self.seen_loads || self.active.is_some() {
+            Some(now)
+        } else {
+            Some(rvcap_sim::Cycle::MAX)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -250,7 +262,7 @@ mod tests {
         for b in pack_bytes(&bs.to_bytes(), 4) {
             r.icap_in.force_push(b);
         }
-        r.sim.run_until_quiescent(1_000_000);
+        r.sim.run_until_quiescent(1_000_000).unwrap();
     }
 
     #[test]
@@ -301,7 +313,7 @@ mod tests {
         for b in pack_bytes(&bytes, 4) {
             r.icap_in.force_push(b);
         }
-        r.sim.run_until_quiescent(1_000_000);
+        r.sim.run_until_quiescent(1_000_000).unwrap();
         assert_eq!(r.handle.active_module(), None);
         assert_eq!(r.handle.reconfig_count(), 1);
     }

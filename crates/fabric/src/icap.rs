@@ -310,14 +310,24 @@ impl Component for Icap {
     fn busy(&self) -> bool {
         self.state != State::Desynced || !self.input.is_empty()
     }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        // The FSM advances only when a word arrives; a synced-but-
+        // starved ICAP tick is a pure no-op.
+        if self.input.is_empty() {
+            Some(Cycle::MAX)
+        } else {
+            Some(now)
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::bitstream::{BitstreamBuilder, KINTEX7_IDCODE};
-    use crate::rm::RmImage;
     use crate::resources::Resources;
+    use crate::rm::RmImage;
     use rvcap_axi::stream::pack_bytes;
     use rvcap_sim::{Fifo, Freq, Simulator};
 
@@ -354,7 +364,7 @@ mod tests {
         let img = RmImage::synthesize("m", 4, Resources::ZERO);
         let bs = BitstreamBuilder::kintex7().partial(100, &img.payload);
         feed(&mut r, &bs.to_bytes());
-        r.sim.run_until_quiescent(100_000);
+        r.sim.run_until_quiescent(100_000).unwrap();
         let rec = r.handle.last_load().unwrap();
         assert!(rec.crc_ok);
         assert_eq!(rec.far_start, 100);
@@ -370,9 +380,12 @@ mod tests {
         let bs = BitstreamBuilder::kintex7().partial(0, &img.payload);
         let words = bs.words().len() as u64;
         feed(&mut r, &bs.to_bytes());
-        let cycles = r.sim.run_until_quiescent(1_000_000);
+        let cycles = r.sim.run_until_quiescent(1_000_000).unwrap();
         // All queued: consumption is exactly 1 word/cycle (+1 drain).
-        assert!(cycles >= words && cycles <= words + 2, "took {cycles} for {words} words");
+        assert!(
+            cycles >= words && cycles <= words + 2,
+            "took {cycles} for {words} words"
+        );
     }
 
     #[test]
@@ -384,7 +397,7 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
         feed(&mut r, &bytes);
-        r.sim.run_until_quiescent(100_000);
+        r.sim.run_until_quiescent(100_000).unwrap();
         let rec = r.handle.last_load().unwrap();
         assert!(!rec.crc_ok);
         assert_eq!(r.handle.abort_count(), 1);
@@ -399,7 +412,7 @@ mod tests {
         let img = RmImage::synthesize("m", 2, Resources::ZERO);
         let bs = BitstreamBuilder::new(0x0BAD_0001).partial(0, &img.payload);
         feed(&mut r, &bs.to_bytes());
-        r.sim.run_until_quiescent(100_000);
+        r.sim.run_until_quiescent(100_000).unwrap();
         assert_eq!(r.handle.abort_count(), 1);
         assert_eq!(r.cm.total_writes(), 0);
         assert!(!r.handle.last_load().unwrap().crc_ok);
@@ -412,7 +425,7 @@ mod tests {
         // Device has 4096 frames; aim past the end.
         let bs = BitstreamBuilder::kintex7().partial(4095, &img.payload);
         feed(&mut r, &bs.to_bytes());
-        r.sim.run_until_quiescent(100_000);
+        r.sim.run_until_quiescent(100_000).unwrap();
         assert_eq!(r.handle.abort_count(), 1);
         // Exactly one frame fit before the range check tripped.
         assert_eq!(r.cm.total_writes(), 1);
@@ -426,7 +439,7 @@ mod tests {
         let builder = BitstreamBuilder::kintex7();
         feed(&mut r, &builder.partial(10, &a.payload).to_bytes());
         feed(&mut r, &builder.partial(10, &b.payload).to_bytes());
-        r.sim.run_until_quiescent(100_000);
+        r.sim.run_until_quiescent(100_000).unwrap();
         let recs = r.handle.records();
         assert_eq!(recs.len(), 2);
         assert!(recs.iter().all(|x| x.crc_ok));
@@ -440,9 +453,13 @@ mod tests {
         let mut r = rig();
         let img = RmImage::synthesize("m", 1, Resources::ZERO);
         let mut bytes = vec![0xFF; 16]; // dummy pad words
-        bytes.extend_from_slice(&BitstreamBuilder::kintex7().partial(5, &img.payload).to_bytes());
+        bytes.extend_from_slice(
+            &BitstreamBuilder::kintex7()
+                .partial(5, &img.payload)
+                .to_bytes(),
+        );
         feed(&mut r, &bytes);
-        r.sim.run_until_quiescent(100_000);
+        r.sim.run_until_quiescent(100_000).unwrap();
         assert!(r.handle.last_load().unwrap().crc_ok);
         assert_eq!(r.cm.range_hash(5, 1), Some(img.hash()));
     }

@@ -308,10 +308,11 @@ mod tests {
         // resources in terms of LUT and FFs."
         let full_soc = Resources::new(74_393, 64_059, 92, 47);
         let rvcap = Resources::new(2421, 3755, 6, 0);
-        let share = (rvcap.luts + rvcap.ffs) as f64 * 100.0
-            / (full_soc.luts + full_soc.ffs) as f64;
-        assert!((share - 4.46).abs() < 0.01 || (share - 3.25).abs() < 1.3,
-            "LUT+FF share {share}% should be in the ballpark the paper reports");
+        let share = (rvcap.luts + rvcap.ffs) as f64 * 100.0 / (full_soc.luts + full_soc.ffs) as f64;
+        assert!(
+            (share - 4.46).abs() < 0.01 || (share - 3.25).abs() < 1.3,
+            "LUT+FF share {share}% should be in the ballpark the paper reports"
+        );
     }
 
     #[test]

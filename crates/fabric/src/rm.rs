@@ -40,7 +40,7 @@ impl RmImage {
     /// Wrap an explicit payload as an image.
     pub fn new(name: impl Into<String>, payload: Vec<u32>, resources: Resources) -> Self {
         assert!(
-            !payload.is_empty() && payload.len() % FRAME_WORDS == 0,
+            !payload.is_empty() && payload.len().is_multiple_of(FRAME_WORDS),
             "RM payload must be a positive whole number of frames"
         );
         let hash = payload_hash(&payload);
@@ -224,7 +224,10 @@ mod tests {
         assert!(lib.by_name("Sobel").is_none());
         assert_eq!(lib.by_hash(h).unwrap().name, "Gaussian");
         assert!(lib.by_hash(h ^ 1).is_none());
-        assert!(lib.behavior_for_hash(h).is_none(), "no behaviour registered");
+        assert!(
+            lib.behavior_for_hash(h).is_none(),
+            "no behaviour registered"
+        );
     }
 
     #[test]

@@ -207,7 +207,11 @@ mod tests {
         assert_eq!(rp.loaded_hash(&cm), None);
         let img = RmImage::synthesize("m", rp.frames(), Resources::ZERO);
         // Backdoor-load the image.
-        for (i, frame) in img.payload.chunks(crate::config_mem::FRAME_WORDS).enumerate() {
+        for (i, frame) in img
+            .payload
+            .chunks(crate::config_mem::FRAME_WORDS)
+            .enumerate()
+        {
             let mut buf = [0u32; crate::config_mem::FRAME_WORDS];
             buf.copy_from_slice(frame);
             cm.write_frame(100 + i as u32, &buf);

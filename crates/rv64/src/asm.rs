@@ -41,13 +41,39 @@ fn err(line: usize, message: impl Into<String>) -> AsmError {
 fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
     let s = s.trim();
     let abi = [
-        ("zero", 0), ("ra", 1), ("sp", 2), ("gp", 3), ("tp", 4),
-        ("t0", 5), ("t1", 6), ("t2", 7), ("s0", 8), ("fp", 8), ("s1", 9),
-        ("a0", 10), ("a1", 11), ("a2", 12), ("a3", 13), ("a4", 14),
-        ("a5", 15), ("a6", 16), ("a7", 17), ("s2", 18), ("s3", 19),
-        ("s4", 20), ("s5", 21), ("s6", 22), ("s7", 23), ("s8", 24),
-        ("s9", 25), ("s10", 26), ("s11", 27), ("t3", 28), ("t4", 29),
-        ("t5", 30), ("t6", 31),
+        ("zero", 0),
+        ("ra", 1),
+        ("sp", 2),
+        ("gp", 3),
+        ("tp", 4),
+        ("t0", 5),
+        ("t1", 6),
+        ("t2", 7),
+        ("s0", 8),
+        ("fp", 8),
+        ("s1", 9),
+        ("a0", 10),
+        ("a1", 11),
+        ("a2", 12),
+        ("a3", 13),
+        ("a4", 14),
+        ("a5", 15),
+        ("a6", 16),
+        ("a7", 17),
+        ("s2", 18),
+        ("s3", 19),
+        ("s4", 20),
+        ("s5", 21),
+        ("s6", 22),
+        ("s7", 23),
+        ("s8", 24),
+        ("s9", 25),
+        ("s10", 26),
+        ("s11", 27),
+        ("t3", 28),
+        ("t4", 29),
+        ("t5", 30),
+        ("t6", 31),
     ];
     for (name, idx) in abi {
         if s == name {
@@ -321,54 +347,198 @@ fn lower(
                 imm,
             }])
         }
-        "beq" => { nargs(3)?; branch(BranchCond::Eq, &args) }
-        "bne" => { nargs(3)?; branch(BranchCond::Ne, &args) }
-        "blt" => { nargs(3)?; branch(BranchCond::Lt, &args) }
-        "bge" => { nargs(3)?; branch(BranchCond::Ge, &args) }
-        "bltu" => { nargs(3)?; branch(BranchCond::Ltu, &args) }
-        "bgeu" => { nargs(3)?; branch(BranchCond::Geu, &args) }
-        "lb" => { nargs(2)?; load(Width::B, false, &args) }
-        "lh" => { nargs(2)?; load(Width::H, false, &args) }
-        "lw" => { nargs(2)?; load(Width::W, false, &args) }
-        "ld" => { nargs(2)?; load(Width::D, false, &args) }
-        "lbu" => { nargs(2)?; load(Width::B, true, &args) }
-        "lhu" => { nargs(2)?; load(Width::H, true, &args) }
-        "lwu" => { nargs(2)?; load(Width::W, true, &args) }
-        "sb" => { nargs(2)?; store(Width::B, &args) }
-        "sh" => { nargs(2)?; store(Width::H, &args) }
-        "sw" => { nargs(2)?; store(Width::W, &args) }
-        "sd" => { nargs(2)?; store(Width::D, &args) }
-        "addi" => { nargs(3)?; alu_imm(AluOp::Add, false, &args) }
-        "addiw" => { nargs(3)?; alu_imm(AluOp::Add, true, &args) }
-        "slti" => { nargs(3)?; alu_imm(AluOp::Slt, false, &args) }
-        "sltiu" => { nargs(3)?; alu_imm(AluOp::Sltu, false, &args) }
-        "xori" => { nargs(3)?; alu_imm(AluOp::Xor, false, &args) }
-        "ori" => { nargs(3)?; alu_imm(AluOp::Or, false, &args) }
-        "andi" => { nargs(3)?; alu_imm(AluOp::And, false, &args) }
-        "slli" => { nargs(3)?; alu_imm(AluOp::Sll, false, &args) }
-        "srli" => { nargs(3)?; alu_imm(AluOp::Srl, false, &args) }
-        "srai" => { nargs(3)?; alu_imm(AluOp::Sra, false, &args) }
-        "add" => { nargs(3)?; alu_reg(AluOp::Add, false, &args) }
-        "addw" => { nargs(3)?; alu_reg(AluOp::Add, true, &args) }
-        "sub" => { nargs(3)?; alu_reg(AluOp::Sub, false, &args) }
-        "subw" => { nargs(3)?; alu_reg(AluOp::Sub, true, &args) }
-        "sll" => { nargs(3)?; alu_reg(AluOp::Sll, false, &args) }
-        "srl" => { nargs(3)?; alu_reg(AluOp::Srl, false, &args) }
-        "sra" => { nargs(3)?; alu_reg(AluOp::Sra, false, &args) }
-        "slt" => { nargs(3)?; alu_reg(AluOp::Slt, false, &args) }
-        "sltu" => { nargs(3)?; alu_reg(AluOp::Sltu, false, &args) }
-        "xor" => { nargs(3)?; alu_reg(AluOp::Xor, false, &args) }
-        "or" => { nargs(3)?; alu_reg(AluOp::Or, false, &args) }
-        "and" => { nargs(3)?; alu_reg(AluOp::And, false, &args) }
-        "mul" => { nargs(3)?; muldiv(MulOp::Mul, false, &args) }
-        "mulhu" => { nargs(3)?; muldiv(MulOp::Mulhu, false, &args) }
-        "div" => { nargs(3)?; muldiv(MulOp::Div, false, &args) }
-        "divu" => { nargs(3)?; muldiv(MulOp::Divu, false, &args) }
-        "rem" => { nargs(3)?; muldiv(MulOp::Rem, false, &args) }
-        "remu" => { nargs(3)?; muldiv(MulOp::Remu, false, &args) }
-        "mulw" => { nargs(3)?; muldiv(MulOp::Mul, true, &args) }
-        "divw" => { nargs(3)?; muldiv(MulOp::Div, true, &args) }
-        "remw" => { nargs(3)?; muldiv(MulOp::Rem, true, &args) }
+        "beq" => {
+            nargs(3)?;
+            branch(BranchCond::Eq, &args)
+        }
+        "bne" => {
+            nargs(3)?;
+            branch(BranchCond::Ne, &args)
+        }
+        "blt" => {
+            nargs(3)?;
+            branch(BranchCond::Lt, &args)
+        }
+        "bge" => {
+            nargs(3)?;
+            branch(BranchCond::Ge, &args)
+        }
+        "bltu" => {
+            nargs(3)?;
+            branch(BranchCond::Ltu, &args)
+        }
+        "bgeu" => {
+            nargs(3)?;
+            branch(BranchCond::Geu, &args)
+        }
+        "lb" => {
+            nargs(2)?;
+            load(Width::B, false, &args)
+        }
+        "lh" => {
+            nargs(2)?;
+            load(Width::H, false, &args)
+        }
+        "lw" => {
+            nargs(2)?;
+            load(Width::W, false, &args)
+        }
+        "ld" => {
+            nargs(2)?;
+            load(Width::D, false, &args)
+        }
+        "lbu" => {
+            nargs(2)?;
+            load(Width::B, true, &args)
+        }
+        "lhu" => {
+            nargs(2)?;
+            load(Width::H, true, &args)
+        }
+        "lwu" => {
+            nargs(2)?;
+            load(Width::W, true, &args)
+        }
+        "sb" => {
+            nargs(2)?;
+            store(Width::B, &args)
+        }
+        "sh" => {
+            nargs(2)?;
+            store(Width::H, &args)
+        }
+        "sw" => {
+            nargs(2)?;
+            store(Width::W, &args)
+        }
+        "sd" => {
+            nargs(2)?;
+            store(Width::D, &args)
+        }
+        "addi" => {
+            nargs(3)?;
+            alu_imm(AluOp::Add, false, &args)
+        }
+        "addiw" => {
+            nargs(3)?;
+            alu_imm(AluOp::Add, true, &args)
+        }
+        "slti" => {
+            nargs(3)?;
+            alu_imm(AluOp::Slt, false, &args)
+        }
+        "sltiu" => {
+            nargs(3)?;
+            alu_imm(AluOp::Sltu, false, &args)
+        }
+        "xori" => {
+            nargs(3)?;
+            alu_imm(AluOp::Xor, false, &args)
+        }
+        "ori" => {
+            nargs(3)?;
+            alu_imm(AluOp::Or, false, &args)
+        }
+        "andi" => {
+            nargs(3)?;
+            alu_imm(AluOp::And, false, &args)
+        }
+        "slli" => {
+            nargs(3)?;
+            alu_imm(AluOp::Sll, false, &args)
+        }
+        "srli" => {
+            nargs(3)?;
+            alu_imm(AluOp::Srl, false, &args)
+        }
+        "srai" => {
+            nargs(3)?;
+            alu_imm(AluOp::Sra, false, &args)
+        }
+        "add" => {
+            nargs(3)?;
+            alu_reg(AluOp::Add, false, &args)
+        }
+        "addw" => {
+            nargs(3)?;
+            alu_reg(AluOp::Add, true, &args)
+        }
+        "sub" => {
+            nargs(3)?;
+            alu_reg(AluOp::Sub, false, &args)
+        }
+        "subw" => {
+            nargs(3)?;
+            alu_reg(AluOp::Sub, true, &args)
+        }
+        "sll" => {
+            nargs(3)?;
+            alu_reg(AluOp::Sll, false, &args)
+        }
+        "srl" => {
+            nargs(3)?;
+            alu_reg(AluOp::Srl, false, &args)
+        }
+        "sra" => {
+            nargs(3)?;
+            alu_reg(AluOp::Sra, false, &args)
+        }
+        "slt" => {
+            nargs(3)?;
+            alu_reg(AluOp::Slt, false, &args)
+        }
+        "sltu" => {
+            nargs(3)?;
+            alu_reg(AluOp::Sltu, false, &args)
+        }
+        "xor" => {
+            nargs(3)?;
+            alu_reg(AluOp::Xor, false, &args)
+        }
+        "or" => {
+            nargs(3)?;
+            alu_reg(AluOp::Or, false, &args)
+        }
+        "and" => {
+            nargs(3)?;
+            alu_reg(AluOp::And, false, &args)
+        }
+        "mul" => {
+            nargs(3)?;
+            muldiv(MulOp::Mul, false, &args)
+        }
+        "mulhu" => {
+            nargs(3)?;
+            muldiv(MulOp::Mulhu, false, &args)
+        }
+        "div" => {
+            nargs(3)?;
+            muldiv(MulOp::Div, false, &args)
+        }
+        "divu" => {
+            nargs(3)?;
+            muldiv(MulOp::Divu, false, &args)
+        }
+        "rem" => {
+            nargs(3)?;
+            muldiv(MulOp::Rem, false, &args)
+        }
+        "remu" => {
+            nargs(3)?;
+            muldiv(MulOp::Remu, false, &args)
+        }
+        "mulw" => {
+            nargs(3)?;
+            muldiv(MulOp::Mul, true, &args)
+        }
+        "divw" => {
+            nargs(3)?;
+            muldiv(MulOp::Div, true, &args)
+        }
+        "remw" => {
+            nargs(3)?;
+            muldiv(MulOp::Rem, true, &args)
+        }
         "csrrw" | "csrrs" | "csrrc" => {
             nargs(3)?;
             let op = match mnemonic {
@@ -446,7 +616,7 @@ fn lower(
                 }])
             } else if v >= i32::MIN as i64 && v <= u32::MAX as i64 {
                 // lui + addiw (sign-fixup like the real toolchain).
-                let v32 = v as i64 as i64;
+                let v32 = v;
                 let lo = ((v32 << 52) >> 52) as i32; // low 12, sign-extended
                 let hi = ((v32 - lo as i64) >> 12) as i32;
                 Ok(vec![
@@ -533,8 +703,20 @@ mod tests {
         )
         .unwrap();
         // First jump skips 8 bytes; second jumps back 4.
-        assert_eq!(decode(words[0]), Some(Insn::Jal { rd: Reg::ZERO, imm: 8 }));
-        assert_eq!(decode(words[2]), Some(Insn::Jal { rd: Reg::ZERO, imm: -4 }));
+        assert_eq!(
+            decode(words[0]),
+            Some(Insn::Jal {
+                rd: Reg::ZERO,
+                imm: 8
+            })
+        );
+        assert_eq!(
+            decode(words[2]),
+            Some(Insn::Jal {
+                rd: Reg::ZERO,
+                imm: -4
+            })
+        );
     }
 
     #[test]
@@ -594,18 +776,37 @@ mod tests {
     #[test]
     fn csr_and_privileged_mnemonics() {
         use crate::insn::{decode, CsrOp};
-        let w = assemble("csrrw t0, mstatus, t1\ncsrw mtvec, a0\ncsrr a1, mie\nmret\nwfi", 0).unwrap();
+        let w = assemble(
+            "csrrw t0, mstatus, t1\ncsrw mtvec, a0\ncsrr a1, mie\nmret\nwfi",
+            0,
+        )
+        .unwrap();
         assert_eq!(
             decode(w[0]),
-            Some(Insn::Csr { op: CsrOp::Rw, rd: Reg::t(0), rs1: Reg::t(1), csr: 0x300 })
+            Some(Insn::Csr {
+                op: CsrOp::Rw,
+                rd: Reg::t(0),
+                rs1: Reg::t(1),
+                csr: 0x300
+            })
         );
         assert_eq!(
             decode(w[1]),
-            Some(Insn::Csr { op: CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::a(0), csr: 0x305 })
+            Some(Insn::Csr {
+                op: CsrOp::Rw,
+                rd: Reg::ZERO,
+                rs1: Reg::a(0),
+                csr: 0x305
+            })
         );
         assert_eq!(
             decode(w[2]),
-            Some(Insn::Csr { op: CsrOp::Rs, rd: Reg::a(1), rs1: Reg::ZERO, csr: 0x304 })
+            Some(Insn::Csr {
+                op: CsrOp::Rs,
+                rd: Reg::a(1),
+                rs1: Reg::ZERO,
+                csr: 0x304
+            })
         );
         assert_eq!(decode(w[3]), Some(Insn::Mret));
         assert_eq!(decode(w[4]), Some(Insn::Wfi));

@@ -224,7 +224,7 @@ impl Cpu {
     }
 
     fn fetch(&self) -> Option<u32> {
-        if self.pc < self.program_base || (self.pc - self.program_base) % 4 != 0 {
+        if self.pc < self.program_base || !(self.pc - self.program_base).is_multiple_of(4) {
             return None;
         }
         let idx = ((self.pc - self.program_base) / 4) as usize;
@@ -321,7 +321,12 @@ impl Cpu {
                     next_pc = t;
                     self.cycles += self.timing.jump;
                 }
-                Insn::Branch { cond, rs1, rs2, imm } => {
+                Insn::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    imm,
+                } => {
                     let a = self.reg(rs1);
                     let b = self.reg(rs2);
                     let taken = match cond {
@@ -337,7 +342,13 @@ impl Cpu {
                         self.cycles += self.timing.branch_taken;
                     }
                 }
-                Insn::Load { rd, rs1, imm, width, unsigned } => {
+                Insn::Load {
+                    rd,
+                    rs1,
+                    imm,
+                    width,
+                    unsigned,
+                } => {
                     let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
                     let (raw, extra) = bus.load(addr, width.bytes());
                     self.cycles += extra;
@@ -354,21 +365,44 @@ impl Cpu {
                     };
                     self.set_reg(rd, v);
                 }
-                Insn::Store { rs1, rs2, imm, width } => {
+                Insn::Store {
+                    rs1,
+                    rs2,
+                    imm,
+                    width,
+                } => {
                     let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
                     let extra = bus.store(addr, width.bytes(), self.reg(rs2));
                     self.cycles += extra;
                     bus_cycles = extra;
                 }
-                Insn::AluImm { op, rd, rs1, imm, word } => {
+                Insn::AluImm {
+                    op,
+                    rd,
+                    rs1,
+                    imm,
+                    word,
+                } => {
                     let v = alu(op, self.reg(rs1), imm as i64 as u64, word);
                     self.set_reg(rd, v);
                 }
-                Insn::AluReg { op, rd, rs1, rs2, word } => {
+                Insn::AluReg {
+                    op,
+                    rd,
+                    rs1,
+                    rs2,
+                    word,
+                } => {
                     let v = alu(op, self.reg(rs1), self.reg(rs2), word);
                     self.set_reg(rd, v);
                 }
-                Insn::MulDiv { op, rd, rs1, rs2, word } => {
+                Insn::MulDiv {
+                    op,
+                    rd,
+                    rs1,
+                    rs2,
+                    word,
+                } => {
                     let a = self.reg(rs1);
                     let b = self.reg(rs2);
                     let v = muldiv(op, a, b, word);
@@ -493,13 +527,7 @@ fn muldiv(op: MulOp, a: u64, b: u64, word: bool) -> u64 {
                     (a as i32).wrapping_div(b as i32) as u32
                 }
             }
-            MulOp::Divu => {
-                if b == 0 {
-                    u32::MAX
-                } else {
-                    a / b
-                }
-            }
+            MulOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
             MulOp::Rem => {
                 if b == 0 {
                     a
@@ -527,13 +555,7 @@ fn muldiv(op: MulOp, a: u64, b: u64, word: bool) -> u64 {
                     (a as i64).wrapping_div(b as i64) as u64
                 }
             }
-            MulOp::Divu => {
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    a / b
-                }
-            }
+            MulOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
             MulOp::Rem => {
                 if b == 0 {
                     a
@@ -684,7 +706,10 @@ mod tests {
         ");
         let loop_cpi = looped.cycles as f64 / looped.instructions as f64;
         let straight_cpi = straight.cycles as f64 / straight.instructions as f64;
-        assert!(loop_cpi > straight_cpi + 1.0, "loop CPI {loop_cpi} vs {straight_cpi}");
+        assert!(
+            loop_cpi > straight_cpi + 1.0,
+            "loop CPI {loop_cpi} vs {straight_cpi}"
+        );
     }
 
     #[test]
@@ -735,20 +760,31 @@ mod tests {
 
     #[test]
     fn noncacheable_store_cost_dominates() {
-        let words = assemble("
+        let words = assemble(
+            "
             li t0, 0
             li t1, 100
             l: sw t0, 0(a0)
             addi t0, t0, 1
             bne t0, t1, l
             ecall
-        ", 0).unwrap();
+        ",
+            0,
+        )
+        .unwrap();
         let mut cpu = Cpu::new(words, 0);
-        let mut bus = MmioBus { stores: 0, cost: 40 };
+        let mut bus = MmioBus {
+            stores: 0,
+            cost: 40,
+        };
         let res = cpu.run(&mut bus, 10_000);
         assert_eq!(bus.stores, 100);
         // 100 iterations × (3 insns + 40 stall + 5 branch) ≈ 4800.
-        assert!(res.cycles > 4500 && res.cycles < 5200, "cycles {}", res.cycles);
+        assert!(
+            res.cycles > 4500 && res.cycles < 5200,
+            "cycles {}",
+            res.cycles
+        );
     }
 
     /// Differential property tests: the interpreter's arithmetic must
@@ -812,7 +848,7 @@ mod tests {
 
             #[test]
             fn prop_divrem(a in any::<u64>(), b in any::<u64>()) {
-                let expect_div = if b == 0 { u64::MAX } else { a / b };
+                let expect_div = a.checked_div(b).unwrap_or(u64::MAX);
                 let expect_rem = if b == 0 { a } else { a % b };
                 prop_assert_eq!(run2("divu a0, a1, a2", a, b), expect_div);
                 prop_assert_eq!(run2("remu a0, a1, a2", a, b), expect_rem);

@@ -10,9 +10,9 @@ use crate::insn::{AluOp, BranchCond, CsrOp, Insn, MulOp, Reg, Width};
 /// ABI name of a register.
 pub fn reg_name(r: Reg) -> &'static str {
     const NAMES: [&str; 32] = [
-        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
-        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
-        "t3", "t4", "t5", "t6",
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
     ];
     NAMES[r.0 as usize]
 }
@@ -42,7 +42,12 @@ pub fn disasm(insn: Insn) -> String {
             "ret".into()
         }
         Insn::Jalr { rd, rs1, imm } => format!("jalr {}, {imm}({})", r(rd), r(rs1)),
-        Insn::Branch { cond, rs1, rs2, imm } => {
+        Insn::Branch {
+            cond,
+            rs1,
+            rs2,
+            imm,
+        } => {
             let m = match cond {
                 BranchCond::Eq => "beq",
                 BranchCond::Ne => "bne",
@@ -53,7 +58,13 @@ pub fn disasm(insn: Insn) -> String {
             };
             format!("{m} {}, {}, {imm}", r(rs1), r(rs2))
         }
-        Insn::Load { rd, rs1, imm, width, unsigned } => {
+        Insn::Load {
+            rd,
+            rs1,
+            imm,
+            width,
+            unsigned,
+        } => {
             let m = match (width, unsigned) {
                 (Width::B, false) => "lb",
                 (Width::H, false) => "lh",
@@ -66,7 +77,12 @@ pub fn disasm(insn: Insn) -> String {
             };
             format!("{m} {}, {imm}({})", r(rd), r(rs1))
         }
-        Insn::Store { rs1, rs2, imm, width } => {
+        Insn::Store {
+            rs1,
+            rs2,
+            imm,
+            width,
+        } => {
             let m = match width {
                 Width::B => "sb",
                 Width::H => "sh",
@@ -75,7 +91,13 @@ pub fn disasm(insn: Insn) -> String {
             };
             format!("{m} {}, {imm}({})", r(rs2), r(rs1))
         }
-        Insn::AluImm { op, rd, rs1, imm, word } => {
+        Insn::AluImm {
+            op,
+            rd,
+            rs1,
+            imm,
+            word,
+        } => {
             let m = match (op, word) {
                 (AluOp::Add, false) => "addi",
                 (AluOp::Add, true) => "addiw",
@@ -91,7 +113,13 @@ pub fn disasm(insn: Insn) -> String {
             };
             format!("{m} {}, {}, {imm}", r(rd), r(rs1))
         }
-        Insn::AluReg { op, rd, rs1, rs2, word } => {
+        Insn::AluReg {
+            op,
+            rd,
+            rs1,
+            rs2,
+            word,
+        } => {
             let m = match (op, word) {
                 (AluOp::Add, false) => "add",
                 (AluOp::Add, true) => "addw",
@@ -108,7 +136,13 @@ pub fn disasm(insn: Insn) -> String {
             };
             format!("{m} {}, {}, {}", r(rd), r(rs1), r(rs2))
         }
-        Insn::MulDiv { op, rd, rs1, rs2, word } => {
+        Insn::MulDiv {
+            op,
+            rd,
+            rs1,
+            rs2,
+            word,
+        } => {
             let m = match (op, word) {
                 (MulOp::Mul, false) => "mul",
                 (MulOp::Mul, true) => "mulw",

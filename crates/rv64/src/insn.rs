@@ -148,21 +148,60 @@ pub enum Insn {
     /// Indirect jump and link.
     Jalr { rd: Reg, rs1: Reg, imm: i32 },
     /// Conditional branch.
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, imm: i32 },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+    },
     /// Load (signed extension unless `unsigned`).
-    Load { rd: Reg, rs1: Reg, imm: i32, width: Width, unsigned: bool },
+    Load {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+        width: Width,
+        unsigned: bool,
+    },
     /// Store.
-    Store { rs1: Reg, rs2: Reg, imm: i32, width: Width },
+    Store {
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+        width: Width,
+    },
     /// ALU with immediate (`word` = 32-bit W-form).
-    AluImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32, word: bool },
+    AluImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+        word: bool,
+    },
     /// ALU register-register (`word` = 32-bit W-form).
-    AluReg { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg, word: bool },
+    AluReg {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+        word: bool,
+    },
     /// M-extension (`word` = 32-bit W-form).
-    MulDiv { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg, word: bool },
+    MulDiv {
+        op: MulOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+        word: bool,
+    },
     /// Read the cycle CSR (`rdcycle rd`).
     RdCycle { rd: Reg },
     /// CSR access (`csrrw`/`csrrs`/`csrrc`).
-    Csr { op: CsrOp, rd: Reg, rs1: Reg, csr: u16 },
+    Csr {
+        op: CsrOp,
+        rd: Reg,
+        rs1: Reg,
+        csr: u16,
+    },
     /// Return from machine-mode trap.
     Mret,
     /// Wait for interrupt.
@@ -216,10 +255,23 @@ fn imm_j(word: u32) -> i32 {
 pub fn decode(word: u32) -> Option<Insn> {
     let opcode = word & 0x7F;
     Some(match opcode {
-        0b0110111 => Insn::Lui { rd: rd(word), imm: imm_u(word) },
-        0b0010111 => Insn::Auipc { rd: rd(word), imm: imm_u(word) },
-        0b1101111 => Insn::Jal { rd: rd(word), imm: imm_j(word) },
-        0b1100111 if funct3(word) == 0 => Insn::Jalr { rd: rd(word), rs1: rs1(word), imm: imm_i(word) },
+        0b0110111 => Insn::Lui {
+            rd: rd(word),
+            imm: imm_u(word),
+        },
+        0b0010111 => Insn::Auipc {
+            rd: rd(word),
+            imm: imm_u(word),
+        },
+        0b1101111 => Insn::Jal {
+            rd: rd(word),
+            imm: imm_j(word),
+        },
+        0b1100111 if funct3(word) == 0 => Insn::Jalr {
+            rd: rd(word),
+            rs1: rs1(word),
+            imm: imm_i(word),
+        },
         0b1100011 => {
             let cond = match funct3(word) {
                 0b000 => BranchCond::Eq,
@@ -230,7 +282,12 @@ pub fn decode(word: u32) -> Option<Insn> {
                 0b111 => BranchCond::Geu,
                 _ => return None,
             };
-            Insn::Branch { cond, rs1: rs1(word), rs2: rs2(word), imm: imm_b(word) }
+            Insn::Branch {
+                cond,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                imm: imm_b(word),
+            }
         }
         0b0000011 => {
             let (width, unsigned) = match funct3(word) {
@@ -243,7 +300,13 @@ pub fn decode(word: u32) -> Option<Insn> {
                 0b110 => (Width::W, true),
                 _ => return None,
             };
-            Insn::Load { rd: rd(word), rs1: rs1(word), imm: imm_i(word), width, unsigned }
+            Insn::Load {
+                rd: rd(word),
+                rs1: rs1(word),
+                imm: imm_i(word),
+                width,
+                unsigned,
+            }
         }
         0b0100011 => {
             let width = match funct3(word) {
@@ -253,7 +316,12 @@ pub fn decode(word: u32) -> Option<Insn> {
                 0b011 => Width::D,
                 _ => return None,
             };
-            Insn::Store { rs1: rs1(word), rs2: rs2(word), imm: imm_s(word), width }
+            Insn::Store {
+                rs1: rs1(word),
+                rs2: rs2(word),
+                imm: imm_s(word),
+                width,
+            }
         }
         0b0010011 | 0b0011011 => {
             let word_form = opcode == 0b0011011;
@@ -275,7 +343,13 @@ pub fn decode(word: u32) -> Option<Insn> {
                 }
                 _ => return None,
             };
-            Insn::AluImm { op, rd: rd(word), rs1: rs1(word), imm, word: word_form }
+            Insn::AluImm {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm,
+                word: word_form,
+            }
         }
         0b0110011 | 0b0111011 => {
             let word_form = opcode == 0b0111011;
@@ -289,7 +363,13 @@ pub fn decode(word: u32) -> Option<Insn> {
                     0b111 => MulOp::Remu,
                     _ => return None,
                 };
-                return Some(Insn::MulDiv { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word), word: word_form });
+                return Some(Insn::MulDiv {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                    word: word_form,
+                });
             }
             let op = match (funct3(word), funct7(word)) {
                 (0b000, 0x00) => AluOp::Add,
@@ -304,7 +384,13 @@ pub fn decode(word: u32) -> Option<Insn> {
                 (0b111, 0x00) if !word_form => AluOp::And,
                 _ => return None,
             };
-            Insn::AluReg { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word), word: word_form }
+            Insn::AluReg {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+                word: word_form,
+            }
         }
         0b0001111 => Insn::Fence,
         0b1110011 => {
@@ -327,7 +413,12 @@ pub fn decode(word: u32) -> Option<Insn> {
                     0b011 => CsrOp::Rc,
                     _ => return None,
                 };
-                Insn::Csr { op, rd: rd(word), rs1: rs1(word), csr }
+                Insn::Csr {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    csr,
+                }
             }
         }
         _ => return None,
@@ -384,7 +475,12 @@ pub fn encode(insn: Insn) -> u32 {
         Insn::Auipc { rd, imm } => u(0b0010111, rd, imm),
         Insn::Jal { rd, imm } => j(0b1101111, rd, imm),
         Insn::Jalr { rd, rs1, imm } => i(0b1100111, 0, rd, rs1, imm),
-        Insn::Branch { cond, rs1, rs2, imm } => {
+        Insn::Branch {
+            cond,
+            rs1,
+            rs2,
+            imm,
+        } => {
             let f3 = match cond {
                 BranchCond::Eq => 0b000,
                 BranchCond::Ne => 0b001,
@@ -395,7 +491,13 @@ pub fn encode(insn: Insn) -> u32 {
             };
             b(0b1100011, f3, rs1, rs2, imm)
         }
-        Insn::Load { rd, rs1, imm, width, unsigned } => {
+        Insn::Load {
+            rd,
+            rs1,
+            imm,
+            width,
+            unsigned,
+        } => {
             let f3 = match (width, unsigned) {
                 (Width::B, false) => 0b000,
                 (Width::H, false) => 0b001,
@@ -408,7 +510,12 @@ pub fn encode(insn: Insn) -> u32 {
             };
             i(0b0000011, f3, rd, rs1, imm)
         }
-        Insn::Store { rs1, rs2, imm, width } => {
+        Insn::Store {
+            rs1,
+            rs2,
+            imm,
+            width,
+        } => {
             let f3 = match width {
                 Width::B => 0b000,
                 Width::H => 0b001,
@@ -417,7 +524,13 @@ pub fn encode(insn: Insn) -> u32 {
             };
             s(0b0100011, f3, rs1, rs2, imm)
         }
-        Insn::AluImm { op, rd, rs1, imm, word } => {
+        Insn::AluImm {
+            op,
+            rd,
+            rs1,
+            imm,
+            word,
+        } => {
             let opc = if word { 0b0011011 } else { 0b0010011 };
             match op {
                 AluOp::Add => i(opc, 0b000, rd, rs1, imm),
@@ -432,7 +545,13 @@ pub fn encode(insn: Insn) -> u32 {
                 AluOp::Sub => panic!("subi does not exist"),
             }
         }
-        Insn::AluReg { op, rd, rs1, rs2, word } => {
+        Insn::AluReg {
+            op,
+            rd,
+            rs1,
+            rs2,
+            word,
+        } => {
             let opc = if word { 0b0111011 } else { 0b0110011 };
             match op {
                 AluOp::Add => r(opc, 0b000, 0x00, rd, rs1, rs2),
@@ -447,7 +566,13 @@ pub fn encode(insn: Insn) -> u32 {
                 AluOp::And => r(opc, 0b111, 0x00, rd, rs1, rs2),
             }
         }
-        Insn::MulDiv { op, rd, rs1, rs2, word } => {
+        Insn::MulDiv {
+            op,
+            rd,
+            rs1,
+            rs2,
+            word,
+        } => {
             let opc = if word { 0b0111011 } else { 0b0110011 };
             let f3 = match op {
                 MulOp::Mul => 0b000,
@@ -489,16 +614,33 @@ mod tests {
     fn known_encodings() {
         // addi a0, a0, 1  == 0x00150513
         assert_eq!(
-            encode(Insn::AluImm { op: AluOp::Add, rd: Reg::a(0), rs1: Reg::a(0), imm: 1, word: false }),
+            encode(Insn::AluImm {
+                op: AluOp::Add,
+                rd: Reg::a(0),
+                rs1: Reg::a(0),
+                imm: 1,
+                word: false
+            }),
             0x0015_0513
         );
         // sw a1, 0(a0) == 0x00b52023
         assert_eq!(
-            encode(Insn::Store { rs1: Reg::a(0), rs2: Reg::a(1), imm: 0, width: Width::W }),
+            encode(Insn::Store {
+                rs1: Reg::a(0),
+                rs2: Reg::a(1),
+                imm: 0,
+                width: Width::W
+            }),
             0x00B5_2023
         );
         // jal ra, 8 == 0x008000ef
-        assert_eq!(encode(Insn::Jal { rd: Reg::RA, imm: 8 }), 0x0080_00EF);
+        assert_eq!(
+            encode(Insn::Jal {
+                rd: Reg::RA,
+                imm: 8
+            }),
+            0x0080_00EF
+        );
         // ecall
         assert_eq!(encode(Insn::Ecall), 0x0000_0073);
     }
@@ -506,7 +648,12 @@ mod tests {
     #[test]
     fn branch_immediate_round_trip() {
         for imm in [-4096, -2048, -4, -2, 2, 4, 1024, 4094] {
-            let i = Insn::Branch { cond: BranchCond::Ne, rs1: Reg(5), rs2: Reg(6), imm };
+            let i = Insn::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg(5),
+                rs2: Reg(6),
+                imm,
+            };
             assert_eq!(decode(encode(i)), Some(i), "imm={imm}");
         }
     }
@@ -530,7 +677,12 @@ mod tests {
         assert_eq!(decode(0x3020_0073), Some(Insn::Mret));
         assert_eq!(decode(0x1050_0073), Some(Insn::Wfi));
         for op in [CsrOp::Rw, CsrOp::Rs, CsrOp::Rc] {
-            let i = Insn::Csr { op, rd: Reg(5), rs1: Reg(6), csr: 0x304 };
+            let i = Insn::Csr {
+                op,
+                rd: Reg(5),
+                rs1: Reg(6),
+                csr: 0x304,
+            };
             assert_eq!(decode(encode(i)), Some(i));
         }
         // csrrs rd, cycle, x0 stays the RdCycle alias.

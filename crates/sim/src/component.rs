@@ -45,6 +45,35 @@ pub trait Component {
     fn busy(&self) -> bool {
         false
     }
+
+    /// The earliest future cycle at which this component may do
+    /// observable work, given the current cycle `now`.
+    ///
+    /// This is the idle fast-forward hint. The contract:
+    ///
+    /// - `Some(c)` with `c > now` **guarantees** that ticking this
+    ///   component at any cycle in `now..c` is a no-op (no state
+    ///   change, no FIFO/Signal traffic). The kernel may skip those
+    ///   ticks, and may jump the clock across a window where *every*
+    ///   component declares a future cycle.
+    /// - `Some(c)` with `c <= now` means "I have work this cycle".
+    /// - `Some(Cycle::MAX)` means "idle until external input arrives"
+    ///   (a new request pushed into one of my FIFOs re-activates me —
+    ///   and also changes what this method returns, which is why the
+    ///   kernel re-queries the hint every cycle rather than caching
+    ///   it).
+    /// - `None` is the conservative default: no hint, tick me every
+    ///   cycle. A component returning `None` never has ticks skipped
+    ///   and disables whole-system jumps while registered.
+    ///
+    /// Correctness rule of thumb: return `now` whenever in doubt. An
+    /// over-eager hint (claiming idleness while a tick would have done
+    /// work) breaks the bit-identical-cycle-count guarantee of the
+    /// fast-forward mode; an over-conservative one only costs host
+    /// time.
+    fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -1,12 +1,71 @@
 //! The simulation kernel: owns components, advances the clock.
 
 use crate::component::{Component, TickCtx};
+use crate::stats::{ComponentStats, KernelStats};
 use crate::time::{Cycle, Freq};
-use crate::trace::{TraceLevel, Tracer};
+use crate::trace::{TraceEvent, TraceLevel, Tracer};
 
 /// Identifies a registered component within a [`Simulator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ComponentId(usize);
+
+/// Diagnostic report for a simulation that hit its cycle limit.
+///
+/// Returned as the `Err` of [`Simulator::run_until`] and
+/// [`Simulator::run_until_quiescent`] instead of panicking: a stalled
+/// simulation is a *model* or *driver* bug the caller may want to
+/// report (fault-injection tests exercise exactly this), and the
+/// report carries everything needed to debug it — where the clock
+/// stopped, who still claimed work, and the tail of the trace.
+#[derive(Debug, Clone)]
+pub struct StallReport {
+    /// Cycle at which the run gave up.
+    pub cycle: Cycle,
+    /// Cycle at which the run started.
+    pub start: Cycle,
+    /// The limit that was exhausted.
+    pub limit: Cycle,
+    /// Names of components still reporting [`Component::busy`].
+    pub busy: Vec<String>,
+    /// Most recent trace events (empty when tracing is off).
+    pub trace_tail: Vec<TraceEvent>,
+}
+
+impl std::fmt::Display for StallReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulation stalled at cycle {} ({} cycles elapsed, limit {})",
+            self.cycle,
+            self.cycle - self.start,
+            self.limit
+        )?;
+        if self.busy.is_empty() {
+            write!(f, "; no component reports busy")?;
+        } else {
+            write!(f, "; busy: {}", self.busy.join(", "))?;
+        }
+        if !self.trace_tail.is_empty() {
+            writeln!(f, "; trace tail:")?;
+            for e in &self.trace_tail {
+                writeln!(f, "  [{:>10}] {:<16} {}", e.cycle, e.source, e.message)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for StallReport {}
+
+/// How many trailing trace events a [`StallReport`] carries.
+const STALL_TRACE_TAIL: usize = 16;
+
+/// Per-component activity counters (parallel to the component list).
+#[derive(Debug, Default, Clone, Copy)]
+struct ActivityCounters {
+    ticks_executed: u64,
+    cycles_skipped: u64,
+}
 
 /// The cycle-stepped simulator.
 ///
@@ -17,11 +76,41 @@ pub struct ComponentId(usize);
 /// after gives one cycle of latency (a pipeline register). The SoC
 /// builders in `rvcap-core` register components in dataflow order and
 /// document where they rely on it.
+///
+/// # Idle fast-forward
+///
+/// Ticking every component on every cycle is simple and deterministic
+/// but wastes host time whenever the system sits in a long wait (a DDR
+/// round trip, a DMA start latency, a timer poll loop). The kernel
+/// therefore consults [`Component::next_activity`]:
+///
+/// - Within a cycle, a component whose hint points past `now` is not
+///   ticked (its tick is a guaranteed no-op). Hints are queried
+///   immediately before each component's tick slot, so a producer that
+///   pushes mid-cycle re-activates its consumer in the same cycle.
+/// - Across cycles, the batch entry points ([`Simulator::step_n`],
+///   [`Simulator::run_until`], [`Simulator::run_until_quiescent`])
+///   jump the clock to the earliest declared activity when *every*
+///   component declares a future cycle, skipping the no-op cycles
+///   entirely.
+///
+/// Both optimizations preserve the exact cycle-by-cycle behavior of
+/// the naive schedule — cycle counts are bit-identical with
+/// fast-forward on or off (`set_fast_forward`), which the
+/// `determinism` integration tests pin.
+///
+/// [`Simulator::step`] never jumps: external drivers (the CPU model
+/// mutates FIFOs between steps) rely on observing every cycle
+/// boundary, so single-step mode only gates individual ticks.
 pub struct Simulator {
     freq: Freq,
     cycle: Cycle,
     components: Vec<Box<dyn Component>>,
     tracer: Tracer,
+    fast_forward: bool,
+    counters: Vec<ActivityCounters>,
+    jumps: u64,
+    jumped_cycles: Cycle,
 }
 
 impl Simulator {
@@ -32,16 +121,18 @@ impl Simulator {
             cycle: 0,
             components: Vec::new(),
             tracer: Tracer::off(),
+            fast_forward: true,
+            counters: Vec::new(),
+            jumps: 0,
+            jumped_cycles: 0,
         }
     }
 
     /// Create a simulator that records a bounded trace.
     pub fn with_tracing(freq: Freq, level: TraceLevel, capacity: usize) -> Self {
         Simulator {
-            freq,
-            cycle: 0,
-            components: Vec::new(),
             tracer: Tracer::new(level, capacity),
+            ..Simulator::new(freq)
         }
     }
 
@@ -63,6 +154,7 @@ impl Simulator {
     /// Register a component; it will tick every cycle from now on.
     pub fn register(&mut self, component: Box<dyn Component>) -> ComponentId {
         self.components.push(component);
+        self.counters.push(ActivityCounters::default());
         ComponentId(self.components.len() - 1)
     }
 
@@ -71,57 +163,155 @@ impl Simulator {
         self.components.len()
     }
 
+    /// Enable or disable idle fast-forward (enabled by default).
+    ///
+    /// Cycle counts are identical either way; disabling only trades
+    /// host time for a simpler execution schedule (useful to
+    /// cross-check the hints, and what the determinism tests do).
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// Whether idle fast-forward is enabled.
+    pub fn fast_forward(&self) -> bool {
+        self.fast_forward
+    }
+
     /// Advance the simulation by one cycle.
+    ///
+    /// Never jumps the clock (external drivers mutate FIFO state
+    /// between calls), but does skip ticking components whose
+    /// [`Component::next_activity`] hint lies strictly in the future.
     pub fn step(&mut self) {
+        let now = self.cycle;
         let mut ctx = TickCtx {
-            cycle: self.cycle,
+            cycle: now,
             tracer: &self.tracer,
         };
-        for c in &mut self.components {
-            c.tick(&mut ctx);
+        for (c, counters) in self.components.iter_mut().zip(&mut self.counters) {
+            // Query the hint immediately before this component's tick
+            // slot: an earlier component may have pushed work to it
+            // during this very cycle.
+            let idle = self.fast_forward && matches!(c.next_activity(now), Some(at) if at > now);
+            if idle {
+                counters.cycles_skipped += 1;
+            } else {
+                c.tick(&mut ctx);
+                counters.ticks_executed += 1;
+            }
         }
         self.cycle += 1;
     }
 
+    /// Advance by up to `window` cycles (at least one), jumping over
+    /// an all-idle prefix when fast-forward is enabled. Returns the
+    /// number of cycles advanced.
+    ///
+    /// The jump is sound because every component declared its next
+    /// activity to be at or after `now + delta`: no tick in the
+    /// skipped range would have changed any state, so the system
+    /// arrives at the target cycle in exactly the state the naive
+    /// schedule would produce.
+    fn advance(&mut self, window: Cycle) -> Cycle {
+        debug_assert!(window > 0);
+        if self.fast_forward && !self.components.is_empty() {
+            let now = self.cycle;
+            let mut earliest = Cycle::MAX;
+            let mut all_future = true;
+            for c in &self.components {
+                match c.next_activity(now) {
+                    Some(at) if at > now => earliest = earliest.min(at),
+                    _ => {
+                        all_future = false;
+                        break;
+                    }
+                }
+            }
+            if all_future {
+                // `earliest > now`, so the delta is at least 1; clamp
+                // to the caller's window so limit-hit cycles land on
+                // exactly the same boundary as the naive schedule.
+                let delta = (earliest - now).min(window);
+                self.cycle += delta;
+                for counters in &mut self.counters {
+                    counters.cycles_skipped += delta;
+                }
+                self.jumps += 1;
+                self.jumped_cycles += delta;
+                return delta;
+            }
+        }
+        self.step();
+        1
+    }
+
     /// Advance by `n` cycles.
     pub fn step_n(&mut self, n: Cycle) {
-        for _ in 0..n {
-            self.step();
+        let mut remaining = n;
+        while remaining > 0 {
+            remaining -= self.advance(remaining);
         }
     }
 
     /// Step until `predicate` returns true, checking *after* each
-    /// cycle. Returns the number of cycles stepped. Panics after
-    /// `limit` cycles — an un-met predicate is always a deadlock or a
-    /// wiring bug, and a hard stop beats an infinite loop in tests.
-    pub fn run_until(&mut self, limit: Cycle, mut predicate: impl FnMut() -> bool) -> Cycle {
+    /// cycle. Returns the number of cycles stepped, or a
+    /// [`StallReport`] after `limit` cycles — an un-met predicate is a
+    /// deadlock or a wiring bug, and a bounded run with a diagnostic
+    /// beats an infinite loop.
+    ///
+    /// With fast-forward enabled the predicate is not evaluated at
+    /// cycles inside an all-idle jump window. That is behavior-
+    /// preserving for predicates that read component-produced state
+    /// (FIFOs, signals, handles): no component changes state during
+    /// the window, so the predicate's value is constant across it.
+    pub fn run_until(
+        &mut self,
+        limit: Cycle,
+        mut predicate: impl FnMut() -> bool,
+    ) -> Result<Cycle, StallReport> {
         let start = self.cycle;
         while !predicate() {
-            assert!(
-                self.cycle - start < limit,
-                "simulation did not reach condition within {limit} cycles (started at {start})"
-            );
-            self.step();
+            let elapsed = self.cycle - start;
+            if elapsed >= limit {
+                return Err(self.stall_report(start, limit));
+            }
+            self.advance(limit - elapsed);
         }
-        self.cycle - start
+        Ok(self.cycle - start)
     }
 
     /// Step until every registered component reports `!busy()`, with
-    /// the same `limit` safety net. Returns cycles stepped.
-    pub fn run_until_quiescent(&mut self, limit: Cycle) -> Cycle {
+    /// the same `limit` safety net. Returns cycles stepped, or a
+    /// [`StallReport`] naming the components that never drained.
+    pub fn run_until_quiescent(&mut self, limit: Cycle) -> Result<Cycle, StallReport> {
         let start = self.cycle;
         loop {
-            let busy = self.components.iter().any(|c| c.busy());
-            if !busy {
-                break;
+            if !self.components.iter().any(|c| c.busy()) {
+                return Ok(self.cycle - start);
             }
-            assert!(
-                self.cycle - start < limit,
-                "system still busy after {limit} cycles"
-            );
-            self.step();
+            let elapsed = self.cycle - start;
+            if elapsed >= limit {
+                return Err(self.stall_report(start, limit));
+            }
+            self.advance(limit - elapsed);
         }
-        self.cycle - start
+    }
+
+    /// Build the diagnostic for a limit-exhausted run.
+    fn stall_report(&self, start: Cycle, limit: Cycle) -> StallReport {
+        let events = self.tracer.events();
+        let tail_from = events.len().saturating_sub(STALL_TRACE_TAIL);
+        StallReport {
+            cycle: self.cycle,
+            start,
+            limit,
+            busy: self
+                .busy_components()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            trace_tail: events[tail_from..].to_vec(),
+        }
     }
 
     /// Names of components currently reporting busy (diagnostics).
@@ -131,6 +321,27 @@ impl Simulator {
             .filter(|c| c.busy())
             .map(|c| c.name())
             .collect()
+    }
+
+    /// Snapshot of the kernel's activity accounting: total cycles,
+    /// jump counts, and per-component executed/skipped tick counts.
+    pub fn kernel_stats(&self) -> KernelStats {
+        KernelStats {
+            cycles: self.cycle,
+            fast_forward: self.fast_forward,
+            jumps: self.jumps,
+            jumped_cycles: self.jumped_cycles,
+            components: self
+                .components
+                .iter()
+                .zip(&self.counters)
+                .map(|(c, k)| ComponentStats {
+                    name: c.name().to_string(),
+                    ticks_executed: k.ticks_executed,
+                    cycles_skipped: k.cycles_skipped,
+                })
+                .collect(),
+        }
     }
 }
 
@@ -157,6 +368,13 @@ mod tests {
         fn busy(&self) -> bool {
             self.remaining > 0
         }
+        fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+            if self.remaining > 0 {
+                Some(now)
+            } else {
+                Some(Cycle::MAX)
+            }
+        }
     }
 
     /// Consumes items, one per cycle.
@@ -175,6 +393,32 @@ mod tests {
         }
         fn busy(&self) -> bool {
             !self.input.is_empty()
+        }
+        fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+            if self.input.is_empty() {
+                Some(Cycle::MAX)
+            } else {
+                Some(now)
+            }
+        }
+    }
+
+    /// Wakes itself every `period` cycles and counts the wakes.
+    struct Timer {
+        period: Cycle,
+        fired: u64,
+    }
+    impl Component for Timer {
+        fn name(&self) -> &str {
+            "timer"
+        }
+        fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+            if ctx.cycle.is_multiple_of(self.period) {
+                self.fired += 1;
+            }
+        }
+        fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+            Some(now.next_multiple_of(self.period))
         }
     }
 
@@ -196,7 +440,7 @@ mod tests {
     #[test]
     fn one_item_per_cycle_steady_state() {
         let (mut sim, seen) = pipeline(100);
-        let cycles = sim.run_until_quiescent(10_000);
+        let cycles = sim.run_until_quiescent(10_000).unwrap();
         assert_eq!(seen.get(), 100);
         // Producer-before-consumer gives same-cycle forwarding, so the
         // whole transfer takes ~n cycles (+1 drain).
@@ -206,29 +450,50 @@ mod tests {
     #[test]
     fn run_until_counts_cycles() {
         let (mut sim, seen) = pipeline(10);
-        let took = sim.run_until(1000, || seen.get() >= 5);
-        assert!(took >= 5 && took <= 7, "took {took}");
+        let took = sim.run_until(1000, || seen.get() >= 5).unwrap();
+        assert!((5..=7).contains(&took), "took {took}");
         assert_eq!(sim.now(), took);
     }
 
     #[test]
-    #[should_panic(expected = "did not reach condition")]
-    fn run_until_panics_at_limit() {
+    fn run_until_reports_stall_at_limit() {
         let (mut sim, _) = pipeline(0);
-        sim.run_until(10, || false);
+        let err = sim.run_until(10, || false).unwrap_err();
+        assert_eq!(err.cycle, 10);
+        assert_eq!(err.start, 0);
+        assert_eq!(err.limit, 10);
+        assert_eq!(sim.now(), 10, "clock stops exactly at the limit");
+        let msg = err.to_string();
+        assert!(msg.contains("stalled at cycle 10"), "got: {msg}");
+    }
+
+    #[test]
+    fn stall_report_names_busy_components_and_trace_tail() {
+        let mut sim = Simulator::with_tracing(Freq::FABRIC_100MHZ, TraceLevel::Debug, 64);
+        // A producer into a FIFO nobody drains: fills up and stays busy.
+        let chan = Fifo::new("p2c", 2);
+        sim.register(Box::new(Producer {
+            out: chan.clone(),
+            remaining: 50,
+        }));
+        sim.tracer().debug(0, "test", || "stall incoming".into());
+        let err = sim.run_until_quiescent(20).unwrap_err();
+        assert_eq!(err.busy, vec!["producer".to_string()]);
+        assert!(err.trace_tail.iter().any(|e| e.message == "stall incoming"));
+        assert!(err.to_string().contains("busy: producer"));
     }
 
     #[test]
     fn quiescent_with_no_components_is_immediate() {
         let mut sim = Simulator::new(Freq::FABRIC_100MHZ);
-        assert_eq!(sim.run_until_quiescent(10), 0);
+        assert_eq!(sim.run_until_quiescent(10).unwrap(), 0);
     }
 
     #[test]
     fn busy_components_lists_names() {
         let (mut sim, _) = pipeline(3);
         assert_eq!(sim.busy_components(), vec!["producer"]);
-        sim.run_until_quiescent(100);
+        sim.run_until_quiescent(100).unwrap();
         assert!(sim.busy_components().is_empty());
     }
 
@@ -237,5 +502,103 @@ mod tests {
         let mut sim = Simulator::new(Freq::FABRIC_100MHZ);
         sim.step_n(17);
         assert_eq!(sim.now(), 17);
+    }
+
+    #[test]
+    fn timer_fires_identically_with_and_without_fast_forward() {
+        let run = |ff: bool| {
+            let mut sim = Simulator::new(Freq::FABRIC_100MHZ);
+            sim.set_fast_forward(ff);
+            sim.register(Box::new(Timer {
+                period: 64,
+                fired: 0,
+            }));
+            sim.step_n(1000);
+            let stats = sim.kernel_stats();
+            (sim.now(), stats.components[0].ticks_executed)
+        };
+        let (now_ff, ticks_ff) = run(true);
+        let (now_naive, ticks_naive) = run(false);
+        assert_eq!(now_ff, now_naive);
+        assert_eq!(now_ff, 1000);
+        // The timer does observable work only on multiples of 64; the
+        // fast-forwarded run executes exactly those ticks, the naive
+        // run all 1000.
+        assert_eq!(ticks_ff, 16, "cycle 0, 64, ..., 960");
+        assert_eq!(ticks_naive, 1000);
+    }
+
+    #[test]
+    fn fast_forward_skips_idle_gap_but_cycle_counts_match() {
+        let run = |ff: bool| {
+            let (mut sim, seen) = pipeline(10);
+            sim.set_fast_forward(ff);
+            // Drain the pipeline, then sit idle until a far deadline.
+            let took = sim.run_until(100_000, || seen.get() >= 10).unwrap();
+            sim.step_n(50_000);
+            (took, sim.now(), sim.kernel_stats())
+        };
+        let (took_ff, now_ff, stats_ff) = run(true);
+        let (took_naive, now_naive, stats_naive) = run(false);
+        assert_eq!(took_ff, took_naive);
+        assert_eq!(now_ff, now_naive);
+        // The idle 50k-cycle tail is jumped in one go.
+        assert!(stats_ff.jumped_cycles >= 50_000, "stats: {stats_ff:?}");
+        assert_eq!(stats_naive.jumped_cycles, 0);
+        for c in &stats_naive.components {
+            assert_eq!(c.cycles_skipped, 0);
+        }
+    }
+
+    #[test]
+    fn step_never_jumps_even_when_all_idle() {
+        let (mut sim, _) = pipeline(0);
+        sim.step();
+        assert_eq!(sim.now(), 1, "single-step advances exactly one cycle");
+        // ...but it does gate the idle components' ticks.
+        let stats = sim.kernel_stats();
+        assert_eq!(stats.components[0].ticks_executed, 0);
+        assert_eq!(stats.components[0].cycles_skipped, 1);
+    }
+
+    #[test]
+    fn hintless_component_disables_jumps() {
+        struct NoHint;
+        impl Component for NoHint {
+            fn name(&self) -> &str {
+                "nohint"
+            }
+            fn tick(&mut self, _ctx: &mut TickCtx<'_>) {}
+        }
+        let mut sim = Simulator::new(Freq::FABRIC_100MHZ);
+        sim.register(Box::new(NoHint));
+        sim.step_n(100);
+        let stats = sim.kernel_stats();
+        assert_eq!(stats.jumps, 0);
+        assert_eq!(stats.components[0].ticks_executed, 100);
+    }
+
+    #[test]
+    fn jump_is_clamped_to_the_run_limit() {
+        let (mut sim, _) = pipeline(0);
+        // Everything idle forever: the jump must stop at the limit
+        // boundary, exactly where the naive schedule stops.
+        let err = sim.run_until(12_345, || false).unwrap_err();
+        assert_eq!(err.cycle, 12_345);
+        assert_eq!(sim.now(), 12_345);
+    }
+
+    #[test]
+    fn kernel_stats_track_utilization() {
+        let (mut sim, _) = pipeline(10);
+        sim.run_until_quiescent(1000).unwrap();
+        sim.step_n(989 - sim.now().min(989));
+        let stats = sim.kernel_stats();
+        for c in &stats.components {
+            assert_eq!(c.ticks_executed + c.cycles_skipped, stats.cycles);
+        }
+        let rendered = stats.render();
+        assert!(rendered.contains("producer"));
+        assert!(rendered.contains("consumer"));
     }
 }

@@ -34,13 +34,22 @@
 //!
 //! ## Why cycle-stepped rather than event-queued
 //!
-//! The systems simulated here are small (tens of components) and the
-//! interesting workloads are short (a full 650 KiB partial bitstream
-//! transfer is ~165 k cycles; the longest Table IV experiment is
-//! ~230 k). A flat `for` loop over components per cycle is faster than
-//! maintaining an event queue at these scales and is trivially
-//! deterministic. Components that are idle return immediately from
-//! `tick`, so the constant factor stays small.
+//! The systems simulated here are small (tens of components), so a
+//! flat loop over components per cycle is trivially deterministic and
+//! has no queue-maintenance overhead. The classic weakness of the
+//! approach — burning host time ticking idle components through long
+//! waits (a DDR round trip, a DMA start latency, the CPU polling a
+//! status register) — is addressed without giving up the flat
+//! schedule: components *declare* their next activity cycle via
+//! [`component::Component::next_activity`], and the kernel skips
+//! guaranteed-no-op ticks and jumps the clock across windows where the
+//! whole system is idle. This recovers the main benefit of an event
+//! queue (work proportional to activity, not to simulated time) while
+//! keeping cycle counts bit-identical to the naive schedule — the
+//! hints are an optimization contract, never a behavioral one, and
+//! can be switched off ([`kernel::Simulator::set_fast_forward`]) to
+//! cross-check. Per-component accounting ([`stats::KernelStats`])
+//! reports how many ticks were executed versus skipped.
 
 pub mod component;
 pub mod fifo;
@@ -53,8 +62,9 @@ pub mod vcd;
 
 pub use component::Component;
 pub use fifo::Fifo;
-pub use kernel::Simulator;
+pub use kernel::{Simulator, StallReport};
 pub use signal::Signal;
+pub use stats::{ComponentStats, KernelStats};
 pub use time::{Cycle, Freq};
 pub use trace::{TraceEvent, TraceLevel, Tracer};
 pub use vcd::{VcdHandle, VcdRecorder};

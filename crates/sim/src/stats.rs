@@ -64,6 +64,107 @@ impl Interval {
     }
 }
 
+/// Per-component activity accounting from the simulation kernel.
+///
+/// For a component registered at cycle 0, `ticks_executed +
+/// cycles_skipped` equals the total cycles simulated: every cycle
+/// either ran the component's `tick` or skipped it (gated by its
+/// [`crate::Component::next_activity`] hint, or jumped over entirely).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentStats {
+    /// Component instance name.
+    pub name: String,
+    /// Cycles on which `tick` actually ran.
+    pub ticks_executed: u64,
+    /// Cycles skipped as guaranteed no-ops (gating + jumps).
+    pub cycles_skipped: u64,
+}
+
+impl ComponentStats {
+    /// Fraction of simulated cycles this component was actually
+    /// ticked, in percent. 100 % means it never declared idleness.
+    pub fn utilization_pct(&self) -> f64 {
+        let total = self.ticks_executed + self.cycles_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.ticks_executed as f64 / total as f64 * 100.0
+        }
+    }
+}
+
+/// Snapshot of the kernel's fast-forward accounting
+/// ([`crate::Simulator::kernel_stats`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// Total simulated cycles.
+    pub cycles: Cycle,
+    /// Whether idle fast-forward was enabled at snapshot time.
+    pub fast_forward: bool,
+    /// Number of whole-system clock jumps taken.
+    pub jumps: u64,
+    /// Total cycles covered by those jumps.
+    pub jumped_cycles: Cycle,
+    /// Per-component counters, in registration order.
+    pub components: Vec<ComponentStats>,
+}
+
+impl KernelStats {
+    /// Total `tick` calls across all components.
+    pub fn total_ticks(&self) -> u64 {
+        self.components.iter().map(|c| c.ticks_executed).sum()
+    }
+
+    /// Total skipped component-cycles across all components.
+    pub fn total_skipped(&self) -> u64 {
+        self.components.iter().map(|c| c.cycles_skipped).sum()
+    }
+
+    /// Fraction of component-cycles that were skipped, in percent —
+    /// the headline savings of the fast-forward machinery.
+    pub fn skipped_pct(&self) -> f64 {
+        let total = self.total_ticks() + self.total_skipped();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_skipped() as f64 / total as f64 * 100.0
+        }
+    }
+
+    /// Render a per-component utilization table plus kernel totals.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "kernel: {} cycles, fast-forward {}, {} jumps covering {} cycles, \
+             {} ticks executed / {} skipped ({:.1} % skipped)\n",
+            self.cycles,
+            if self.fast_forward { "on" } else { "off" },
+            self.jumps,
+            self.jumped_cycles,
+            self.total_ticks(),
+            self.total_skipped(),
+            self.skipped_pct(),
+        ));
+        let name_w = self
+            .components
+            .iter()
+            .map(|c| c.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        for c in &self.components {
+            out.push_str(&format!(
+                "  {:<name_w$}  {:>12} ticks  {:>12} skipped  {:>6.1} % util\n",
+                c.name,
+                c.ticks_executed,
+                c.cycles_skipped,
+                c.utilization_pct(),
+            ));
+        }
+        out
+    }
+}
+
 /// Running min/max/mean over f64 samples (used to summarize sweeps).
 #[derive(Debug, Default, Clone)]
 pub struct Summary {

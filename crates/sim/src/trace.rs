@@ -69,7 +69,13 @@ impl Tracer {
         self.level
     }
 
-    fn record(&self, min_level: TraceLevel, cycle: Cycle, source: &str, msg: impl FnOnce() -> String) {
+    fn record(
+        &self,
+        min_level: TraceLevel,
+        cycle: Cycle,
+        source: &str,
+        msg: impl FnOnce() -> String,
+    ) {
         if self.level < min_level {
             return;
         }
@@ -121,7 +127,10 @@ impl Tracer {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for e in self.events.borrow().iter() {
-            out.push_str(&format!("[{:>10}] {:<16} {}\n", e.cycle, e.source, e.message));
+            out.push_str(&format!(
+                "[{:>10}] {:<16} {}\n",
+                e.cycle, e.source, e.message
+            ));
         }
         out
     }

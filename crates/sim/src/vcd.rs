@@ -83,7 +83,12 @@ impl VcdRecorder {
     }
 
     /// Trace an arbitrary value of `width` bits.
-    pub fn probe(&mut self, name: impl Into<String>, width: u8, sample: impl Fn() -> u64 + 'static) {
+    pub fn probe(
+        &mut self,
+        name: impl Into<String>,
+        width: u8,
+        sample: impl Fn() -> u64 + 'static,
+    ) {
         assert!((1..=64).contains(&width));
         let index = self.probes.len();
         self.probes.push(Probe {
@@ -161,7 +166,9 @@ mod tests {
         let ids: Vec<String> = (0..300).map(id_code).collect();
         let set: std::collections::HashSet<&String> = ids.iter().collect();
         assert_eq!(set.len(), 300);
-        assert!(ids.iter().all(|s| s.bytes().all(|b| (b'!'..=b'~').contains(&b))));
+        assert!(ids
+            .iter()
+            .all(|s| s.bytes().all(|b| (b'!'..=b'~').contains(&b))));
         assert_eq!(ids[0], "!");
     }
 
@@ -183,7 +190,10 @@ mod tests {
         assert!(dump.contains("$enddefinitions"));
         // Initial value at #0, rise at #3, fall at #6 — three change
         // records, not eight.
-        assert_eq!(dump.matches("\n0!").count() + dump.matches("\n1!").count(), 3);
+        assert_eq!(
+            dump.matches("\n0!").count() + dump.matches("\n1!").count(),
+            3
+        );
         assert!(dump.contains("#3\n1!"));
         assert!(dump.contains("#6\n0!"));
     }

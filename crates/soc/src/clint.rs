@@ -54,7 +54,12 @@ pub struct Clint {
 
 impl Clint {
     /// Create a CLINT whose timer ticks every `divider` fabric cycles.
-    pub fn new(name: impl Into<String>, port: SlavePort, base: u64, divider: Cycle) -> (Self, ClintHandle) {
+    pub fn new(
+        name: impl Into<String>,
+        port: SlavePort,
+        base: u64,
+        divider: Cycle,
+    ) -> (Self, ClintHandle) {
         assert!(divider > 0);
         let shared = Rc::new(RefCell::new(Shared {
             mtime: 0,
@@ -90,7 +95,7 @@ impl Component for Clint {
 
     fn tick(&mut self, ctx: &mut TickCtx<'_>) {
         let cycle = ctx.cycle;
-        if (cycle + 1) % self.divider == 0 {
+        if (cycle + 1).is_multiple_of(self.divider) {
             let mut sh = self.shared.borrow_mut();
             sh.mtime += 1;
             self.timer_irq.set(sh.mtime >= sh.mtimecmp);
@@ -120,6 +125,22 @@ impl Component for Clint {
             };
             let _ = self.port.try_respond(cycle, resp);
         }
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if !self.port.req.is_empty() {
+            return Some(now);
+        }
+        // The timer increments on cycles t with (t + 1) % divider == 0,
+        // i.e. t ≡ divider − 1 (mod divider): wake at the next such
+        // edge. (mtime must keep counting even with no bus traffic —
+        // the measurement drivers depend on it.)
+        let phase = (now + 1) % self.divider;
+        Some(if phase == 0 {
+            now
+        } else {
+            now + (self.divider - phase)
+        })
     }
 }
 
@@ -156,7 +177,8 @@ mod tests {
         sim.run_until(100, || {
             got = m.resp.force_pop();
             got.is_some()
-        });
+        })
+        .unwrap();
         let v = got.unwrap().data;
         assert!(v >= 5 && v <= h.mtime(), "mtime over bus: {v}");
     }
@@ -170,7 +192,7 @@ mod tests {
         sim.register(Box::new(clint));
         m.try_issue(0, MmReq::write(CLINT_BASE + CLINT_MTIMECMP, 3, 8))
             .unwrap();
-        sim.run_until(100, || m.resp.force_pop().is_some());
+        sim.run_until(100, || m.resp.force_pop().is_some()).unwrap();
         assert!(!irq.get());
         sim.step_n(100);
         assert!(irq.get());

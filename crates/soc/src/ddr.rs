@@ -85,9 +85,16 @@ impl DdrHandle {
 enum ReadState {
     Idle,
     /// Waiting out first-beat latency.
-    Latency { until: Cycle, req: MmReq },
+    Latency {
+        until: Cycle,
+        req: MmReq,
+    },
     /// Streaming burst beats.
-    Streaming { addr: u64, beat_bytes: u8, remaining: u16 },
+    Streaming {
+        addr: u64,
+        beat_bytes: u8,
+        remaining: u16,
+    },
 }
 
 /// The DDR controller component.
@@ -114,7 +121,12 @@ pub struct Ddr {
 
 impl Ddr {
     /// Create a DDR at `base` with `cfg`.
-    pub fn new(name: impl Into<String>, port: SlavePort, base: u64, cfg: DdrConfig) -> (Self, DdrHandle) {
+    pub fn new(
+        name: impl Into<String>,
+        port: SlavePort,
+        base: u64,
+        cfg: DdrConfig,
+    ) -> (Self, DdrHandle) {
         let bytes = Rc::new(RefCell::new(vec![0u8; cfg.size as usize]));
         let handle = DdrHandle {
             base,
@@ -179,7 +191,12 @@ impl Component for Ddr {
         if !refreshing {
             if let Some(&(done, req)) = self.write_pipe.front() {
                 if done <= cycle {
-                    if let MmOp::Write { data, bytes, posted } = req.op {
+                    if let MmOp::Write {
+                        data,
+                        bytes,
+                        posted,
+                    } = req.op
+                    {
                         let ok = self.in_bounds(req.addr, bytes as u64);
                         if ok {
                             let off = (req.addr - self.base) as usize;
@@ -196,7 +213,11 @@ impl Component for Ddr {
                             }
                             self.write_pipe.pop_front();
                         } else {
-                            let resp = if ok { MmResp::write_ack() } else { MmResp::err() };
+                            let resp = if ok {
+                                MmResp::write_ack()
+                            } else {
+                                MmResp::err()
+                            };
                             if self.port.try_respond(cycle, resp).is_ok() {
                                 if ok {
                                     self.beats_written += 1;
@@ -294,6 +315,28 @@ impl Component for Ddr {
     fn busy(&self) -> bool {
         !matches!(self.read, ReadState::Idle) || !self.write_pipe.is_empty()
     }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if !self.port.req.is_empty() {
+            return Some(now);
+        }
+        // The refresh schedule is observable work (it moves
+        // `refresh_at` forward and shifts future stalls), so its next
+        // edge is always a wake-up candidate — the controller never
+        // declares unbounded idleness.
+        let mut at = self.refresh_at.max(now);
+        match &self.read {
+            ReadState::Idle => {}
+            ReadState::Latency { until, .. } => at = at.min((*until).max(now)),
+            // A streaming burst moves a beat (or retries a full
+            // response FIFO) every cycle.
+            ReadState::Streaming { .. } => return Some(now),
+        }
+        if let Some(&(done, _)) = self.write_pipe.front() {
+            at = at.min(done.max(now));
+        }
+        Some(at)
+    }
 }
 
 impl Ddr {
@@ -362,15 +405,17 @@ mod tests {
         sim.run_until(200, || {
             got = m.resp.force_pop();
             got.is_some()
-        });
+        })
+        .unwrap();
         assert_eq!(got.unwrap().data, 0x0807_0605_0403_0201);
     }
 
     #[test]
     fn write_then_read() {
         let (mut sim, m, h) = rig(small_cfg());
-        m.try_issue(0, MmReq::write(DDR_BASE, 0xDEAD_BEEF, 4)).unwrap();
-        sim.run_until(200, || m.resp.force_pop().is_some());
+        m.try_issue(0, MmReq::write(DDR_BASE, 0xDEAD_BEEF, 4))
+            .unwrap();
+        sim.run_until(200, || m.resp.force_pop().is_some()).unwrap();
         assert_eq!(h.read_bytes(DDR_BASE, 4), vec![0xEF, 0xBE, 0xAD, 0xDE]);
     }
 
@@ -446,12 +491,14 @@ mod tests {
     #[test]
     fn out_of_bounds_access_errors() {
         let (mut sim, m, _h) = rig(small_cfg());
-        m.try_issue(0, MmReq::read(DDR_BASE + (1 << 20), 8)).unwrap();
+        m.try_issue(0, MmReq::read(DDR_BASE + (1 << 20), 8))
+            .unwrap();
         let mut got = None;
         sim.run_until(200, || {
             got = m.resp.force_pop();
             got.is_some()
-        });
+        })
+        .unwrap();
         assert!(got.unwrap().error);
     }
 
@@ -465,10 +512,11 @@ mod tests {
         let start = sim.now();
         while beats < bursts * 16 {
             let now = sim.now();
-            if issued < bursts {
-                if m.try_issue(now, MmReq::read_burst(DDR_BASE + issued * 128, 16, 8)).is_ok() {
-                    issued += 1;
-                }
+            if issued < bursts
+                && m.try_issue(now, MmReq::read_burst(DDR_BASE + issued * 128, 16, 8))
+                    .is_ok()
+            {
+                issued += 1;
             }
             while m.resp.force_pop().is_some() {
                 beats += 1;

@@ -120,7 +120,10 @@ mod tests {
         ];
         for (i, &(a, asz)) in windows.iter().enumerate() {
             for &(b, bsz) in windows.iter().skip(i + 1) {
-                assert!(a + asz <= b || b + bsz <= a, "windows {a:#x}/{b:#x} overlap");
+                assert!(
+                    a + asz <= b || b + bsz <= a,
+                    "windows {a:#x}/{b:#x} overlap"
+                );
             }
         }
     }

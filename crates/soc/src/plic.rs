@@ -151,6 +151,27 @@ impl Component for Plic {
             let _ = self.port.try_respond(cycle, resp);
         }
     }
+
+    fn next_activity(&self, now: rvcap_sim::Cycle) -> Option<rvcap_sim::Cycle> {
+        if !self.port.req.is_empty() {
+            return Some(now);
+        }
+        // A tick changes state only when some enabled, not-in-service,
+        // not-yet-pending source line is high — the exact condition
+        // under which the sampler sets a pending bit. A line held high
+        // while latched pending (or in service, or disabled) is a
+        // no-op, so it must not keep the system from fast-forwarding.
+        let sh = self.shared.borrow();
+        let newly_pending = self.sources.iter().any(|(id, sig)| {
+            let bit = 1u32 << id;
+            sig.get() && sh.enabled & bit != 0 && sh.in_service & bit == 0 && sh.pending & bit == 0
+        });
+        if newly_pending {
+            Some(now)
+        } else {
+            Some(rvcap_sim::Cycle::MAX)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -192,16 +213,21 @@ mod tests {
     fn mmio_read(r: &mut Rig, addr: u64) -> u64 {
         r.m.try_issue(r.sim.now(), MmReq::read(addr, 4)).unwrap();
         let mut got = None;
-        r.sim.run_until(100, || {
-            got = r.m.resp.force_pop();
-            got.is_some()
-        });
+        r.sim
+            .run_until(100, || {
+                got = r.m.resp.force_pop();
+                got.is_some()
+            })
+            .unwrap();
         got.unwrap().data
     }
 
     fn mmio_write(r: &mut Rig, addr: u64, v: u64) {
-        r.m.try_issue(r.sim.now(), MmReq::write(addr, v, 4)).unwrap();
-        r.sim.run_until(100, || r.m.resp.force_pop().is_some());
+        r.m.try_issue(r.sim.now(), MmReq::write(addr, v, 4))
+            .unwrap();
+        r.sim
+            .run_until(100, || r.m.resp.force_pop().is_some())
+            .unwrap();
     }
 
     #[test]

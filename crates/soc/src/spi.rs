@@ -150,6 +150,19 @@ impl<D: BlockDevice> Component for Spi<D> {
     fn busy(&self) -> bool {
         self.busy_until.is_some()
     }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        // A queued register access is serviced (or back-pressured into
+        // a retry) this cycle — status reads work while the shifter is
+        // busy, so any pending request means activity now.
+        if !self.port.req.is_empty() {
+            return Some(now);
+        }
+        match self.busy_until {
+            Some((done, _)) => Some(done.max(now)),
+            None => Some(Cycle::MAX),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -176,24 +189,25 @@ mod tests {
 
     fn wr(r: &mut Rig, addr: u64, v: u64) {
         loop {
-            if r.m
-                .try_issue(r.sim.now(), MmReq::write(addr, v, 1))
-                .is_ok()
-            {
+            if r.m.try_issue(r.sim.now(), MmReq::write(addr, v, 1)).is_ok() {
                 break;
             }
             r.sim.step();
         }
-        r.sim.run_until(10_000, || r.m.resp.force_pop().is_some());
+        r.sim
+            .run_until(10_000, || r.m.resp.force_pop().is_some())
+            .unwrap();
     }
 
     fn rd(r: &mut Rig, addr: u64) -> u64 {
         r.m.try_issue(r.sim.now(), MmReq::read(addr, 1)).unwrap();
         let mut got = None;
-        r.sim.run_until(10_000, || {
-            got = r.m.resp.force_pop();
-            got.is_some()
-        });
+        r.sim
+            .run_until(10_000, || {
+                got = r.m.resp.force_pop();
+                got.is_some()
+            })
+            .unwrap();
         got.unwrap().data
     }
 

@@ -80,6 +80,14 @@ impl Component for Uart {
             let _ = self.port.try_respond(ctx.cycle, resp);
         }
     }
+
+    fn next_activity(&self, now: rvcap_sim::Cycle) -> Option<rvcap_sim::Cycle> {
+        if self.port.req.is_empty() {
+            Some(rvcap_sim::Cycle::MAX)
+        } else {
+            Some(now)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -98,7 +106,7 @@ mod tests {
         for (i, b) in b"ok\n".iter().enumerate() {
             m.try_issue(sim.now(), MmReq::write(UART_BASE + UART_TX, *b as u64, 1))
                 .unwrap();
-            sim.run_until(100, || m.resp.force_pop().is_some());
+            sim.run_until(100, || m.resp.force_pop().is_some()).unwrap();
             assert_eq!(h.len(), i + 1);
         }
         assert_eq!(h.text(), "ok\n");
@@ -110,12 +118,14 @@ mod tests {
         let (m, s) = link("uart", 2);
         let (uart, _h) = Uart::new("uart", s, UART_BASE);
         sim.register(Box::new(uart));
-        m.try_issue(0, MmReq::read(UART_BASE + UART_STATUS, 4)).unwrap();
+        m.try_issue(0, MmReq::read(UART_BASE + UART_STATUS, 4))
+            .unwrap();
         let mut got = None;
         sim.run_until(100, || {
             got = m.resp.force_pop();
             got.is_some()
-        });
+        })
+        .unwrap();
         assert_eq!(got.unwrap().data, 1);
     }
 }

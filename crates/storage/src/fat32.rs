@@ -165,7 +165,7 @@ impl<D: BlockDevice> Fat32Volume<D> {
         bpb[13] = SECTORS_PER_CLUSTER as u8;
         bpb[14..16].copy_from_slice(&(RESERVED_SECTORS as u16).to_le_bytes());
         bpb[16] = 2; // num FATs
-        // root entries (0 for FAT32), total16 (0), media, fatsz16 (0)
+                     // root entries (0 for FAT32), total16 (0), media, fatsz16 (0)
         bpb[21] = 0xF8;
         bpb[32..36].copy_from_slice(&total_sectors.to_le_bytes());
         bpb[36..40].copy_from_slice(&fat_sectors.to_le_bytes());
@@ -297,7 +297,7 @@ impl<D: BlockDevice> Fat32Volume<D> {
     fn free_chain(&mut self, first: u32) -> Result<(), FsError> {
         let mut c = first;
         let mut hops = 0u32;
-        while c >= 2 && c < 0x0FFF_FFF8 {
+        while (2..0x0FFF_FFF8).contains(&c) {
             let next = self.fat_entry(c)?;
             self.set_fat(c, 0)?;
             c = next;
@@ -313,7 +313,7 @@ impl<D: BlockDevice> Fat32Volume<D> {
     fn chain(&mut self, first: u32) -> Result<Vec<u32>, FsError> {
         let mut out = Vec::new();
         let mut c = first;
-        while c >= 2 && c < 0x0FFF_FFF8 {
+        while (2..0x0FFF_FFF8).contains(&c) {
             out.push(c);
             if out.len() as u32 > self.geo.cluster_count() {
                 return Err(FsError::CorruptChain(c));
@@ -873,19 +873,19 @@ mod tests {
                         Op::Create(n, data) => {
                             let name = fname(n);
                             let r = vol.create(&name, &data);
-                            if model.contains_key(&name) {
-                                prop_assert!(matches!(r, Err(FsError::Exists(_))));
-                            } else {
+                            if let std::collections::hash_map::Entry::Vacant(e) = model.entry(name) {
                                 prop_assert!(r.is_ok());
-                                model.insert(name, data);
+                                e.insert(data);
+                            } else {
+                                prop_assert!(matches!(r, Err(FsError::Exists(_))));
                             }
                         }
                         Op::Overwrite(n, data) => {
                             let name = fname(n);
                             let r = vol.overwrite(&name, &data);
-                            if model.contains_key(&name) {
+                            if let std::collections::hash_map::Entry::Occupied(mut e) = model.entry(name) {
                                 prop_assert!(r.is_ok());
-                                model.insert(name, data);
+                                e.insert(data);
                             } else {
                                 prop_assert!(matches!(r, Err(FsError::NotFound(_))));
                             }

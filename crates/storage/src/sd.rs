@@ -406,7 +406,11 @@ pub mod host {
     }
 
     /// Read one 512-byte block via CMD17.
-    pub fn read_block(mut clock: impl FnMut(u8) -> u8, lba: u32, out: &mut [u8; BLOCK_SIZE]) -> bool {
+    pub fn read_block(
+        mut clock: impl FnMut(u8) -> u8,
+        lba: u32,
+        out: &mut [u8; BLOCK_SIZE],
+    ) -> bool {
         for b in command_frame(17, lba) {
             clock(b);
         }

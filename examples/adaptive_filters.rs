@@ -85,11 +85,18 @@ fn main() {
         };
         let t = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
         let icap = soc.handles.icap.clone();
-        soc.core.wait_until(100_000, || !icap.busy());
+        soc.core.wait_until(100_000, || !icap.busy()).unwrap();
 
         // Stream the image through the freshly loaded accelerator.
         let plic = soc.handles.plic.clone();
-        let tc = run_accelerator(&mut soc.core, &plic, 0, in_addr, out_addr, (dim * dim) as u32);
+        let tc = run_accelerator(
+            &mut soc.core,
+            &plic,
+            0,
+            in_addr,
+            out_addr,
+            (dim * dim) as u32,
+        );
         let hw_out = soc.handles.ddr.read_bytes(out_addr, dim * dim);
         let golden = kind.golden(&input);
         let ok = hw_out == golden.as_bytes();

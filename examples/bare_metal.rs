@@ -100,7 +100,7 @@ fn main() {
 
     // The ICAP may still be consuming the trailer; settle and check.
     let icap = soc.handles.icap.clone();
-    soc.core.wait_until(100_000, || !icap.busy());
+    soc.core.wait_until(100_000, || !icap.busy()).unwrap();
     let record = soc.handles.icap.last_load().expect("a load happened");
     assert!(record.crc_ok, "bitstream must load intact");
     assert_eq!(

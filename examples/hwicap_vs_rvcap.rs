@@ -50,7 +50,7 @@ fn main() {
     let driver = RvCapDriver::new(0, soc.handles.plic.clone());
     let t = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
     let icap = soc.handles.icap.clone();
-    soc.core.wait_until(100_000, || !icap.busy());
+    soc.core.wait_until(100_000, || !icap.busy()).unwrap();
     assert!(soc.handles.icap.last_load().unwrap().crc_ok);
     let rvcap_mbs = t.throughput_mbs(module.pbit_size as u64);
     println!(

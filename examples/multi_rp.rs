@@ -41,9 +41,9 @@ fn main() {
     let rp1 = RvCapDriver::new(1, soc.handles.plic.clone());
 
     let load = |soc: &mut rvcap_core::system::RvCapSoc,
-                    driver: &RvCapDriver,
-                    rp: usize,
-                    img: &rvcap_fabric::rm::RmImage| {
+                driver: &RvCapDriver,
+                rp: usize,
+                img: &rvcap_fabric::rm::RmImage| {
         let far = soc.handles.rps[rp].far_base;
         let bs = BitstreamBuilder::kintex7().partial(far, &img.payload);
         let bytes = bs.to_bytes();
@@ -56,7 +56,7 @@ fn main() {
         };
         let t = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
         let icap = soc.handles.icap.clone();
-        soc.core.wait_until(100_000, || !icap.busy());
+        soc.core.wait_until(100_000, || !icap.busy()).unwrap();
         t
     };
 
@@ -74,7 +74,14 @@ fn main() {
     //    *partition state*, which survives its neighbour's
     //    reconfiguration untouched.)
     let plic = soc.handles.plic.clone();
-    run_accelerator(&mut soc.core, &plic, 0, IN_ADDR, OUT_ADDR, (DIM * DIM) as u32);
+    run_accelerator(
+        &mut soc.core,
+        &plic,
+        0,
+        IN_ADDR,
+        OUT_ADDR,
+        (DIM * DIM) as u32,
+    );
     let gaussian_before = soc.handles.ddr.read_bytes(OUT_ADDR, DIM * DIM);
     let t1 = load(&mut soc, &rp1, 1, &sobel);
     println!(
@@ -90,9 +97,20 @@ fn main() {
     );
 
     // 3. Alternate the two accelerators without further reconfig.
-    for (rp, kind) in [(0usize, FilterKind::Gaussian), (1, FilterKind::Sobel), (0, FilterKind::Gaussian)] {
+    for (rp, kind) in [
+        (0usize, FilterKind::Gaussian),
+        (1, FilterKind::Sobel),
+        (0, FilterKind::Gaussian),
+    ] {
         let plic = soc.handles.plic.clone();
-        let tc = run_accelerator(&mut soc.core, &plic, rp, IN_ADDR, OUT_ADDR, (DIM * DIM) as u32);
+        let tc = run_accelerator(
+            &mut soc.core,
+            &plic,
+            rp,
+            IN_ADDR,
+            OUT_ADDR,
+            (DIM * DIM) as u32,
+        );
         let out = soc.handles.ddr.read_bytes(OUT_ADDR, DIM * DIM);
         let ok = out == kind.golden(&input).as_bytes();
         println!(

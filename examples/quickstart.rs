@@ -31,9 +31,7 @@ fn main() {
     // 2. Build the SoC with the bitstream on its SD card. The far
     //    (frame address) of the partition is where the builder places
     //    RP0; build the bitstream for that address.
-    let probe = SocBuilder::new()
-        .with_rps(vec![geometry.clone()])
-        .build();
+    let probe = SocBuilder::new().with_rps(vec![geometry.clone()]).build();
     let far = probe.handles.rps[0].far_base;
     let bitstream = BitstreamBuilder::kintex7().partial(far, &image.payload);
     println!(
@@ -63,7 +61,12 @@ fn main() {
     //    the FAT32 driver (this is simulated I/O — every byte crosses
     //    the SPI link).
     let t0 = soc.core.now();
-    let modules = init_rmodules(&mut soc.core, &soc.handles.ddr, DDR_BASE + 0x10_0000, &["DEMO.PBI"]);
+    let modules = init_rmodules(
+        &mut soc.core,
+        &soc.handles.ddr,
+        DDR_BASE + 0x10_0000,
+        &["DEMO.PBI"],
+    );
     println!(
         "init_RModules: staged {} bytes from SD in {:.2} ms of simulated time",
         modules[0].pbit_size,
@@ -75,7 +78,7 @@ fn main() {
     let driver = RvCapDriver::new(0, soc.handles.plic.clone());
     let timing = driver.init_reconfig_process(&mut soc.core, &modules[0], DmaMode::NonBlocking);
     let icap = soc.handles.icap.clone();
-    soc.core.wait_until(100_000, || !icap.busy());
+    soc.core.wait_until(100_000, || !icap.busy()).unwrap();
 
     println!(
         "reconfiguration: Td = {:.1} µs, Tr = {:.1} µs, throughput = {:.1} MB/s",

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local gate: build, tests, lints, formatting. Everything runs
+# offline — the workspace has no registry dependencies (see DESIGN.md
+# §5), so this works in the sandboxed build environment as-is.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "All checks passed."

@@ -110,7 +110,7 @@ fn wfi_interrupt_driven_reconfiguration() {
 
     // The load completed and the partition is active.
     let icap = soc.handles.icap.clone();
-    soc.core.wait_until(100_000, || !icap.busy());
+    soc.core.wait_until(100_000, || !icap.busy()).unwrap();
     assert!(soc.handles.icap.last_load().unwrap().crc_ok);
     assert_eq!(
         soc.handles.rm_hosts[0].active_module().as_deref(),

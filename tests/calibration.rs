@@ -89,7 +89,7 @@ fn rvcap_max_throughput_reaches_398() {
     let d = RvCapDriver::new(0, soc.handles.plic.clone());
     let t = d.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
     let mbs = t.throughput_mbs(module.pbit_size as u64);
-    assert!(mbs >= 397.0 && mbs < 400.0, "max throughput {mbs} MB/s");
+    assert!((397.0..400.0).contains(&mbs), "max throughput {mbs} MB/s");
 }
 
 /// §IV-B: the HWICAP driver reaches 4.16 MB/s without unrolling —
@@ -132,7 +132,10 @@ fn hwicap_throughput_both_unroll_points() {
     let ddr = soc.handles.ddr.clone();
     let ticks = HwIcapDriver::with_unroll(16).reconfigure_rp(&mut soc.core, &ddr, &module);
     let mbs16 = module.pbit_size as f64 / (ticks as f64 / 5.0);
-    assert!((mbs16 - 8.23).abs() < 0.2, "u=16: {mbs16} MB/s (paper 8.23)");
+    assert!(
+        (mbs16 - 8.23).abs() < 0.2,
+        "u=16: {mbs16} MB/s (paper 8.23)"
+    );
 
     // The paper's 156.45 ms extrapolates from the u=1 rate.
     let ms_for_paper_bitstream = 650_892.0 / mbs1 / 1000.0;

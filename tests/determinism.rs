@@ -16,6 +16,11 @@ const DIM: usize = 16;
 
 /// One full reconfigure + accelerate run; returns every observable.
 fn one_run() -> (u64, u64, u64, Vec<u8>, u64) {
+    one_run_ff(true)
+}
+
+/// Same run with the kernel's idle fast-forward toggled explicitly.
+fn one_run_ff(fast_forward: bool) -> (u64, u64, u64, Vec<u8>, u64) {
     let geometry = RpGeometry::scaled(1, 0, 0);
     let library = filter_library(&geometry, DIM, DIM);
     let img = library.by_name("Gaussian").unwrap().clone();
@@ -23,6 +28,7 @@ fn one_run() -> (u64, u64, u64, Vec<u8>, u64) {
         .with_rps(vec![geometry])
         .with_library(library)
         .build();
+    soc.core.sim.set_fast_forward(fast_forward);
     let bs = BitstreamBuilder::kintex7().partial(soc.handles.rps[0].far_base, &img.payload);
     let bytes = bs.to_bytes();
     soc.handles.ddr.write_bytes(DDR_BASE + 0x40_0000, &bytes);
@@ -33,11 +39,13 @@ fn one_run() -> (u64, u64, u64, Vec<u8>, u64) {
         pbit_size: bytes.len() as u32,
     };
     let input = Image::noise(DIM, DIM, 7);
-    soc.handles.ddr.write_bytes(DDR_BASE + 0x10_0000, input.as_bytes());
+    soc.handles
+        .ddr
+        .write_bytes(DDR_BASE + 0x10_0000, input.as_bytes());
     let driver = RvCapDriver::new(0, soc.handles.plic.clone());
     let t = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
     let icap = soc.handles.icap.clone();
-    soc.core.wait_until(100_000, || !icap.busy());
+    soc.core.wait_until(100_000, || !icap.busy()).unwrap();
     let plic = soc.handles.plic.clone();
     let tc = run_accelerator(
         &mut soc.core,
@@ -65,6 +73,37 @@ fn identical_runs_are_bit_identical() {
     assert_eq!(a.2, b.2, "Tc");
     assert_eq!(a.3, b.3, "output bytes");
     assert_eq!(a.4, b.4, "final cycle count");
+}
+
+/// Idle fast-forward only skips ticks the components declared to be
+/// no-ops, so every observable — including the final cycle counter —
+/// must be bit-identical with the optimization on or off.
+#[test]
+fn fast_forward_is_bit_identical_to_naive_schedule() {
+    let ff = one_run_ff(true);
+    let naive = one_run_ff(false);
+    assert_eq!(ff.0, naive.0, "Td");
+    assert_eq!(ff.1, naive.1, "Tr");
+    assert_eq!(ff.2, naive.2, "Tc");
+    assert_eq!(ff.3, naive.3, "output bytes");
+    assert_eq!(ff.4, naive.4, "final cycle count");
+}
+
+/// The full Table I measurement (RV-CAP + HWICAP throughput on the
+/// paper's 650 892-byte bitstream) serializes to byte-identical JSON
+/// with fast-forward on and off.
+#[test]
+fn table1_json_is_identical_with_and_without_fast_forward() {
+    use rvcap_bench::report::Json;
+    let on = rvcap_bench::tables::table1_run(true);
+    let off = rvcap_bench::tables::table1_run(false);
+    assert_eq!(on.rows.to_json(), off.rows.to_json());
+    // And fast-forward actually did something on this workload.
+    assert!(
+        on.hwicap_stats.jumps > 0,
+        "expected idle jumps in the HWICAP run"
+    );
+    assert_eq!(off.hwicap_stats.jumps, 0, "disabled means no jumps");
 }
 
 #[test]

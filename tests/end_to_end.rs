@@ -50,7 +50,7 @@ fn sd_to_accelerator_full_path() {
     let driver = RvCapDriver::new(0, soc.handles.plic.clone());
     let timing = driver.init_reconfig_process(&mut soc.core, &modules[0], DmaMode::NonBlocking);
     let icap = soc.handles.icap.clone();
-    soc.core.wait_until(100_000, || !icap.busy());
+    soc.core.wait_until(100_000, || !icap.busy()).unwrap();
     assert!(soc.handles.icap.last_load().unwrap().crc_ok);
     assert_eq!(
         soc.handles.rm_hosts[0].active_module().as_deref(),
@@ -64,7 +64,14 @@ fn sd_to_accelerator_full_path() {
     let out_addr = DDR_BASE + 0x38_0000;
     soc.handles.ddr.write_bytes(in_addr, input.as_bytes());
     let plic = soc.handles.plic.clone();
-    run_accelerator(&mut soc.core, &plic, 0, in_addr, out_addr, (DIM * DIM) as u32);
+    run_accelerator(
+        &mut soc.core,
+        &plic,
+        0,
+        in_addr,
+        out_addr,
+        (DIM * DIM) as u32,
+    );
     assert_eq!(
         soc.handles.ddr.read_bytes(out_addr, DIM * DIM),
         FilterKind::Median.golden(&input).as_bytes()
@@ -95,19 +102,30 @@ fn hwicap_path_is_functionally_equivalent() {
     let ddr = soc.handles.ddr.clone();
     HwIcapDriver::new().init_reconfig_process(&mut soc.core, &ddr, &module, 0);
     let icap = soc.handles.icap.clone();
-    soc.core.wait_until(100_000, || !icap.busy());
+    soc.core.wait_until(100_000, || !icap.busy()).unwrap();
     assert_eq!(
         soc.handles.rm_hosts[0].active_module().as_deref(),
         Some("Gaussian")
     );
-    assert!(soc.handles.uart.text().contains("reconfiguration successful"));
+    assert!(soc
+        .handles
+        .uart
+        .text()
+        .contains("reconfiguration successful"));
 
     let input = Image::gradient(DIM, DIM);
     let in_addr = DDR_BASE + 0x30_0000;
     let out_addr = DDR_BASE + 0x38_0000;
     soc.handles.ddr.write_bytes(in_addr, input.as_bytes());
     let plic = soc.handles.plic.clone();
-    run_accelerator(&mut soc.core, &plic, 0, in_addr, out_addr, (DIM * DIM) as u32);
+    run_accelerator(
+        &mut soc.core,
+        &plic,
+        0,
+        in_addr,
+        out_addr,
+        (DIM * DIM) as u32,
+    );
     assert_eq!(
         soc.handles.ddr.read_bytes(out_addr, DIM * DIM),
         FilterKind::Gaussian.golden(&input).as_bytes()
@@ -138,8 +156,7 @@ fn repeated_module_swaps() {
     // Two full rounds over all three filters.
     for round in 0..2 {
         for (kind, img) in FilterKind::ALL.iter().zip(&images) {
-            let bs =
-                BitstreamBuilder::kintex7().partial(soc.handles.rps[0].far_base, &img.payload);
+            let bs = BitstreamBuilder::kintex7().partial(soc.handles.rps[0].far_base, &img.payload);
             let bytes = bs.to_bytes();
             soc.handles.ddr.write_bytes(stage, &bytes);
             let module = rvcap_repro::core::drivers::ReconfigModule {
@@ -150,9 +167,16 @@ fn repeated_module_swaps() {
             };
             driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
             let icap = soc.handles.icap.clone();
-            soc.core.wait_until(100_000, || !icap.busy());
+            soc.core.wait_until(100_000, || !icap.busy()).unwrap();
             let plic = soc.handles.plic.clone();
-            run_accelerator(&mut soc.core, &plic, 0, in_addr, out_addr, (DIM * DIM) as u32);
+            run_accelerator(
+                &mut soc.core,
+                &plic,
+                0,
+                in_addr,
+                out_addr,
+                (DIM * DIM) as u32,
+            );
             assert_eq!(
                 soc.handles.ddr.read_bytes(out_addr, DIM * DIM),
                 kind.golden(&input).as_bytes(),
@@ -187,7 +211,7 @@ fn datapath_conservation() {
     let driver = RvCapDriver::new(0, soc.handles.plic.clone());
     driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
     let icap = soc.handles.icap.clone();
-    soc.core.wait_until(100_000, || !icap.busy());
+    soc.core.wait_until(100_000, || !icap.busy()).unwrap();
     assert_eq!(
         soc.handles.icap.words_consumed(),
         bytes.len() as u64 / 4,

@@ -145,17 +145,23 @@ fn decoupled_partition_blocks_but_preserves_in_flight_data() {
     use rvcap_repro::core::dma::*;
     use rvcap_repro::soc::map::DMA_BASE;
     driver.select_icap(&mut soc.core, false);
-    soc.core.write_reg(DMA_BASE + S2MM_DMACR, CR_RS | CR_IOC_IRQ_EN);
+    soc.core
+        .write_reg(DMA_BASE + S2MM_DMACR, CR_RS | CR_IOC_IRQ_EN);
     use rvcap_repro::soc::map::{IRQ_DMA_S2MM, PLIC_BASE, PLIC_ENABLE};
     let en = soc.core.read_reg(PLIC_BASE + PLIC_ENABLE);
-    soc.core.write_reg(PLIC_BASE + PLIC_ENABLE, en | (1 << IRQ_DMA_S2MM));
+    soc.core
+        .write_reg(PLIC_BASE + PLIC_ENABLE, en | (1 << IRQ_DMA_S2MM));
     soc.core.write_reg(DMA_BASE + S2MM_DA, out_addr as u32);
-    soc.core.write_reg(DMA_BASE + S2MM_DA_MSB, (out_addr >> 32) as u32);
-    soc.core.write_reg(DMA_BASE + S2MM_LENGTH, (DIM * DIM) as u32);
+    soc.core
+        .write_reg(DMA_BASE + S2MM_DA_MSB, (out_addr >> 32) as u32);
+    soc.core
+        .write_reg(DMA_BASE + S2MM_LENGTH, (DIM * DIM) as u32);
     soc.core.write_reg(DMA_BASE + MM2S_DMACR, CR_RS);
     soc.core.write_reg(DMA_BASE + MM2S_SA, in_addr as u32);
-    soc.core.write_reg(DMA_BASE + MM2S_SA_MSB, (in_addr >> 32) as u32);
-    soc.core.write_reg(DMA_BASE + MM2S_LENGTH, (DIM * DIM) as u32);
+    soc.core
+        .write_reg(DMA_BASE + MM2S_SA_MSB, (in_addr >> 32) as u32);
+    soc.core
+        .write_reg(DMA_BASE + MM2S_LENGTH, (DIM * DIM) as u32);
     // Let a few beats through, then decouple for a while.
     soc.core.compute(40);
     driver.decouple_accel(&mut soc.core, true);
@@ -164,7 +170,10 @@ fn decoupled_partition_blocks_but_preserves_in_flight_data() {
     // The stream resumes and the output is still exactly golden.
     let plic = soc.handles.plic.clone();
     soc.core
-        .wait_until(1_000_000, || plic.is_pending(rvcap_repro::soc::map::IRQ_DMA_S2MM));
+        .wait_until(1_000_000, || {
+            plic.is_pending(rvcap_repro::soc::map::IRQ_DMA_S2MM)
+        })
+        .unwrap();
     // The IOC raises when the final posted write is *issued*; give the
     // DDR write pipe its few cycles to commit (a real handler's
     // claim/complete path covers this many times over).
@@ -177,12 +186,89 @@ fn decoupled_partition_blocks_but_preserves_in_flight_data() {
 }
 
 #[test]
+fn stalled_wait_returns_report_instead_of_panicking() {
+    let (mut soc, img) = rig();
+    let good = BitstreamBuilder::kintex7()
+        .partial(soc.handles.rps[0].far_base, &img.payload)
+        .to_bytes();
+    stage_and_reconfig(&mut soc, &good);
+
+    // Start an acceleration transfer, then decouple the partition and
+    // *leave* it decoupled: the S2MM completion interrupt can never
+    // fire, so the wait must give up at its limit — with a diagnosis,
+    // not a panic.
+    let input = Image::noise(DIM, DIM, 3);
+    let in_addr = DDR_BASE + 0x30_0000;
+    let out_addr = DDR_BASE + 0x38_0000;
+    soc.handles.ddr.write_bytes(in_addr, input.as_bytes());
+    let driver = RvCapDriver::new(0, soc.handles.plic.clone());
+    use rvcap_repro::core::dma::*;
+    use rvcap_repro::soc::map::DMA_BASE;
+    driver.select_icap(&mut soc.core, false);
+    soc.core
+        .write_reg(DMA_BASE + S2MM_DMACR, CR_RS | CR_IOC_IRQ_EN);
+    {
+        use rvcap_repro::soc::map::{IRQ_DMA_S2MM, PLIC_BASE, PLIC_ENABLE};
+        let en = soc.core.read_reg(PLIC_BASE + PLIC_ENABLE);
+        soc.core
+            .write_reg(PLIC_BASE + PLIC_ENABLE, en | (1 << IRQ_DMA_S2MM));
+    }
+    soc.core.write_reg(DMA_BASE + S2MM_DA, out_addr as u32);
+    soc.core
+        .write_reg(DMA_BASE + S2MM_DA_MSB, (out_addr >> 32) as u32);
+    soc.core
+        .write_reg(DMA_BASE + S2MM_LENGTH, (DIM * DIM) as u32);
+    soc.core.write_reg(DMA_BASE + MM2S_DMACR, CR_RS);
+    soc.core.write_reg(DMA_BASE + MM2S_SA, in_addr as u32);
+    soc.core
+        .write_reg(DMA_BASE + MM2S_SA_MSB, (in_addr >> 32) as u32);
+    driver.decouple_accel(&mut soc.core, true);
+    soc.core
+        .write_reg(DMA_BASE + MM2S_LENGTH, (DIM * DIM) as u32);
+
+    let plic = soc.handles.plic.clone();
+    let start = soc.core.now();
+    let report = soc
+        .core
+        .wait_until(50_000, || {
+            plic.is_pending(rvcap_repro::soc::map::IRQ_DMA_S2MM)
+        })
+        .unwrap_err();
+    assert_eq!(report.limit, 50_000);
+    assert_eq!(report.start, start);
+    assert!(report.cycle >= start + 50_000, "gave up early");
+    assert!(
+        report.busy.iter().any(|n| n.contains("dma")),
+        "the stalled DMA should be reported busy, got {:?}",
+        report.busy
+    );
+    let rendered = report.to_string();
+    assert!(rendered.contains("stalled"), "unhelpful report: {rendered}");
+
+    // The stall is recoverable: recouple and the transfer completes.
+    driver.decouple_accel(&mut soc.core, false);
+    soc.core
+        .wait_until(1_000_000, || {
+            plic.is_pending(rvcap_repro::soc::map::IRQ_DMA_S2MM)
+        })
+        .unwrap();
+    soc.core.compute(64);
+    assert_eq!(
+        soc.handles.ddr.read_bytes(out_addr, DIM * DIM),
+        FilterKind::Sobel.golden(&input).as_bytes(),
+        "recoupling must resume the stalled stream losslessly"
+    );
+}
+
+#[test]
 fn cpu_bus_error_on_unmapped_address() {
     let (mut soc, _) = rig();
     let err = soc.core.try_mmio_read(0x6000_0000, 4).unwrap_err();
     assert_eq!(err.addr, 0x6000_0000);
     // The system remains usable afterwards.
-    let v = soc.core.mmio_read(rvcap_repro::soc::map::CLINT_BASE + 0xBFF8, 8);
+    let v = soc
+        .core
+        .mmio_read(rvcap_repro::soc::map::CLINT_BASE + 0xBFF8, 8);
     assert!(v < u64::MAX);
 }
 
