@@ -25,6 +25,11 @@
 //!   static/reconfigurable boundary while a partial bitstream loads.
 //! * [`monitor`] — passive protocol checkers (framing invariants,
 //!   deadlock detection) for wiring onto suspect links in tests.
+//! * [`regmap`] — typed register maps: each device declares its
+//!   registers once ([`register_map!`]), and the declaration drives
+//!   the device-side decode ([`regmap::RegisterFile`]), the driver-side
+//!   offset constants, the audit counters, and the generated memory
+//!   map documentation.
 //!
 //! ## Timing model
 //!
@@ -40,6 +45,7 @@ pub mod isolator;
 pub mod mm;
 pub mod monitor;
 pub mod protocol;
+pub mod regmap;
 pub mod stream;
 pub mod switch;
 pub mod width;
@@ -48,6 +54,7 @@ pub use crossbar::{Crossbar, SlaveRegion};
 pub use isolator::{MmIsolator, StreamIsolator};
 pub use mm::{MasterPort, MmOp, MmReq, MmResp, SlavePort};
 pub use monitor::StreamMonitor;
+pub use regmap::{Access, Decoded, RegDef, RegisterFile, RegisterMap};
 pub use stream::{AxisBeat, AxisChannel};
 pub use switch::StreamSwitch;
 pub use width::{Narrower, Widener};

@@ -14,8 +14,8 @@
 
 use rvcap_baselines::compression;
 use rvcap_bench::paper_soc::{self, PaperRig};
-use rvcap_bench::report;
-use rvcap_core::drivers::{DmaMode, HwIcapDriver, RvCapDriver};
+use rvcap_bench::{report, runner};
+use rvcap_core::drivers::{DmaMode, RvCapDriver};
 use rvcap_core::system::SocBuilder;
 use rvcap_fabric::rp::RpGeometry;
 
@@ -49,19 +49,13 @@ fn main() {
             SocBuilder::new().with_dma_burst(burst),
             RpGeometry::paper_rp(),
         );
-        let PaperRig {
-            mut soc, module, ..
-        } = rig;
-        let d = RvCapDriver::new(0, soc.handles.plic.clone());
-        let t = d.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
+        let run = runner::reconfigure_rvcap(rig, DmaMode::NonBlocking);
         println!(
             "  burst {burst:>2}: Tr {:.1} µs, {:.1} MB/s",
-            t.tr_us(),
-            t.throughput_mbs(module.pbit_size as u64)
+            run.timing.tr_us(),
+            run.throughput_mbs()
         );
-        results
-            .burst_sweep
-            .push((burst, t.throughput_mbs(module.pbit_size as u64)));
+        results.burst_sweep.push((burst, run.throughput_mbs()));
     }
     println!("  → the knee is at burst 4: once sustained DDR supply exceeds the ICAP's 4 B/cycle, the port is the bottleneck and longer bursts buy nothing. The paper's 16 sits comfortably past the knee.\n");
 
@@ -72,12 +66,8 @@ fn main() {
             SocBuilder::new().with_hwicap_depth(depth),
             RpGeometry::scaled(2, 0, 0),
         );
-        let PaperRig {
-            mut soc, module, ..
-        } = rig;
-        let ddr = soc.handles.ddr.clone();
-        let ticks = HwIcapDriver::new().reconfigure_rp(&mut soc.core, &ddr, &module);
-        let mbs = module.pbit_size as f64 / (ticks as f64 / 5.0);
+        let run = runner::reconfigure_hwicap(rig, 16);
+        let mbs = run.throughput_mbs();
         println!("  depth {depth:>4}: {mbs:.2} MB/s");
         results.fifo_sweep.push((depth, mbs));
     }

@@ -1,8 +1,8 @@
 //! Calibration probe: prints the raw measured values for the paper's
 //! headline experiments so the timing constants can be pinned.
 
-use rvcap_bench::paper_soc::{self, PaperRig};
-use rvcap_core::drivers::{DmaMode, HwIcapDriver, RvCapDriver};
+use rvcap_bench::{paper_soc, runner};
+use rvcap_core::drivers::{DmaMode, RvCapDriver};
 
 fn table4_probe() {
     use rvcap_accel::{paper_filter_library, run_accelerator, FilterKind, Image};
@@ -57,46 +57,35 @@ fn table4_probe() {
 fn main() {
     table4_probe();
     // ---- RV-CAP on the paper's RP (650 892-byte bitstream) ----
-    let PaperRig {
-        mut soc, module, ..
-    } = paper_soc::rvcap_rig();
-    let driver = RvCapDriver::new(0, soc.handles.plic.clone());
-    let timing = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
+    let run = runner::reconfigure_rvcap(paper_soc::rvcap_rig(), DmaMode::NonBlocking);
     println!(
         "RV-CAP: Td = {:.1} us (paper 18), Tr = {:.1} us (paper 1651), throughput = {:.2} MB/s (paper 398.1)",
-        timing.td_us(),
-        timing.tr_us(),
-        timing.throughput_mbs(module.pbit_size as u64),
+        run.timing.td_us(),
+        run.timing.tr_us(),
+        run.throughput_mbs(),
     );
+    println!("{}", runner::mmio_summary(&run.soc));
 
     // ---- Fig 3 sweep end point: max throughput ----
     for (c, b, d) in [(12usize, 3usize, 1usize), (24, 6, 2), (48, 12, 4)] {
-        let PaperRig {
-            mut soc, module, ..
-        } = paper_soc::rig_with_geometry(rvcap_fabric::rp::RpGeometry::scaled(c, b, d));
-        let driver = RvCapDriver::new(0, soc.handles.plic.clone());
-        let t = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
+        let rig = paper_soc::rig_with_geometry(rvcap_fabric::rp::RpGeometry::scaled(c, b, d));
+        let run = runner::reconfigure_rvcap(rig, DmaMode::NonBlocking);
         println!(
             "RV-CAP {} B: Tr = {:.1} us, throughput = {:.2} MB/s",
-            module.pbit_size,
-            t.tr_us(),
-            t.throughput_mbs(module.pbit_size as u64)
+            run.module.pbit_size,
+            run.timing.tr_us(),
+            run.throughput_mbs()
         );
     }
 
     // ---- HWICAP at unroll 1 and 16 ----
     for unroll in [1usize, 16, 32] {
-        let PaperRig {
-            mut soc, module, ..
-        } = paper_soc::rvcap_rig();
-        let ddr = soc.handles.ddr.clone();
-        let d = HwIcapDriver::with_unroll(unroll);
-        let ticks = d.reconfigure_rp(&mut soc.core, &ddr, &module);
-        let us = ticks as f64 / 5.0;
-        let mbs = module.pbit_size as f64 / us;
+        let run = runner::reconfigure_hwicap(paper_soc::rvcap_rig(), unroll);
+        let us = run.ticks as f64 / 5.0;
         println!(
-            "HWICAP u={unroll:>2}: Tr = {:.2} ms, throughput = {mbs:.2} MB/s (paper: u1→4.16, u16→8.23)",
+            "HWICAP u={unroll:>2}: Tr = {:.2} ms, throughput = {:.2} MB/s (paper: u1→4.16, u16→8.23)",
             us / 1000.0,
+            run.throughput_mbs(),
         );
     }
 }

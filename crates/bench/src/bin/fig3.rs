@@ -10,38 +10,28 @@
 
 use std::time::{Duration, Instant};
 
-use rvcap_bench::paper_soc::{self, PaperRig};
-use rvcap_bench::report;
-use rvcap_core::drivers::{DmaMode, HwIcapDriver, RvCapDriver};
+use rvcap_bench::{paper_soc, report, runner};
+use rvcap_core::drivers::DmaMode;
 use rvcap_fabric::rp::RpGeometry;
-use rvcap_sim::KernelStats;
 
 /// One sweep point, both controllers. Self-contained so points run on
 /// worker threads (each builds its own simulator — the sim is
 /// single-threaded by design, but independent sims parallelize
 /// perfectly).
 fn run_point(g: RpGeometry) -> Point {
-    let PaperRig {
-        mut soc, module, ..
-    } = paper_soc::rig_with_geometry(g.clone());
-    let driver = RvCapDriver::new(0, soc.handles.plic.clone());
-    let t = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
-
-    let PaperRig {
-        mut soc,
-        module: m2,
-        ..
-    } = paper_soc::rig_with_geometry(g);
-    let ddr = soc.handles.ddr.clone();
-    let hw_ticks = HwIcapDriver::new().reconfigure_rp(&mut soc.core, &ddr, &m2);
-    let hw_us = hw_ticks as f64 / 5.0;
+    let rv = runner::reconfigure_rvcap(
+        paper_soc::rig_with_geometry(g.clone()),
+        DmaMode::NonBlocking,
+    );
+    let hw = runner::reconfigure_hwicap(paper_soc::rig_with_geometry(g), 16);
+    let hw_us = hw.ticks as f64 / 5.0;
 
     Point {
-        bitstream_bytes: module.pbit_size,
-        rvcap_tr_us: t.tr_us(),
-        rvcap_mbs: t.throughput_mbs(module.pbit_size as u64),
+        bitstream_bytes: rv.module.pbit_size,
+        rvcap_tr_us: rv.timing.tr_us(),
+        rvcap_mbs: rv.throughput_mbs(),
         hwicap_tr_us: hw_us,
-        hwicap_mbs: m2.pbit_size as f64 / hw_us,
+        hwicap_mbs: hw.throughput_mbs(),
     }
 }
 
@@ -49,27 +39,12 @@ fn run_point(g: RpGeometry) -> Point {
 /// the HWICAP baseline) with idle fast-forward on or off. Returns the
 /// host time, both simulated tick counts (which must not depend on the
 /// setting), and the kernel accounting of the HWICAP run.
-fn time_paper_point(fast_forward: bool) -> (Duration, u64, u64, KernelStats) {
+fn time_paper_point(fast_forward: bool) -> (Duration, u64, u64, runner::HwIcapRun) {
     let start = Instant::now();
-    let PaperRig {
-        mut soc, module, ..
-    } = paper_soc::rvcap_rig();
-    soc.core.sim.set_fast_forward(fast_forward);
-    let driver = RvCapDriver::new(0, soc.handles.plic.clone());
-    let t = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
-
-    let PaperRig {
-        mut soc, module, ..
-    } = paper_soc::rvcap_rig();
-    soc.core.sim.set_fast_forward(fast_forward);
-    let ddr = soc.handles.ddr.clone();
-    let hw_ticks = HwIcapDriver::new().reconfigure_rp(&mut soc.core, &ddr, &module);
-    (
-        start.elapsed(),
-        t.tr_ticks,
-        hw_ticks,
-        soc.core.sim.kernel_stats(),
-    )
+    let rv =
+        runner::reconfigure_rvcap_ff(paper_soc::rvcap_rig(), DmaMode::NonBlocking, fast_forward);
+    let hw = runner::reconfigure_hwicap_ff(paper_soc::rvcap_rig(), 16, fast_forward);
+    (start.elapsed(), rv.timing.tr_ticks, hw.ticks, hw)
 }
 
 struct Point {
@@ -156,7 +131,7 @@ fn main() {
     // HWICAP run in particular spends most of its cycles waiting out
     // the AXI-Lite adapter pipes, which the kernel now jumps over.
     let (t_off, tr_off, hw_off, _) = time_paper_point(false);
-    let (t_on, tr_on, hw_on, stats) = time_paper_point(true);
+    let (t_on, tr_on, hw_on, hw_run) = time_paper_point(true);
     assert_eq!(
         (tr_off, hw_off),
         (tr_on, hw_on),
@@ -171,7 +146,8 @@ fn main() {
     );
     println!(
         "\nkernel accounting, HWICAP run (fast-forward on):\n{}",
-        stats.render()
+        hw_run.soc.core.sim.kernel_stats().render()
     );
+    println!("HWICAP run {}", runner::mmio_summary(&hw_run.soc));
     report::dump_json("fig3", &points);
 }

@@ -1,0 +1,15 @@
+//! Regenerate `REGISTERS.md` from the register registry.
+//!
+//! The document is rendered from the same `register_map!` declarations
+//! that drive the device decode, the driver accessors and the audit
+//! counters, so it cannot drift from the hardware model. A tier-1 test
+//! (`tests/register_map.rs`) asserts the checked-in file matches.
+
+use std::path::Path;
+
+fn main() {
+    let md = rvcap_core::registry::to_markdown();
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../REGISTERS.md");
+    std::fs::write(&path, &md).expect("write REGISTERS.md");
+    println!("wrote {} ({} bytes)", path.display(), md.len());
+}

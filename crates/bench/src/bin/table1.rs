@@ -6,8 +6,8 @@
 //! determinism tests can pin it bit-identical with idle fast-forward
 //! on and off; this binary renders it.
 
-use rvcap_bench::report;
 use rvcap_bench::tables::{table1_run, Table1Run};
+use rvcap_bench::{report, runner};
 use rvcap_core::resources::{hwicap_report, rvcap_report};
 
 fn main() {
@@ -15,6 +15,8 @@ fn main() {
         rows,
         rvcap_stats,
         hwicap_stats,
+        rvcap_audit,
+        hwicap_audit,
     } = table1_run(true);
 
     let table_rows: Vec<Vec<String>> = rows
@@ -58,5 +60,10 @@ fn main() {
     );
     println!("\nkernel accounting, RV-CAP run:\n{}", rvcap_stats.render());
     println!("kernel accounting, HWICAP run:\n{}", hwicap_stats.render());
+    println!(
+        "RV-CAP {} | HWICAP {}",
+        runner::audit_summary(&rvcap_audit),
+        runner::audit_summary(&hwicap_audit)
+    );
     report::dump_json("table1", &rows);
 }

@@ -6,9 +6,8 @@
 //! Table I.
 
 use rvcap_baselines::table2_rows;
-use rvcap_bench::paper_soc::{self, PaperRig};
-use rvcap_bench::report;
-use rvcap_core::drivers::{DmaMode, HwIcapDriver, RvCapDriver};
+use rvcap_bench::{paper_soc, report, runner};
+use rvcap_core::drivers::DmaMode;
 
 struct Row {
     controller: String,
@@ -51,11 +50,7 @@ fn main() {
         .collect();
 
     // HWICAP on RISC-V (full system, 16-unrolled driver).
-    let PaperRig {
-        mut soc, module, ..
-    } = paper_soc::rvcap_rig();
-    let ddr = soc.handles.ddr.clone();
-    let ticks = HwIcapDriver::new().reconfigure_rp(&mut soc.core, &ddr, &module);
+    let hw = runner::reconfigure_hwicap(paper_soc::rvcap_rig(), 16);
     let hwicap = rvcap_core::resources::hwicap_report().total();
     rows.push(Row {
         controller: "Xilinx AXI_HWICAP (with RISC-V)".into(),
@@ -64,17 +59,13 @@ fn main() {
         luts: hwicap.luts,
         ffs: hwicap.ffs,
         brams: hwicap.brams,
-        measured_mbs: module.pbit_size as f64 / (ticks as f64 / 5.0),
+        measured_mbs: hw.throughput_mbs(),
         published_mbs: 8.23,
         freq_mhz: 100,
     });
 
     // RV-CAP (full system).
-    let PaperRig {
-        mut soc, module, ..
-    } = paper_soc::rvcap_rig();
-    let driver = RvCapDriver::new(0, soc.handles.plic.clone());
-    let t = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
+    let rv = runner::reconfigure_rvcap(paper_soc::rvcap_rig(), DmaMode::NonBlocking);
     let rvcap = rvcap_core::resources::rvcap_report().total();
     rows.push(Row {
         controller: "RV-CAP".into(),
@@ -83,7 +74,7 @@ fn main() {
         luts: rvcap.luts,
         ffs: rvcap.ffs,
         brams: rvcap.brams,
-        measured_mbs: t.throughput_mbs(module.pbit_size as u64),
+        measured_mbs: rv.throughput_mbs(),
         published_mbs: 398.1,
         freq_mhz: 100,
     });

@@ -6,7 +6,7 @@
 //! golden software filter. `T_ex = T_d + T_r + T_c`.
 
 use rvcap_accel::{paper_filter_library, run_accelerator, FilterKind, Image};
-use rvcap_bench::report;
+use rvcap_bench::{report, runner};
 use rvcap_core::drivers::{DmaMode, ReconfigModule, RvCapDriver};
 use rvcap_core::system::SocBuilder;
 use rvcap_fabric::bitstream::BitstreamBuilder;
@@ -114,5 +114,7 @@ fn main() {
         rows.iter().all(|r| r.output_matches_golden),
         "hardware output diverged from the golden filters"
     );
+    println!("{}", runner::mmio_summary(&soc));
+    runner::assert_clean_mmio(&soc);
     report::dump_json("table4", &rows);
 }

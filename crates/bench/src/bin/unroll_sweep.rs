@@ -13,27 +13,30 @@
 //!
 //! Both show the same shape: ~2× from unroll 1 → 16, and <5 % beyond.
 
-use rvcap_bench::paper_soc::{self, PaperRig};
-use rvcap_bench::report;
-use rvcap_core::drivers::HwIcapDriver;
+use rvcap_bench::{paper_soc, report, runner};
+use rvcap_core::hwicap::REG_WF;
 use rvcap_core::system::SocBuilder;
 use rvcap_fabric::rp::RpGeometry;
 use rvcap_rv64::{assemble, Cpu, RunExit};
 use rvcap_soc::cpu::InterpreterBus;
-use rvcap_soc::map::DDR_BASE;
+use rvcap_soc::map::{DDR_BASE, HWICAP_BASE};
 
 const UNROLLS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 
-/// Generate the fill loop at a given unroll factor.
+/// Generate the fill loop at a given unroll factor. The target
+/// addresses come from the same register-map declarations the device
+/// decode and the drivers use — the interpreter's `sw` stores land on
+/// the declared WF keyhole, not a hand-copied literal.
 fn fill_loop_asm(unroll: usize, words: usize) -> String {
     assert_eq!(words % unroll, 0);
-    let mut s = String::from(
+    let mut s = format!(
         "
-        li   a0, 0x40000000     # HWICAP base
-        addi a0, a0, 0x100      # WF keyhole register
-        li   a1, 0x40000000
+        li   a0, {HWICAP_BASE:#x}     # HWICAP base
+        addi a0, a0, {REG_WF:#x}      # WF keyhole register
+        li   a1, {:#x}
         slli a1, a1, 1          # DDR base: bitstream words
         ",
+        DDR_BASE >> 1,
     );
     s.push_str(&format!("li a2, {}\n", words / unroll));
     s.push_str("loop:\n");
@@ -62,12 +65,8 @@ fn main() {
     let mut rows = Vec::new();
     for unroll in UNROLLS {
         // --- 1: driver model, end to end over a 72-frame RP ---
-        let PaperRig {
-            mut soc, module, ..
-        } = paper_soc::rig_with_geometry(RpGeometry::scaled(2, 0, 0));
-        let ddr = soc.handles.ddr.clone();
-        let ticks = HwIcapDriver::with_unroll(unroll).reconfigure_rp(&mut soc.core, &ddr, &module);
-        let driver_mbs = module.pbit_size as f64 / (ticks as f64 / 5.0);
+        let rig = paper_soc::rig_with_geometry(RpGeometry::scaled(2, 0, 0));
+        let driver_mbs = runner::reconfigure_hwicap(rig, unroll).throughput_mbs();
 
         // --- 2: instruction-accurate fill loop on the interpreter ---
         let mut soc = SocBuilder::new()

@@ -6,4 +6,5 @@
 pub mod hostbench;
 pub mod paper_soc;
 pub mod report;
+pub mod runner;
 pub mod tables;

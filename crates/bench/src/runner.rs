@@ -1,0 +1,119 @@
+//! Shared measurement runs for the harness binaries.
+//!
+//! Every table/figure binary used to open with the same boilerplate:
+//! destructure a [`PaperRig`], build the driver, run the
+//! reconfiguration, and keep the SoC around for stats. These helpers
+//! fold that into one call and finish each run with an MMIO audit —
+//! a run that tripped a decode error or register-policy violation is
+//! not a valid measurement, so the helpers fail loudly instead of
+//! letting a malformed access skew a reported number.
+
+use rvcap_core::drivers::{DmaMode, HwIcapDriver, ReconfigModule, ReconfigTiming, RvCapDriver};
+use rvcap_core::system::RvCapSoc;
+use rvcap_sim::MmioAudit;
+
+use crate::paper_soc::PaperRig;
+
+/// A finished RV-CAP reconfiguration: the SoC (for stats/inspection),
+/// the staged module, and the measured `T_d`/`T_r`.
+pub struct RvCapRun {
+    /// The SoC after the run.
+    pub soc: RvCapSoc,
+    /// The module that was loaded.
+    pub module: ReconfigModule,
+    /// The measured timing.
+    pub timing: ReconfigTiming,
+}
+
+/// A finished AXI_HWICAP reconfiguration.
+pub struct HwIcapRun {
+    /// The SoC after the run.
+    pub soc: RvCapSoc,
+    /// The module that was loaded.
+    pub module: ReconfigModule,
+    /// Elapsed CLINT ticks.
+    pub ticks: u64,
+}
+
+impl RvCapRun {
+    /// Throughput over `T_r` for the loaded bitstream, MB/s.
+    pub fn throughput_mbs(&self) -> f64 {
+        self.timing.throughput_mbs(self.module.pbit_size as u64)
+    }
+}
+
+impl HwIcapRun {
+    /// Throughput for the loaded bitstream, MB/s.
+    pub fn throughput_mbs(&self) -> f64 {
+        self.module.pbit_size as f64 / (self.ticks as f64 / 5.0)
+    }
+}
+
+/// Run the full RV-CAP `init_reconfig_process` on a rig.
+pub fn reconfigure_rvcap(rig: PaperRig, mode: DmaMode) -> RvCapRun {
+    reconfigure_rvcap_ff(rig, mode, true)
+}
+
+/// Like [`reconfigure_rvcap`] with explicit idle-fast-forward control
+/// (the determinism harness runs both settings).
+pub fn reconfigure_rvcap_ff(rig: PaperRig, mode: DmaMode, fast_forward: bool) -> RvCapRun {
+    let PaperRig {
+        mut soc, module, ..
+    } = rig;
+    soc.core.sim.set_fast_forward(fast_forward);
+    let driver = RvCapDriver::new(0, soc.handles.plic.clone());
+    let timing = driver.init_reconfig_process(&mut soc.core, &module, mode);
+    let run = RvCapRun {
+        soc,
+        module,
+        timing,
+    };
+    assert_clean_mmio(&run.soc);
+    run
+}
+
+/// Run the HWICAP Listing-2 transfer (no decoupling) on a rig.
+pub fn reconfigure_hwicap(rig: PaperRig, unroll: usize) -> HwIcapRun {
+    reconfigure_hwicap_ff(rig, unroll, true)
+}
+
+/// Like [`reconfigure_hwicap`] with explicit idle-fast-forward control.
+pub fn reconfigure_hwicap_ff(rig: PaperRig, unroll: usize, fast_forward: bool) -> HwIcapRun {
+    let PaperRig {
+        mut soc, module, ..
+    } = rig;
+    soc.core.sim.set_fast_forward(fast_forward);
+    let ddr = soc.handles.ddr.clone();
+    let ticks = HwIcapDriver::with_unroll(unroll).reconfigure_rp(&mut soc.core, &ddr, &module);
+    let run = HwIcapRun { soc, module, ticks };
+    assert_clean_mmio(&run.soc);
+    run
+}
+
+/// The merged MMIO audit of a run (crossbar decode errors fold into
+/// the `unmapped` counter).
+pub fn mmio_audit(soc: &RvCapSoc) -> MmioAudit {
+    soc.core.sim.mmio_audit()
+}
+
+/// One-line audit summary for harness output.
+pub fn mmio_summary(soc: &RvCapSoc) -> String {
+    audit_summary(&mmio_audit(soc))
+}
+
+/// Render an already-collected audit the same way.
+pub fn audit_summary(a: &MmioAudit) -> String {
+    format!(
+        "mmio audit: {} reads / {} writes, {} violations",
+        a.reads,
+        a.writes,
+        a.violations()
+    )
+}
+
+/// Assert the run decoded cleanly: no crossbar decode errors, no
+/// unmapped/misaligned/policy-violating register accesses.
+pub fn assert_clean_mmio(soc: &RvCapSoc) {
+    let a = mmio_audit(soc);
+    assert_eq!(a.violations(), 0, "MMIO violations during a run: {a:?}");
+}

@@ -5,11 +5,12 @@
 //! idle fast-forward enabled, once with it disabled — and assert the
 //! resulting JSON is byte-identical. The binary renders the same rows.
 
-use rvcap_core::drivers::{DmaMode, HwIcapDriver, RvCapDriver};
+use rvcap_core::drivers::DmaMode;
 use rvcap_core::resources::{hwicap_report, rvcap_report};
-use rvcap_sim::KernelStats;
+use rvcap_sim::{KernelStats, MmioAudit};
 
-use crate::paper_soc::{self, PaperRig};
+use crate::paper_soc;
+use crate::runner;
 
 /// One row of Table I.
 pub struct Table1Row {
@@ -46,32 +47,29 @@ pub struct Table1Run {
     pub rvcap_stats: KernelStats,
     /// Kernel stats of the AXI_HWICAP reconfiguration run.
     pub hwicap_stats: KernelStats,
+    /// Register-level MMIO audit of the RV-CAP run.
+    pub rvcap_audit: MmioAudit,
+    /// Register-level MMIO audit of the AXI_HWICAP run.
+    pub hwicap_audit: MmioAudit,
 }
 
 /// Measure Table I on the paper rig. `fast_forward` toggles the
 /// kernel's idle fast-forward; the rows must not depend on it.
 pub fn table1_run(fast_forward: bool) -> Table1Run {
     // ---- measured throughputs ----
-    let PaperRig {
-        mut soc, module, ..
-    } = paper_soc::rvcap_rig();
-    soc.core.sim.set_fast_forward(fast_forward);
-    let driver = RvCapDriver::new(0, soc.handles.plic.clone());
-    let t = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
+    let run =
+        runner::reconfigure_rvcap_ff(paper_soc::rvcap_rig(), DmaMode::NonBlocking, fast_forward);
     // The paper's headline throughput is the max over the Fig. 3
     // sweep; at the Table I reference bitstream the distinction is
     // under 1 % — we report the measured value for this bitstream.
-    let rvcap_mbs = t.throughput_mbs(module.pbit_size as u64);
-    let rvcap_stats = soc.core.sim.kernel_stats();
+    let rvcap_mbs = run.throughput_mbs();
+    let rvcap_stats = run.soc.core.sim.kernel_stats();
+    let rvcap_audit = runner::mmio_audit(&run.soc);
 
-    let PaperRig {
-        mut soc, module, ..
-    } = paper_soc::rvcap_rig();
-    soc.core.sim.set_fast_forward(fast_forward);
-    let ddr = soc.handles.ddr.clone();
-    let ticks = HwIcapDriver::new().reconfigure_rp(&mut soc.core, &ddr, &module);
-    let hwicap_mbs = module.pbit_size as f64 / (ticks as f64 / 5.0);
-    let hwicap_stats = soc.core.sim.kernel_stats();
+    let run = runner::reconfigure_hwicap_ff(paper_soc::rvcap_rig(), 16, fast_forward);
+    let hwicap_mbs = run.throughput_mbs();
+    let hwicap_stats = run.soc.core.sim.kernel_stats();
+    let hwicap_audit = runner::mmio_audit(&run.soc);
 
     // ---- resource trees (calibrated constants, derived totals) ----
     let mut rows: Vec<Table1Row> = Vec::new();
@@ -100,5 +98,7 @@ pub fn table1_run(fast_forward: bool) -> Table1Run {
         rows,
         rvcap_stats,
         hwicap_stats,
+        rvcap_audit,
+        hwicap_audit,
     }
 }

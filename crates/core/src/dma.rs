@@ -16,50 +16,46 @@
 //! * **S2MM** (stream → memory): absorbs the RM's output stream and
 //!   writes it back to DDR (acceleration mode only).
 //!
-//! Register map (offsets follow the Xilinx AXI DMA layout, PG021):
-//!
-//! | offset | register | behaviour |
-//! |---|---|---|
-//! | 0x00 | MM2S_DMACR | bit 0 RS (run/stop), bit 12 IOC IRQ enable |
-//! | 0x04 | MM2S_DMASR | bit 0 halted, bit 1 idle, bit 12 IOC (W1C) |
-//! | 0x18 | MM2S_SA    | source address (low 32 bits) |
-//! | 0x1C | MM2S_SA_MSB| source address (high 32 bits) |
-//! | 0x28 | MM2S_LENGTH| transfer length in bytes; **writing starts** |
-//! | 0x30 | S2MM_DMACR | as MM2S |
-//! | 0x34 | S2MM_DMASR | as MM2S |
-//! | 0x48 | S2MM_DA    | destination address (low) |
-//! | 0x4C | S2MM_DA_MSB| destination address (high) |
-//! | 0x58 | S2MM_LENGTH| expected length; writing arms the engine |
+//! The register map (offsets follow the Xilinx AXI DMA layout, PG021)
+//! is declared once via [`rvcap_axi::register_map!`]: [`DMA_MAP`]
+//! drives the device decode, exports the offset constants the drivers
+//! import, and renders the table in the generated `REGISTERS.md`.
 
-use rvcap_axi::mm::{MasterPort, MmOp, MmReq, MmResp, SlavePort};
+use rvcap_axi::mm::{MasterPort, MmReq, MmResp, SlavePort};
+use rvcap_axi::regmap::{Decoded, RegisterFile};
 use rvcap_axi::stream::AxisBeat;
 use rvcap_axi::AxisChannel;
 use rvcap_sim::component::{Component, TickCtx};
-use rvcap_sim::{Cycle, Signal};
+use rvcap_sim::{Cycle, MmioAudit, Signal};
 
 /// Burst length in 64-bit beats (the paper's setting).
 pub const DMA_BURST_BEATS: u16 = 16;
 
-/// MM2S control register offset.
-pub const MM2S_DMACR: u64 = 0x00;
-/// MM2S status register offset.
-pub const MM2S_DMASR: u64 = 0x04;
-/// MM2S source address (low word).
-pub const MM2S_SA: u64 = 0x18;
-/// MM2S source address (high word).
-pub const MM2S_SA_MSB: u64 = 0x1C;
-/// MM2S length register (write starts the transfer).
-pub const MM2S_LENGTH: u64 = 0x28;
-/// S2MM control register offset.
-pub const S2MM_DMACR: u64 = 0x30;
-/// S2MM status register offset.
-pub const S2MM_DMASR: u64 = 0x34;
-/// S2MM destination address (low word).
-pub const S2MM_DA: u64 = 0x48;
-/// S2MM destination address (high word).
-pub const S2MM_DA_MSB: u64 = 0x4C;
-/// S2MM length register (write arms the engine).
-pub const S2MM_LENGTH: u64 = 0x58;
+rvcap_axi::register_map! {
+    /// The DMA's AXI-Lite register window.
+    pub static DMA_MAP: "dma", size 0x1000 {
+        /// MM2S control: bit 0 RS (run/stop), bit 12 IOC IRQ enable.
+        MM2S_DMACR @ 0x00: 4 RW reset 0x0, "MM2S control (RS, IOC IRQ enable)";
+        /// MM2S status: bit 0 halted, bit 1 idle, bit 12 IOC (W1C).
+        MM2S_DMASR @ 0x04: 4 W1C reset 0x1, "MM2S status (halted, idle, IOC W1C)";
+        /// MM2S source address (low word).
+        MM2S_SA @ 0x18: 4 RW reset 0x0, "MM2S source address, low 32 bits";
+        /// MM2S source address (high word).
+        MM2S_SA_MSB @ 0x1C: 4 RW reset 0x0, "MM2S source address, high 32 bits";
+        /// MM2S length register (write starts the transfer).
+        MM2S_LENGTH @ 0x28: 4 WO reset 0x0, "MM2S length in bytes; writing starts";
+        /// S2MM control register.
+        S2MM_DMACR @ 0x30: 4 RW reset 0x0, "S2MM control (RS, IOC IRQ enable)";
+        /// S2MM status register.
+        S2MM_DMASR @ 0x34: 4 W1C reset 0x1, "S2MM status (halted, idle, IOC W1C)";
+        /// S2MM destination address (low word).
+        S2MM_DA @ 0x48: 4 RW reset 0x0, "S2MM destination address, low 32 bits";
+        /// S2MM destination address (high word).
+        S2MM_DA_MSB @ 0x4C: 4 RW reset 0x0, "S2MM destination address, high 32 bits";
+        /// S2MM length register (write arms the engine).
+        S2MM_LENGTH @ 0x58: 4 WO reset 0x0, "S2MM expected length; writing arms";
+    }
+}
 
 /// DMACR: run/stop.
 pub const CR_RS: u32 = 1 << 0;
@@ -89,6 +85,8 @@ pub struct XilinxDma {
     name: String,
     /// Register file slave (behind the AXI-Lite adapter).
     ctrl: SlavePort,
+    /// Typed decode of the register window.
+    regs: RegisterFile,
     /// Memory master toward DDR (through the additional crossbar).
     mem: MasterPort,
     /// MM2S output stream (64-bit, TLAST at end of transfer).
@@ -139,6 +137,7 @@ impl XilinxDma {
         XilinxDma {
             name: name.into(),
             ctrl,
+            regs: RegisterFile::new(&DMA_MAP),
             mem,
             mm2s,
             s2mm,
@@ -248,6 +247,8 @@ impl XilinxDma {
                     self.s2mm_remaining = v as u64;
                     self.s2mm_sr &= !SR_IDLE;
                 }
+            // Guard-failed arms (W1C without the IOC bit, LENGTH while
+            // halted or zero) are accepted writes with no effect.
             _ => {}
         }
     }
@@ -274,14 +275,15 @@ impl Component for XilinxDma {
 
         // ---- register interface (one access per cycle) ----
         if let Some(req) = self.ctrl.try_take(cycle) {
-            let off = req.addr & 0xFFF;
-            let resp = match req.op {
-                MmOp::Read { bytes } => MmResp::data(self.reg_read(off) as u64, bytes, true),
-                MmOp::Write { data, .. } => {
-                    self.reg_write(cycle, off, data as u32);
+            let resp = match self.regs.decode(&req) {
+                Decoded::Read { def, bytes } => {
+                    MmResp::data(self.reg_read(def.offset) as u64, bytes, true)
+                }
+                Decoded::Write { def, value } => {
+                    self.reg_write(cycle, def.offset, value as u32);
                     MmResp::write_ack()
                 }
-                MmOp::ReadBurst { .. } => MmResp::err(),
+                Decoded::Reject => MmResp::err(),
             };
             let _ = self.ctrl.try_respond(cycle, resp);
         }
@@ -391,6 +393,10 @@ impl Component for XilinxDma {
             return Some(now);
         }
         Some(Cycle::MAX)
+    }
+
+    fn mmio_audit(&self) -> Option<MmioAudit> {
+        Some(self.regs.audit())
     }
 }
 

@@ -23,11 +23,11 @@
 //! unroll factor exactly as the paper reports (4.16 MB/s at 1,
 //! 8.23 MB/s at 16, <5 % beyond).
 
-use rvcap_soc::map::HWICAP_BASE;
 use rvcap_soc::{DdrHandle, SocCore};
 
-use crate::hwicap::{CR_WRITE, REG_CR, REG_SR, REG_WF, REG_WFV, SR_DONE};
+use crate::hwicap::{CR_WRITE, REG_CR, REG_GIE, REG_SR, REG_WF, REG_WFV, SR_DONE};
 
+use super::regs;
 use super::timer::read_mtime;
 use super::ReconfigModule;
 
@@ -64,11 +64,12 @@ impl HwIcapDriver {
     /// `init_icap`: check the core is idle and disable its global
     /// interrupt (the paper's init step).
     pub fn init_icap(&self, core: &mut SocCore) {
-        let sr = core.read_reg(HWICAP_BASE + REG_SR);
+        let w = regs::hwicap();
+        let sr = w.read(core, REG_SR) as u32;
         assert!(sr & SR_DONE != 0, "HWICAP busy at init");
-        // GIE disable is a write to a register we model as a no-op
-        // window; it still costs the bus round trip.
-        core.write_reg(HWICAP_BASE + 0x1C, 0);
+        // GIE disable is a no-op in the model but still costs the bus
+        // round trip.
+        w.write(core, REG_GIE, 0);
     }
 
     /// `reconfigure_RP` (Listing 2): push the staged bitstream through
@@ -92,10 +93,11 @@ impl HwIcapDriver {
                 u32::from_le_bytes(b)
             })
             .collect();
+        let w = regs::hwicap();
         let mut idx = 0usize;
         while idx < words.len() {
             // read_fifo_vac();
-            let vacancy = core.read_reg(HWICAP_BASE + REG_WFV) as usize;
+            let vacancy = w.read(core, REG_WFV) as usize;
             let fill = vacancy.min(words.len() - idx);
             // do { write_into_fifo(...); } while (fifo_is_not_full)
             let mut written = 0usize;
@@ -103,7 +105,7 @@ impl HwIcapDriver {
                 let block = self.unroll.min(fill - written);
                 for _ in 0..block {
                     core.compute(WORD_FETCH_CYCLES);
-                    core.mmio_write(HWICAP_BASE + REG_WF, words[idx] as u64, 4);
+                    w.write(core, REG_WF, words[idx] as u64);
                     idx += 1;
                     written += 1;
                 }
@@ -112,9 +114,9 @@ impl HwIcapDriver {
                 core.compute(LOOP_CONTROL_CYCLES);
             }
             // write_to_icap();
-            core.write_reg(HWICAP_BASE + REG_CR, CR_WRITE);
+            w.write(core, REG_CR, CR_WRITE as u64);
             // icap_done();
-            while core.read_reg(HWICAP_BASE + REG_SR) & SR_DONE == 0 {}
+            while w.read(core, REG_SR) as u32 & SR_DONE == 0 {}
         }
         read_mtime(core) - t0
     }
@@ -130,15 +132,15 @@ impl HwIcapDriver {
         rp_index: usize,
     ) -> u64 {
         use crate::rp_ctrl::REG_DECOUPLE;
-        use rvcap_soc::map::RP_CTRL_BASE;
+        let rp = regs::rp_ctrl();
         let t0 = read_mtime(core);
-        let bit = 1u32 << rp_index;
-        let cur = core.read_reg(RP_CTRL_BASE + REG_DECOUPLE);
-        core.write_reg(RP_CTRL_BASE + REG_DECOUPLE, cur | bit);
+        let bit = 1u64 << rp_index;
+        let cur = rp.read(core, REG_DECOUPLE);
+        rp.write(core, REG_DECOUPLE, cur | bit);
         self.init_icap(core);
         self.reconfigure_rp(core, ddr, module);
-        let cur = core.read_reg(RP_CTRL_BASE + REG_DECOUPLE);
-        core.write_reg(RP_CTRL_BASE + REG_DECOUPLE, cur & !bit);
+        let cur = rp.read(core, REG_DECOUPLE);
+        rp.write(core, REG_DECOUPLE, cur & !bit);
         super::uart_print(core, "reconfiguration successful\n");
         read_mtime(core) - t0
     }
@@ -161,23 +163,23 @@ impl HwIcapDriver {
             expected.len().is_multiple_of(FRAME_WORDS),
             "readback verifies whole frames"
         );
+        let w = regs::hwicap();
         // Whole frames per chunk so the FAR repointing stays aligned;
         // two frames (202 words) fit the 256-word read FIFO.
         let chunk_frames = READ_FIFO_DEPTH / FRAME_WORDS;
-        core.write_reg(HWICAP_BASE + REG_FAR, far);
+        w.write(core, REG_FAR, far as u64);
         let mut pos = 0usize;
         while pos < expected.len() {
             let chunk = (expected.len() - pos).min(chunk_frames * FRAME_WORDS);
-            core.write_reg(HWICAP_BASE + REG_SZ, chunk as u32);
+            w.write(core, REG_SZ, chunk as u64);
             // The model's FAR register addresses the chunk's frame
             // offset implicitly via the word offset; re-point it at
             // the absolute word position.
-            core.write_reg(HWICAP_BASE + REG_FAR, far + (pos / FRAME_WORDS) as u32);
-            core.write_reg(HWICAP_BASE + REG_CR, CR_READ);
-            while core.read_reg(HWICAP_BASE + REG_SR) & SR_DONE == 0 {}
+            w.write(core, REG_FAR, far as u64 + (pos / FRAME_WORDS) as u64);
+            w.write(core, REG_CR, CR_READ as u64);
+            while w.read(core, REG_SR) as u32 & SR_DONE == 0 {}
             for i in 0..chunk {
-                let w = core.read_reg(HWICAP_BASE + REG_RF);
-                if w != expected[pos + i] {
+                if w.read(core, REG_RF) as u32 != expected[pos + i] {
                     return false;
                 }
             }

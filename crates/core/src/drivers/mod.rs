@@ -20,14 +20,19 @@
 //!   unrollable FIFO-fill loop, plus configuration readback/verify.
 //! * [`scrubber`] — extension: SEU detect-and-repair built from the
 //!   readback and reconfiguration primitives.
+//! * [`regs`] — typed register access: every driver MMIO access
+//!   resolves offset, width and direction through the same
+//!   `register_map!` declarations the devices decode with.
 
 pub mod hwicap;
+pub mod regs;
 pub mod rvcap;
 pub mod scrubber;
 pub mod storage;
 pub mod timer;
 
 pub use hwicap::HwIcapDriver;
+pub use regs::RegWindow;
 pub use rvcap::{DmaMode, ReconfigTiming, RvCapDriver};
 pub use scrubber::{ScrubOutcome, Scrubber};
 pub use storage::init_rmodules;
@@ -52,11 +57,8 @@ pub struct ReconfigModule {
 /// Write a string to the UART, one byte per MMIO store (the "terminal
 /// message" of Listing 2).
 pub fn uart_print(core: &mut rvcap_soc::SocCore, msg: &str) {
+    let uart = regs::uart();
     for b in msg.bytes() {
-        core.mmio_write(
-            rvcap_soc::map::UART_BASE + rvcap_soc::map::UART_TX,
-            b as u64,
-            1,
-        );
+        uart.write_n(core, rvcap_soc::map::UART_TX, b as u64, 1);
     }
 }

@@ -23,9 +23,7 @@
 //! has been claimed. Both are measured by reading the 5 MHz CLINT
 //! timer from driver code, as on the board.
 
-use rvcap_soc::map::{
-    DMA_BASE, IRQ_DMA_MM2S, PLIC_BASE, PLIC_CLAIM, PLIC_ENABLE, RP_CTRL_BASE, SWITCH_BASE,
-};
+use rvcap_soc::map::{IRQ_DMA_MM2S, PLIC_CLAIM, PLIC_ENABLE};
 use rvcap_soc::{PlicHandle, SocCore};
 
 use crate::dma::{
@@ -35,6 +33,7 @@ use crate::dma::{
 use crate::rp_ctrl::REG_DECOUPLE;
 use crate::switch_ctrl::{REG_RM_SEL, REG_SELECT};
 
+use super::regs;
 use super::timer::read_mtime;
 use super::ReconfigModule;
 
@@ -109,27 +108,28 @@ pub fn run_stream_job(
         S2MM_DMASR, S2MM_LENGTH,
     };
     use rvcap_soc::map::IRQ_DMA_S2MM;
+    let (sw, dma, plic_w) = (regs::switch(), regs::dma(), regs::plic());
     let t0 = read_mtime(core);
-    core.write_reg(SWITCH_BASE + REG_SELECT, 0);
-    core.write_reg(SWITCH_BASE + REG_RM_SEL, rp_index as u32);
-    core.write_reg(DMA_BASE + S2MM_DMACR, CR_RS | CR_IOC_IRQ_EN);
-    core.write_reg(DMA_BASE + S2MM_DA, out_addr as u32);
-    core.write_reg(DMA_BASE + S2MM_DA_MSB, (out_addr >> 32) as u32);
-    core.write_reg(DMA_BASE + S2MM_LENGTH, len);
-    let en = core.read_reg(PLIC_BASE + PLIC_ENABLE);
-    core.write_reg(PLIC_BASE + PLIC_ENABLE, en | (1 << IRQ_DMA_S2MM));
-    core.write_reg(DMA_BASE + MM2S_DMACR, CR_RS);
-    core.write_reg(DMA_BASE + SA, in_addr as u32);
-    core.write_reg(DMA_BASE + SA_MSB, (in_addr >> 32) as u32);
-    core.write_reg(DMA_BASE + LEN, len);
+    sw.write(core, REG_SELECT, 0);
+    sw.write(core, REG_RM_SEL, rp_index as u64);
+    dma.write(core, S2MM_DMACR, (CR_RS | CR_IOC_IRQ_EN) as u64);
+    dma.write(core, S2MM_DA, out_addr & 0xFFFF_FFFF);
+    dma.write(core, S2MM_DA_MSB, out_addr >> 32);
+    dma.write(core, S2MM_LENGTH, len as u64);
+    let en = plic_w.read(core, PLIC_ENABLE);
+    plic_w.write(core, PLIC_ENABLE, en | (1 << IRQ_DMA_S2MM));
+    dma.write(core, MM2S_DMACR, CR_RS as u64);
+    dma.write(core, SA, in_addr & 0xFFFF_FFFF);
+    dma.write(core, SA_MSB, in_addr >> 32);
+    dma.write(core, LEN, len as u64);
     let plic = plic.clone();
     core.wait_until(1_000_000_000, || plic.is_pending(IRQ_DMA_S2MM))
         .unwrap();
     core.compute(IRQ_TRAP_CYCLES);
-    let src = core.read_reg(PLIC_BASE + PLIC_CLAIM);
+    let src = plic_w.read(core, PLIC_CLAIM) as u32;
     debug_assert_eq!(src, IRQ_DMA_S2MM);
-    core.write_reg(DMA_BASE + S2MM_DMASR, crate::dma::SR_IOC);
-    core.write_reg(PLIC_BASE + PLIC_CLAIM, src);
+    dma.write(core, S2MM_DMASR, crate::dma::SR_IOC as u64);
+    plic_w.write(core, PLIC_CLAIM, src as u64);
     read_mtime(core) - t0
 }
 
@@ -149,27 +149,28 @@ impl RvCapDriver {
 
     /// `decouple_accel`: raise/lower the partition's PR decoupler.
     pub fn decouple_accel(&self, core: &mut SocCore, decouple: bool) {
-        let bit = 1u32 << self.rp_index;
-        let cur = core.read_reg(RP_CTRL_BASE + REG_DECOUPLE);
+        let w = regs::rp_ctrl();
+        let bit = 1u64 << self.rp_index;
+        let cur = w.read(core, REG_DECOUPLE);
         let val = if decouple { cur | bit } else { cur & !bit };
-        core.write_reg(RP_CTRL_BASE + REG_DECOUPLE, val);
+        w.write(core, REG_DECOUPLE, val);
     }
 
     /// `select_ICAP`: steer the stream switch to the ICAP (1) or back
     /// to the accelerators (0).
     pub fn select_icap(&self, core: &mut SocCore, icap: bool) {
-        core.write_reg(SWITCH_BASE + REG_SELECT, icap as u32);
+        regs::switch().write(core, REG_SELECT, icap as u64);
     }
 
     /// Select which partition receives the stream in acceleration
     /// mode.
     pub fn select_rm(&self, core: &mut SocCore) {
-        core.write_reg(SWITCH_BASE + REG_RM_SEL, self.rp_index as u32);
+        regs::switch().write(core, REG_RM_SEL, self.rp_index as u64);
     }
 
     /// `dma_start`: set the run/stop bit.
     pub fn dma_start(&self, core: &mut SocCore) {
-        core.write_reg(DMA_BASE + MM2S_DMACR, CR_RS);
+        regs::dma().write(core, MM2S_DMACR, CR_RS as u64);
     }
 
     /// `dma_config`: program the completion mode (the irq-enable bit
@@ -179,20 +180,22 @@ impl RvCapDriver {
             DmaMode::Blocking => CR_RS,
             DmaMode::NonBlocking => CR_RS | CR_IOC_IRQ_EN,
         };
-        core.write_reg(DMA_BASE + MM2S_DMACR, cr);
+        regs::dma().write(core, MM2S_DMACR, cr as u64);
         if mode == DmaMode::NonBlocking {
             // Enable the MM2S source at the PLIC.
-            let en = core.read_reg(PLIC_BASE + PLIC_ENABLE);
-            core.write_reg(PLIC_BASE + PLIC_ENABLE, en | (1 << IRQ_DMA_MM2S));
+            let plic = regs::plic();
+            let en = plic.read(core, PLIC_ENABLE);
+            plic.write(core, PLIC_ENABLE, en | (1 << IRQ_DMA_MM2S));
         }
     }
 
     /// `dma_write_stream`: program source address + length; the
     /// length write launches the transfer.
     pub fn dma_write_stream(&self, core: &mut SocCore, data: u64, pbit_size: u32) {
-        core.write_reg(DMA_BASE + MM2S_SA, data as u32);
-        core.write_reg(DMA_BASE + MM2S_SA_MSB, (data >> 32) as u32);
-        core.write_reg(DMA_BASE + MM2S_LENGTH, pbit_size);
+        let dma = regs::dma();
+        dma.write(core, MM2S_SA, data & 0xFFFF_FFFF);
+        dma.write(core, MM2S_SA_MSB, data >> 32);
+        dma.write(core, MM2S_LENGTH, pbit_size as u64);
     }
 
     /// `reconfigure_RP` (Listing 1): start the DMA and wait for
@@ -206,11 +209,12 @@ impl RvCapDriver {
     ) -> u64 {
         let t1 = read_mtime(core);
         self.dma_write_stream(core, module.start_address, module.pbit_size);
+        let dma = regs::dma();
         match mode {
             DmaMode::Blocking => {
-                while core.read_reg(DMA_BASE + MM2S_DMASR) & SR_IDLE == 0 {}
+                while dma.read(core, MM2S_DMASR) as u32 & SR_IDLE == 0 {}
                 // Clear the (unused) IOC flag.
-                core.write_reg(DMA_BASE + MM2S_DMASR, SR_IOC);
+                dma.write(core, MM2S_DMASR, SR_IOC as u64);
             }
             DmaMode::NonBlocking => {
                 // The processor is free here; we idle until the PLIC
@@ -221,10 +225,11 @@ impl RvCapDriver {
                 // Trap entry: context save + dispatch.
                 core.compute(IRQ_TRAP_CYCLES);
                 // Interrupt handler: claim, clear IOC, complete.
-                let src = core.read_reg(PLIC_BASE + PLIC_CLAIM);
+                let plic_w = regs::plic();
+                let src = plic_w.read(core, PLIC_CLAIM) as u32;
                 debug_assert_eq!(src, IRQ_DMA_MM2S);
-                core.write_reg(DMA_BASE + MM2S_DMASR, SR_IOC);
-                core.write_reg(PLIC_BASE + PLIC_CLAIM, src);
+                dma.write(core, MM2S_DMASR, SR_IOC as u64);
+                plic_w.write(core, PLIC_CLAIM, src as u64);
             }
         }
         read_mtime(core) - t1
@@ -236,8 +241,9 @@ impl RvCapDriver {
     /// completion interrupt precedes the decompressor/ICAP finishing.
     pub fn wait_for_module(&self, core: &mut SocCore, rm_id: u32, max_polls: u32) -> bool {
         use crate::rp_ctrl::REG_RM_ID_BASE;
+        let w = regs::rp_ctrl();
         for _ in 0..max_polls {
-            let got = core.read_reg(RP_CTRL_BASE + REG_RM_ID_BASE + 4 * self.rp_index as u64);
+            let got = w.read(core, REG_RM_ID_BASE + 4 * self.rp_index as u64) as u32;
             if got == rm_id {
                 return true;
             }

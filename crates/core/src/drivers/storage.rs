@@ -14,10 +14,11 @@
 //! Staging a block into DDR happens through the data cache (DDR is
 //! cacheable), charged at [`DDR_COPY_CYCLES_PER_8B`] per 8 bytes.
 
-use rvcap_soc::map::{SPI_BASE, SPI_CS, SPI_STATUS, SPI_TXRX};
+use rvcap_soc::map::{SPI_CS, SPI_STATUS, SPI_TXRX};
 use rvcap_soc::{DdrHandle, SocCore};
 use rvcap_storage::{sd, BlockDevice, Fat32Volume, BLOCK_SIZE};
 
+use super::regs;
 use super::ReconfigModule;
 
 /// Cycles the CPU spends copying 8 bytes from its block buffer into
@@ -39,7 +40,7 @@ impl<'a> SdDriver<'a> {
     /// if the card does not respond.
     pub fn init(core: &'a mut SocCore) -> Option<Self> {
         // Assert CS and run the init sequence.
-        core.mmio_write(SPI_BASE + SPI_CS, 1, 4);
+        regs::spi().write(core, SPI_CS, 1);
         let mut driver = SdDriver {
             core,
             // Geometry is irrelevant for mounting: FAT32 reads its
@@ -53,11 +54,13 @@ impl<'a> SdDriver<'a> {
         }
     }
 
-    /// One SPI byte exchange through the peripheral registers.
+    /// One SPI byte exchange through the peripheral registers (byte
+    /// lanes of the 4-byte registers, as the C driver does).
     fn xfer(&mut self, mosi: u8) -> u8 {
-        self.core.mmio_write(SPI_BASE + SPI_TXRX, mosi as u64, 1);
-        while self.core.mmio_read(SPI_BASE + SPI_STATUS, 1) & 1 != 0 {}
-        self.core.mmio_read(SPI_BASE + SPI_TXRX, 1) as u8
+        let spi = regs::spi();
+        spi.write_n(self.core, SPI_TXRX, mosi as u64, 1);
+        while spi.read_n(self.core, SPI_STATUS, 1) & 1 != 0 {}
+        spi.read_n(self.core, SPI_TXRX, 1) as u8
     }
 }
 

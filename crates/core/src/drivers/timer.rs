@@ -6,16 +6,18 @@
 //! Measurements are therefore quantized to the 5 MHz timer — 4 µs
 //! resolution — exactly like the paper's.
 
-use rvcap_soc::map::{CLINT_BASE, CLINT_MTIME};
+use rvcap_soc::map::CLINT_MTIME;
 use rvcap_soc::SocCore;
+
+use super::regs;
 
 /// Fabric cycles per CLINT tick (100 MHz / 5 MHz).
 pub const CYCLES_PER_TICK: u64 = 20;
 
 /// Read `mtime` over the bus (costs a real MMIO round trip, as in the
-/// paper's measurements).
+/// paper's measurements; the 8-byte width comes from the CLINT map).
 pub fn read_mtime(core: &mut SocCore) -> u64 {
-    core.mmio_read(CLINT_BASE + CLINT_MTIME, 8)
+    regs::clint().read(core, CLINT_MTIME)
 }
 
 /// A software stopwatch over the CLINT timer.

@@ -7,17 +7,10 @@
 //! interface is driven by the RISC-V core through the 64→32-bit width
 //! and AXI4→AXI4-Lite protocol converters.
 //!
-//! Register map (PG134 subset):
-//!
-//! | offset | register | behaviour |
-//! |---|---|---|
-//! | 0x100 | WF  | write-FIFO keyhole: each write queues one word |
-//! | 0x104 | RF  | read-FIFO keyhole: each read pops one readback word |
-//! | 0x108 | SZ  | readback size in words (write before CR.READ) |
-//! | 0x10C | CR  | bit 0 WRITE: flush the FIFO to the ICAP; bit 1 READ: read back `SZ` words from the FAR programmed via WF |
-//! | 0x110 | SR  | bit 0 DONE (idle, FIFO flushed / readback complete) |
-//! | 0x114 | WFV | write-FIFO vacancy |
-//! | 0x118 | RFO | read-FIFO occupancy |
+//! The register map (PG134 subset) is declared once in [`HWICAP_MAP`]
+//! via [`rvcap_axi::register_map!`]; the declaration drives the decode
+//! below, exports the `REG_*` constants the driver imports, and renders
+//! the table in the generated `REGISTERS.md`.
 //!
 //! The read path (PG134's configuration readback) pulls frames out of
 //! the device's configuration memory at one word per cycle — the
@@ -32,25 +25,40 @@
 //! command, not the per-word store cost — which is precisely the
 //! paper's Table I contrast (8.23 MB/s vs 398.1 MB/s).
 
-use rvcap_axi::mm::{MmOp, MmResp, SlavePort};
+use rvcap_axi::mm::{MmResp, SlavePort};
+use rvcap_axi::regmap::{Decoded, RegisterFile};
 use rvcap_axi::stream::AxisBeat;
 use rvcap_axi::AxisChannel;
 use rvcap_fabric::config_mem::{ConfigMem, FRAME_WORDS};
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::MmioAudit;
 use std::collections::VecDeque;
 
-/// Write-FIFO keyhole register offset.
-pub const REG_WF: u64 = 0x100;
-/// Read-FIFO keyhole register offset.
-pub const REG_RF: u64 = 0x104;
-/// Readback size register offset (words).
-pub const REG_SZ: u64 = 0x108;
-/// Control register offset.
-pub const REG_CR: u64 = 0x10C;
-/// Status register offset.
-pub const REG_SR: u64 = 0x110;
-/// Write-FIFO vacancy register offset.
-pub const REG_WFV: u64 = 0x114;
+rvcap_axi::register_map! {
+    /// The AXI_HWICAP register window (PG134 subset).
+    pub static HWICAP_MAP: "hwicap", size 0x1000 {
+        /// Global interrupt enable (the driver's init writes it; the
+        /// model takes the polling path, so it holds no state).
+        REG_GIE @ 0x1C: 4 RW reset 0x0, "global interrupt enable (no-op here)";
+        /// Write-FIFO keyhole register offset.
+        REG_WF @ 0x100: 4 WO reset 0x0, "write-FIFO keyhole: each write queues one word";
+        /// Read-FIFO keyhole register offset (each read pops a word).
+        REG_RF @ 0x104: 4 RO reset 0x0, "read-FIFO keyhole: each read pops one readback word";
+        /// Readback size register offset (words).
+        REG_SZ @ 0x108: 4 RW reset 0x0, "readback size in words (write before CR.READ)";
+        /// Control register offset.
+        REG_CR @ 0x10C: 4 RW reset 0x0, "bit 0 WRITE: flush FIFO to ICAP; bit 1 READ: read back SZ words";
+        /// Status register offset.
+        REG_SR @ 0x110: 4 RO reset 0x1, "bit 0 DONE (idle, flush / readback complete)";
+        /// Write-FIFO vacancy register offset.
+        REG_WFV @ 0x114: 4 RO reset 0x400, "write-FIFO vacancy in words";
+        /// Read-FIFO occupancy register offset.
+        REG_RFO @ 0x118: 4 RO reset 0x0, "read-FIFO occupancy in words";
+        /// Readback frame-address register offset (model shortcut for
+        /// the FAR-write packet the real IP expects through the WF).
+        REG_FAR @ 0x11C: 4 WO reset 0x0, "readback frame address";
+    }
+}
 
 /// CR bit 0: initiate the FIFO → ICAP transfer.
 pub const CR_WRITE: u32 = 1 << 0;
@@ -58,11 +66,6 @@ pub const CR_WRITE: u32 = 1 << 0;
 pub const CR_READ: u32 = 1 << 1;
 /// SR bit 0: done (transfer complete, FIFO empty).
 pub const SR_DONE: u32 = 1 << 0;
-/// Read-FIFO occupancy register offset.
-pub const REG_RFO: u64 = 0x118;
-/// Readback frame-address register offset (model shortcut for the
-/// FAR-write packet the real IP expects through the WF).
-pub const REG_FAR: u64 = 0x11C;
 /// Depth of the read FIFO (PG134 default: 256).
 pub const READ_FIFO_DEPTH: usize = 256;
 
@@ -73,6 +76,8 @@ pub const PAPER_FIFO_DEPTH: usize = 1024;
 pub struct AxiHwicap {
     name: String,
     port: SlavePort,
+    /// Typed decode of the register window.
+    regs: RegisterFile,
     /// Output to the ICAP primitive's word port.
     icap: AxisChannel,
     fifo: VecDeque<u32>,
@@ -115,6 +120,7 @@ impl AxiHwicap {
         AxiHwicap {
             name: name.into(),
             port,
+            regs: RegisterFile::new(&HWICAP_MAP),
             icap,
             fifo: VecDeque::with_capacity(depth),
             depth,
@@ -189,35 +195,37 @@ impl Component for AxiHwicap {
         }
         // One register access per cycle.
         if let Some(req) = self.port.try_take(cycle) {
-            let off = req.addr & 0xFFF;
-            let resp = match req.op {
-                MmOp::Write { data, .. } => {
-                    match off {
+            let resp = match self.regs.decode(&req) {
+                Decoded::Write { def, value } => {
+                    let data = value as u32;
+                    match def.offset {
                         REG_WF
                             // Keyhole: full-FIFO writes are dropped by
                             // the real IP; drivers must respect WFV.
                             if self.fifo.len() < self.depth => {
-                                self.fifo.push_back(data as u32);
+                                self.fifo.push_back(data);
                             }
                         REG_CR => {
-                            if data as u32 & CR_WRITE != 0 && !self.fifo.is_empty() {
+                            if data & CR_WRITE != 0 && !self.fifo.is_empty() {
                                 self.writing = true;
                                 self.flushes += 1;
                             }
-                            if data as u32 & CR_READ != 0 && self.sz > 0 {
+                            if data & CR_READ != 0 && self.sz > 0 {
                                 self.rf.clear();
                                 self.reading_remaining = self.sz;
                                 self.read_offset = 0;
                             }
                         }
-                        REG_SZ => self.sz = data as u32,
-                        REG_FAR => self.read_far = data as u32,
+                        REG_SZ => self.sz = data,
+                        REG_FAR => self.read_far = data,
+                        // GIE and keyhole-full WF writes: accepted,
+                        // no effect.
                         _ => {}
                     }
                     MmResp::write_ack()
                 }
-                MmOp::Read { bytes } => {
-                    let v = match off {
+                Decoded::Read { def, bytes } => {
+                    let v = match def.offset {
                         REG_SR => {
                             if self.writing || self.reading_remaining > 0 {
                                 0
@@ -229,12 +237,11 @@ impl Component for AxiHwicap {
                         REG_RF => self.rf.pop_front().unwrap_or(0) as u64,
                         REG_RFO => self.rf.len() as u64,
                         REG_SZ => self.sz as u64,
-                        REG_CR => 0,
                         _ => 0,
                     };
                     MmResp::data(v, bytes, true)
                 }
-                MmOp::ReadBurst { .. } => MmResp::err(),
+                Decoded::Reject => MmResp::err(),
             };
             let _ = self.port.try_respond(cycle, resp);
         }
@@ -252,6 +259,10 @@ impl Component for AxiHwicap {
         } else {
             Some(rvcap_sim::Cycle::MAX)
         }
+    }
+
+    fn mmio_audit(&self) -> Option<MmioAudit> {
+        Some(self.regs.audit())
     }
 }
 

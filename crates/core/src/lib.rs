@@ -23,6 +23,8 @@
 //! * [`drivers`] — ports of the paper's Listing 1 (RV-CAP) and
 //!   Listing 2 (HWICAP) driver APIs, the SD→DDR staging path
 //!   (`init_RModules`), and the CLINT timing utilities.
+//! * [`registry`] — every MMIO window and its typed register map in
+//!   one table; renders the generated `REGISTERS.md`.
 //! * [`resources`] — calibrated per-module resource costs (Table I).
 //! * [`scheduler`] — extension: a module-aware job scheduler over the
 //!   driver API (reconfigure only when the next job needs it).
@@ -32,6 +34,7 @@ pub mod dma;
 pub mod drivers;
 pub mod hwicap;
 pub mod icap_bridge;
+pub mod registry;
 pub mod resources;
 pub mod rp_ctrl;
 pub mod scheduler;

@@ -2,33 +2,54 @@
 //!
 //! "An RP control interface is implemented to provide R/W control
 //! signals to the RMs including RP coupling/decoupling" (§III-B ③).
-//! One register window controls up to 8 partitions:
-//!
-//! | offset | register | behaviour |
-//! |---|---|---|
-//! | 0x00 | DECOUPLE | bit *n*: decouple partition *n* (1 = isolated) |
-//! | 0x04 | STATUS   | bit *n*: partition *n* hosts an active module |
-//! | 0x10 + 4n | RM_ID | id (library index + 1) of the module in RP *n*, 0 = none |
+//! One register window controls up to 8 partitions; the map is
+//! declared once in [`RP_CTRL_MAP`] and drives the decode, the driver
+//! constants, and the generated `REGISTERS.md`.
 
 use std::rc::Rc;
 
-use rvcap_axi::mm::{MmOp, MmResp, SlavePort};
+use rvcap_axi::mm::{MmResp, SlavePort};
+use rvcap_axi::regmap::{Decoded, RegisterFile};
 use rvcap_fabric::host::RmHostHandle;
 use rvcap_fabric::rm::RmLibrary;
 use rvcap_sim::component::{Component, TickCtx};
-use rvcap_sim::Signal;
+use rvcap_sim::{MmioAudit, Signal};
 
-/// DECOUPLE register offset.
-pub const REG_DECOUPLE: u64 = 0x00;
-/// STATUS register offset.
-pub const REG_STATUS: u64 = 0x04;
-/// Base of the per-partition RM_ID registers.
-pub const REG_RM_ID_BASE: u64 = 0x10;
+rvcap_axi::register_map! {
+    /// The RP control register window (one per SoC, up to 8 RPs).
+    pub static RP_CTRL_MAP: "rp_ctrl", size 0x1000 {
+        /// DECOUPLE register: bit *n* decouples partition *n*.
+        REG_DECOUPLE @ 0x00: 4 RW reset 0x0, "bit n: decouple partition n (1 = isolated)";
+        /// STATUS register: bit *n* set while RP *n* hosts a module.
+        REG_STATUS @ 0x04: 4 RO reset 0x0, "bit n: partition n hosts an active module";
+        /// RM_ID register for partition 0 (library index + 1, 0 = none).
+        REG_RM_ID0 @ 0x10: 4 RO reset 0x0, "id of the module in RP 0, 0 = none";
+        /// RM_ID register for partition 1.
+        REG_RM_ID1 @ 0x14: 4 RO reset 0x0, "id of the module in RP 1, 0 = none";
+        /// RM_ID register for partition 2.
+        REG_RM_ID2 @ 0x18: 4 RO reset 0x0, "id of the module in RP 2, 0 = none";
+        /// RM_ID register for partition 3.
+        REG_RM_ID3 @ 0x1C: 4 RO reset 0x0, "id of the module in RP 3, 0 = none";
+        /// RM_ID register for partition 4.
+        REG_RM_ID4 @ 0x20: 4 RO reset 0x0, "id of the module in RP 4, 0 = none";
+        /// RM_ID register for partition 5.
+        REG_RM_ID5 @ 0x24: 4 RO reset 0x0, "id of the module in RP 5, 0 = none";
+        /// RM_ID register for partition 6.
+        REG_RM_ID6 @ 0x28: 4 RO reset 0x0, "id of the module in RP 6, 0 = none";
+        /// RM_ID register for partition 7.
+        REG_RM_ID7 @ 0x2C: 4 RO reset 0x0, "id of the module in RP 7, 0 = none";
+    }
+}
+
+/// Base of the per-partition RM_ID registers (`REG_RM_ID0` + 4·n).
+pub const REG_RM_ID_BASE: u64 = REG_RM_ID0;
 
 /// The RP controller component.
 pub struct RpController {
     name: String,
     port: SlavePort,
+    /// Typed decode of the register window.
+    regs: RegisterFile,
     /// Decouple line per partition.
     decouple: Vec<Signal<bool>>,
     /// Host state per partition.
@@ -51,6 +72,7 @@ impl RpController {
         RpController {
             name: name.into(),
             port,
+            regs: RegisterFile::new(&RP_CTRL_MAP),
             decouple,
             hosts,
             library,
@@ -78,13 +100,12 @@ impl Component for RpController {
     fn tick(&mut self, ctx: &mut TickCtx<'_>) {
         let cycle = ctx.cycle;
         if let Some(req) = self.port.try_take(cycle) {
-            let off = req.addr & 0xFFF;
-            let resp = match req.op {
-                MmOp::Write { data, .. } => {
-                    if off == REG_DECOUPLE {
-                        self.decouple_reg = data as u32;
+            let resp = match self.regs.decode(&req) {
+                Decoded::Write { def, value } => {
+                    if def.offset == REG_DECOUPLE {
+                        self.decouple_reg = value as u32;
                         for (i, line) in self.decouple.iter().enumerate() {
-                            let level = data & (1 << i) != 0;
+                            let level = value & (1 << i) != 0;
                             if level != line.get() {
                                 ctx.tracer.info(cycle, &self.name, || {
                                     format!("RP{i} {}", if level { "decoupled" } else { "coupled" })
@@ -95,26 +116,26 @@ impl Component for RpController {
                     }
                     MmResp::write_ack()
                 }
-                MmOp::Read { bytes } => {
-                    let v: u64 = if off == REG_DECOUPLE {
-                        self.decouple_reg as u64
-                    } else if off == REG_STATUS {
-                        let mut s = 0u64;
-                        for (i, h) in self.hosts.iter().enumerate() {
-                            if h.active_module().is_some() {
-                                s |= 1 << i;
+                Decoded::Read { def, bytes } => {
+                    let v: u64 = match def.offset {
+                        REG_DECOUPLE => self.decouple_reg as u64,
+                        REG_STATUS => {
+                            let mut s = 0u64;
+                            for (i, h) in self.hosts.iter().enumerate() {
+                                if h.active_module().is_some() {
+                                    s |= 1 << i;
+                                }
                             }
+                            s
                         }
-                        s
-                    } else if (REG_RM_ID_BASE..REG_RM_ID_BASE + 4 * 8).contains(&off) {
-                        let rp = ((off - REG_RM_ID_BASE) / 4) as usize;
-                        self.rm_id(rp) as u64
-                    } else {
-                        0
+                        off => {
+                            let rp = ((off - REG_RM_ID_BASE) / 4) as usize;
+                            self.rm_id(rp) as u64
+                        }
                     };
                     MmResp::data(v, bytes, true)
                 }
-                MmOp::ReadBurst { .. } => MmResp::err(),
+                Decoded::Reject => MmResp::err(),
             };
             let _ = self.port.try_respond(cycle, resp);
         }
@@ -126,6 +147,10 @@ impl Component for RpController {
         } else {
             Some(now)
         }
+    }
+
+    fn mmio_audit(&self) -> Option<MmioAudit> {
+        Some(self.regs.audit())
     }
 }
 

@@ -5,30 +5,35 @@
 //! output ports to select whether the RV-CAP controller operates in
 //! reconfiguration mode or acceleration mode" (§III-B ④).
 //!
-//! | offset | register | behaviour |
-//! |---|---|---|
-//! | 0x00 | SELECT | 1 = ICAP (reconfiguration mode), 0 = RM (acceleration mode) |
-//! | 0x04 | RM_SEL | which partition's RM receives the stream in acceleration mode |
-//!
-//! Switch routes are laid out `[RM0, RM1, …, ICAP]`; the controller
-//! resolves the two registers into a route index. The switch itself
-//! latches the route at packet boundaries; the decision time `T_d`
-//! the paper measures (18 µs) is the software path that culminates in
-//! these writes plus the DMA programming.
+//! The two registers are declared in [`SWITCH_CTRL_MAP`]. Switch
+//! routes are laid out `[RM0, RM1, …, ICAP]`; the controller resolves
+//! the two registers into a route index. The switch itself latches the
+//! route at packet boundaries; the decision time `T_d` the paper
+//! measures (18 µs) is the software path that culminates in these
+//! writes plus the DMA programming.
 
-use rvcap_axi::mm::{MmOp, MmResp, SlavePort};
+use rvcap_axi::mm::{MmResp, SlavePort};
+use rvcap_axi::regmap::{Decoded, RegisterFile};
 use rvcap_axi::switch::SwitchSelect;
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::MmioAudit;
 
-/// SELECT register offset (1 = ICAP, 0 = RM).
-pub const REG_SELECT: u64 = 0x00;
-/// RM_SEL register offset (partition index for acceleration mode).
-pub const REG_RM_SEL: u64 = 0x04;
+rvcap_axi::register_map! {
+    /// The stream-switch control window.
+    pub static SWITCH_CTRL_MAP: "switch_ctrl", size 0x1000 {
+        /// SELECT register (1 = ICAP, 0 = RM).
+        REG_SELECT @ 0x00: 4 RW reset 0x0, "1 = ICAP (reconfiguration), 0 = RM (acceleration)";
+        /// RM_SEL register (partition index for acceleration mode).
+        REG_RM_SEL @ 0x04: 4 RW reset 0x0, "partition whose RM receives the stream";
+    }
+}
 
 /// The switch-control component.
 pub struct SwitchCtrl {
     name: String,
     port: SlavePort,
+    /// Typed decode of the register window.
+    regs: RegisterFile,
     select: SwitchSelect,
     /// Route index of the ICAP output (= number of RM routes).
     icap_route: u8,
@@ -48,6 +53,7 @@ impl SwitchCtrl {
         let ctrl = SwitchCtrl {
             name: name.into(),
             port,
+            regs: RegisterFile::new(&SWITCH_CTRL_MAP),
             select,
             icap_route,
             icap_mode: false,
@@ -73,16 +79,15 @@ impl Component for SwitchCtrl {
 
     fn tick(&mut self, ctx: &mut TickCtx<'_>) {
         if let Some(req) = self.port.try_take(ctx.cycle) {
-            let off = req.addr & 0xFFF;
-            let resp = match req.op {
-                MmOp::Write { data, .. } => {
-                    match off {
+            let resp = match self.regs.decode(&req) {
+                Decoded::Write { def, value } => {
+                    match def.offset {
                         REG_SELECT => {
-                            self.icap_mode = data & 1 != 0;
+                            self.icap_mode = value & 1 != 0;
                             ctx.tracer.info(ctx.cycle, &self.name, || {
                                 format!(
                                     "mode: {}",
-                                    if data & 1 != 0 {
+                                    if value & 1 != 0 {
                                         "reconfiguration"
                                     } else {
                                         "acceleration"
@@ -90,23 +95,21 @@ impl Component for SwitchCtrl {
                                 )
                             });
                         }
-                        REG_RM_SEL => {
-                            self.rm_sel = (data as u8).min(self.icap_route.saturating_sub(1));
+                        _ => {
+                            self.rm_sel = (value as u8).min(self.icap_route.saturating_sub(1));
                         }
-                        _ => {}
                     }
                     self.apply();
                     MmResp::write_ack()
                 }
-                MmOp::Read { bytes } => {
-                    let v = match off {
+                Decoded::Read { def, bytes } => {
+                    let v = match def.offset {
                         REG_SELECT => self.icap_mode as u64,
-                        REG_RM_SEL => self.rm_sel as u64,
-                        _ => 0,
+                        _ => self.rm_sel as u64,
                     };
                     MmResp::data(v, bytes, true)
                 }
-                MmOp::ReadBurst { .. } => MmResp::err(),
+                Decoded::Reject => MmResp::err(),
             };
             let _ = self.port.try_respond(ctx.cycle, resp);
         }
@@ -118,6 +121,10 @@ impl Component for SwitchCtrl {
         } else {
             Some(now)
         }
+    }
+
+    fn mmio_audit(&self) -> Option<MmioAudit> {
+        Some(self.regs.audit())
     }
 }
 

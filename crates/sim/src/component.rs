@@ -74,6 +74,16 @@ pub trait Component {
     fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
         None
     }
+
+    /// MMIO access audit for register-mapped devices.
+    ///
+    /// Components that decode bus traffic through a typed register map
+    /// report their per-access counters here; the kernel folds them
+    /// into [`crate::KernelStats`] and stall diagnostics. The default
+    /// (`None`) marks components with no register interface.
+    fn mmio_audit(&self) -> Option<crate::stats::MmioAudit> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! The simulation kernel: owns components, advances the clock.
 
 use crate::component::{Component, TickCtx};
-use crate::stats::{ComponentStats, KernelStats};
+use crate::stats::{ComponentStats, KernelStats, MmioAudit};
 use crate::time::{Cycle, Freq};
 use crate::trace::{TraceEvent, TraceLevel, Tracer};
 
@@ -29,6 +29,10 @@ pub struct StallReport {
     pub busy: Vec<String>,
     /// Most recent trace events (empty when tracing is off).
     pub trace_tail: Vec<TraceEvent>,
+    /// MMIO protocol violations recorded by register-mapped devices at
+    /// the time of the stall — a wrong-register access is a common way
+    /// to hang a driver poll loop.
+    pub mmio_violations: u64,
 }
 
 impl std::fmt::Display for StallReport {
@@ -44,6 +48,9 @@ impl std::fmt::Display for StallReport {
             write!(f, "; no component reports busy")?;
         } else {
             write!(f, "; busy: {}", self.busy.join(", "))?;
+        }
+        if self.mmio_violations > 0 {
+            write!(f, "; {} MMIO violations recorded", self.mmio_violations)?;
         }
         if !self.trace_tail.is_empty() {
             writeln!(f, "; trace tail:")?;
@@ -311,7 +318,19 @@ impl Simulator {
                 .map(|s| s.to_string())
                 .collect(),
             trace_tail: events[tail_from..].to_vec(),
+            mmio_violations: self.mmio_audit().violations(),
         }
+    }
+
+    /// Merged MMIO audit across every registered component.
+    pub fn mmio_audit(&self) -> MmioAudit {
+        let mut total = MmioAudit::default();
+        for c in &self.components {
+            if let Some(a) = c.mmio_audit() {
+                total.merge(&a);
+            }
+        }
+        total
     }
 
     /// Names of components currently reporting busy (diagnostics).
@@ -339,6 +358,7 @@ impl Simulator {
                     name: c.name().to_string(),
                     ticks_executed: k.ticks_executed,
                     cycles_skipped: k.cycles_skipped,
+                    audit: c.mmio_audit(),
                 })
                 .collect(),
         }

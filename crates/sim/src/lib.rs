@@ -64,7 +64,7 @@ pub use component::Component;
 pub use fifo::Fifo;
 pub use kernel::{Simulator, StallReport};
 pub use signal::Signal;
-pub use stats::{ComponentStats, KernelStats};
+pub use stats::{ComponentStats, KernelStats, MmioAudit};
 pub use time::{Cycle, Freq};
 pub use trace::{TraceEvent, TraceLevel, Tracer};
 pub use vcd::{VcdHandle, VcdRecorder};

@@ -64,6 +64,57 @@ impl Interval {
     }
 }
 
+/// MMIO access accounting for one register-mapped device.
+///
+/// Populated by components that decode bus traffic through a typed
+/// register map (see `rvcap-axi`'s `regmap` module) and surfaced
+/// through [`ComponentStats`] / [`KernelStats`]. The first two
+/// counters are plain traffic; the rest are protocol violations the
+/// device answered with a bus error instead of silently absorbing.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MmioAudit {
+    /// Accepted register reads.
+    pub reads: u64,
+    /// Accepted register writes.
+    pub writes: u64,
+    /// Accesses to an offset no register covers.
+    pub unmapped: u64,
+    /// Accesses inside a register's span but not at its offset.
+    pub misaligned: u64,
+    /// Writes to a read-only register.
+    pub ro_writes: u64,
+    /// Reads of a write-only register.
+    pub wo_reads: u64,
+    /// Accesses wider than the register.
+    pub overwide: u64,
+    /// Burst operations aimed at single-beat register space.
+    pub bursts: u64,
+}
+
+impl MmioAudit {
+    /// Total rejected accesses (everything except plain reads/writes).
+    pub fn violations(&self) -> u64 {
+        self.unmapped
+            + self.misaligned
+            + self.ro_writes
+            + self.wo_reads
+            + self.overwide
+            + self.bursts
+    }
+
+    /// Accumulate another audit into this one.
+    pub fn merge(&mut self, other: &MmioAudit) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.unmapped += other.unmapped;
+        self.misaligned += other.misaligned;
+        self.ro_writes += other.ro_writes;
+        self.wo_reads += other.wo_reads;
+        self.overwide += other.overwide;
+        self.bursts += other.bursts;
+    }
+}
+
 /// Per-component activity accounting from the simulation kernel.
 ///
 /// For a component registered at cycle 0, `ticks_executed +
@@ -78,6 +129,8 @@ pub struct ComponentStats {
     pub ticks_executed: u64,
     /// Cycles skipped as guaranteed no-ops (gating + jumps).
     pub cycles_skipped: u64,
+    /// MMIO access audit, for components that decode a register map.
+    pub audit: Option<MmioAudit>,
 }
 
 impl ComponentStats {
@@ -120,6 +173,24 @@ impl KernelStats {
         self.components.iter().map(|c| c.cycles_skipped).sum()
     }
 
+    /// Total MMIO protocol violations across every audited component.
+    pub fn total_mmio_violations(&self) -> u64 {
+        self.components
+            .iter()
+            .filter_map(|c| c.audit.as_ref())
+            .map(|a| a.violations())
+            .sum()
+    }
+
+    /// Merged MMIO audit across every audited component.
+    pub fn mmio_audit(&self) -> MmioAudit {
+        let mut total = MmioAudit::default();
+        for a in self.components.iter().filter_map(|c| c.audit.as_ref()) {
+            total.merge(a);
+        }
+        total
+    }
+
     /// Fraction of component-cycles that were skipped, in percent —
     /// the headline savings of the fast-forward machinery.
     pub fn skipped_pct(&self) -> f64 {
@@ -159,6 +230,23 @@ impl KernelStats {
                 c.ticks_executed,
                 c.cycles_skipped,
                 c.utilization_pct(),
+            ));
+        }
+        let audit = self.mmio_audit();
+        if audit != MmioAudit::default() {
+            out.push_str(&format!(
+                "  mmio: {} reads / {} writes, {} violations \
+                 (unmapped {}, misaligned {}, ro-writes {}, wo-reads {}, \
+                 overwide {}, bursts {})\n",
+                audit.reads,
+                audit.writes,
+                audit.violations(),
+                audit.unmapped,
+                audit.misaligned,
+                audit.ro_writes,
+                audit.wo_reads,
+                audit.overwide,
+                audit.bursts,
             ));
         }
         out
@@ -248,6 +336,71 @@ mod tests {
             freq: Freq::FABRIC_100MHZ,
         };
         assert_eq!(i.cycles(), 0);
+    }
+
+    #[test]
+    fn mmio_audit_merges_and_counts_violations() {
+        let mut a = MmioAudit {
+            reads: 10,
+            writes: 5,
+            unmapped: 1,
+            ..MmioAudit::default()
+        };
+        let b = MmioAudit {
+            misaligned: 2,
+            ro_writes: 3,
+            wo_reads: 1,
+            overwide: 1,
+            bursts: 1,
+            ..MmioAudit::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.reads, 10);
+        assert_eq!(a.violations(), 9);
+    }
+
+    #[test]
+    fn kernel_stats_aggregate_audits() {
+        let stats = KernelStats {
+            cycles: 100,
+            fast_forward: true,
+            jumps: 0,
+            jumped_cycles: 0,
+            components: vec![
+                ComponentStats {
+                    name: "a".into(),
+                    ticks_executed: 100,
+                    cycles_skipped: 0,
+                    audit: Some(MmioAudit {
+                        reads: 4,
+                        unmapped: 2,
+                        ..MmioAudit::default()
+                    }),
+                },
+                ComponentStats {
+                    name: "b".into(),
+                    ticks_executed: 100,
+                    cycles_skipped: 0,
+                    audit: None,
+                },
+                ComponentStats {
+                    name: "c".into(),
+                    ticks_executed: 100,
+                    cycles_skipped: 0,
+                    audit: Some(MmioAudit {
+                        writes: 7,
+                        ro_writes: 1,
+                        ..MmioAudit::default()
+                    }),
+                },
+            ],
+        };
+        assert_eq!(stats.total_mmio_violations(), 3);
+        let merged = stats.mmio_audit();
+        assert_eq!(merged.reads, 4);
+        assert_eq!(merged.writes, 7);
+        let rendered = stats.render();
+        assert!(rendered.contains("violations"), "{rendered}");
     }
 
     #[test]

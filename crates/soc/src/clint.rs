@@ -9,11 +9,12 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use rvcap_axi::mm::{MmOp, MmResp, SlavePort};
+use rvcap_axi::mm::{MmResp, SlavePort};
+use rvcap_axi::regmap::{Decoded, RegisterFile};
 use rvcap_sim::component::{Component, TickCtx};
-use rvcap_sim::{Cycle, Freq};
+use rvcap_sim::{Cycle, Freq, MmioAudit};
 
-use crate::map::{CLINT_MTIME, CLINT_MTIMECMP};
+use crate::map::{CLINT_MAP, CLINT_MTIME};
 
 #[derive(Debug, Default)]
 struct Shared {
@@ -44,7 +45,8 @@ impl ClintHandle {
 pub struct Clint {
     name: String,
     port: SlavePort,
-    base: u64,
+    /// Typed decode of the register window.
+    regs: RegisterFile,
     /// Fabric cycles per timer tick (20 for 5 MHz at 100 MHz).
     divider: Cycle,
     shared: Rc<RefCell<Shared>>,
@@ -57,7 +59,7 @@ impl Clint {
     pub fn new(
         name: impl Into<String>,
         port: SlavePort,
-        base: u64,
+        _base: u64,
         divider: Cycle,
     ) -> (Self, ClintHandle) {
         assert!(divider > 0);
@@ -73,7 +75,7 @@ impl Clint {
             Clint {
                 name: name.into(),
                 port,
-                base,
+                regs: RegisterFile::new(&CLINT_MAP),
                 divider,
                 shared,
                 timer_irq: rvcap_sim::Signal::new(false),
@@ -101,27 +103,24 @@ impl Component for Clint {
             self.timer_irq.set(sh.mtime >= sh.mtimecmp);
         }
         if let Some(req) = self.port.try_take(cycle) {
-            let off = req.addr - self.base;
-            let resp = match req.op {
-                MmOp::Read { bytes } => {
+            let resp = match self.regs.decode(&req) {
+                Decoded::Read { def, bytes } => {
                     let sh = self.shared.borrow();
-                    let v = match off {
+                    let v = match def.offset {
                         CLINT_MTIME => sh.mtime,
-                        CLINT_MTIMECMP => sh.mtimecmp,
-                        _ => 0,
+                        _ => sh.mtimecmp,
                     };
                     MmResp::data(v, bytes, true)
                 }
-                MmOp::Write { data, .. } => {
+                Decoded::Write { def, value } => {
                     let mut sh = self.shared.borrow_mut();
-                    match off {
-                        CLINT_MTIME => sh.mtime = data,
-                        CLINT_MTIMECMP => sh.mtimecmp = data,
-                        _ => {}
+                    match def.offset {
+                        CLINT_MTIME => sh.mtime = value,
+                        _ => sh.mtimecmp = value,
                     }
                     MmResp::write_ack()
                 }
-                MmOp::ReadBurst { .. } => MmResp::err(),
+                Decoded::Reject => MmResp::err(),
             };
             let _ = self.port.try_respond(cycle, resp);
         }
@@ -142,12 +141,16 @@ impl Component for Clint {
             now + (self.divider - phase)
         })
     }
+
+    fn mmio_audit(&self) -> Option<MmioAudit> {
+        Some(self.regs.audit())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::map::CLINT_BASE;
+    use crate::map::{CLINT_BASE, CLINT_MTIMECMP};
     use rvcap_axi::mm::{link, MmReq};
     use rvcap_sim::{Freq, Simulator};
 

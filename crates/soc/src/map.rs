@@ -14,44 +14,68 @@ pub const BOOT_ROM_SIZE: u64 = 0x0002_0000; // 128 KiB
 pub const CLINT_BASE: u64 = 0x0200_0000;
 /// CLINT window size.
 pub const CLINT_SIZE: u64 = 0x0001_0000;
-/// `mtime` register offset within the CLINT.
-pub const CLINT_MTIME: u64 = 0xBFF8;
-/// `mtimecmp` (hart 0) offset.
-pub const CLINT_MTIMECMP: u64 = 0x4000;
+
+rvcap_axi::register_map! {
+    /// The CLINT register window (hart-0 subset).
+    pub static CLINT_MAP: "clint", size 0x10000 {
+        /// `mtimecmp` (hart 0) offset.
+        CLINT_MTIMECMP @ 0x4000: 8 RW reset 0xFFFF_FFFF_FFFF_FFFF, "hart-0 timer compare";
+        /// `mtime` register offset within the CLINT.
+        CLINT_MTIME @ 0xBFF8: 8 RW reset 0x0, "machine timer (5 MHz in the paper)";
+    }
+}
 
 /// PLIC base.
 pub const PLIC_BASE: u64 = 0x0C00_0000;
 /// PLIC window size.
 pub const PLIC_SIZE: u64 = 0x0040_0000;
-/// Pending bitmap (word 0 covers sources 0..32).
-pub const PLIC_PENDING: u64 = 0x1000;
-/// Enable bitmap for hart 0.
-pub const PLIC_ENABLE: u64 = 0x2000;
-/// Claim/complete register for hart 0.
-pub const PLIC_CLAIM: u64 = 0x20_0004;
+
+rvcap_axi::register_map! {
+    /// The PLIC register window (hart-0, sources 1..=31 subset).
+    pub static PLIC_MAP: "plic", size 0x400000 {
+        /// Pending bitmap (word 0 covers sources 0..32).
+        PLIC_PENDING @ 0x1000: 4 RO reset 0x0, "pending bitmap, sources 0..32";
+        /// Enable bitmap for hart 0.
+        PLIC_ENABLE @ 0x2000: 4 RW reset 0x0, "hart-0 enable bitmap";
+        /// Claim/complete register for hart 0.
+        PLIC_CLAIM @ 0x200004: 4 RW reset 0x0, "read claims the lowest pending id; write completes";
+    }
+}
 
 /// UART base.
 pub const UART_BASE: u64 = 0x1000_0000;
 /// UART window size.
 pub const UART_SIZE: u64 = 0x1000;
-/// TX data register.
-pub const UART_TX: u64 = 0x0;
-/// Status register (bit 0: TX ready).
-pub const UART_STATUS: u64 = 0x4;
+
+rvcap_axi::register_map! {
+    /// The UART register window (TX-only terminal).
+    pub static UART_MAP: "uart", size 0x1000 {
+        /// TX data register.
+        UART_TX @ 0x0: 4 WO reset 0x0, "TX data; low byte is transmitted";
+        /// Status register (bit 0: TX ready).
+        UART_STATUS @ 0x4: 4 RO reset 0x1, "bit 0: TX ready (always 1 here)";
+    }
+}
 
 /// SPI controller base.
 pub const SPI_BASE: u64 = 0x2000_0000;
 /// SPI window size.
 pub const SPI_SIZE: u64 = 0x1000;
-/// TX/RX data register: write starts an 8-bit exchange, read returns
-/// the last received byte.
-pub const SPI_TXRX: u64 = 0x0;
-/// Status register (bit 0: busy).
-pub const SPI_STATUS: u64 = 0x4;
-/// Chip-select register (bit 0: CS asserted/low).
-pub const SPI_CS: u64 = 0x8;
-/// Clock divider register (SPI bit time = `div` core cycles).
-pub const SPI_CLKDIV: u64 = 0xC;
+
+rvcap_axi::register_map! {
+    /// The SPI controller register window (SD-card link, §III-A).
+    pub static SPI_MAP: "spi", size 0x1000 {
+        /// TX/RX data register: write starts an 8-bit exchange, read
+        /// returns the last received byte.
+        SPI_TXRX @ 0x0: 4 RW reset 0x0, "write starts an 8-bit exchange; read returns RX";
+        /// Status register (bit 0: busy).
+        SPI_STATUS @ 0x4: 4 RO reset 0x0, "bit 0: shifter busy";
+        /// Chip-select register (bit 0: CS asserted/low).
+        SPI_CS @ 0x8: 4 RW reset 0x0, "bit 0: CS asserted (low)";
+        /// Clock divider register (SPI bit time = `div` core cycles).
+        SPI_CLKDIV @ 0xC: 4 RW reset 0x1, "SPI bit time in core cycles";
+    }
+}
 
 /// AXI_HWICAP base (baseline controller, §III-C).
 pub const HWICAP_BASE: u64 = 0x4000_0000;

@@ -10,11 +10,12 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use rvcap_axi::mm::{MmOp, MmResp, SlavePort};
+use rvcap_axi::mm::{MmResp, SlavePort};
+use rvcap_axi::regmap::{Decoded, RegisterFile};
 use rvcap_sim::component::{Component, TickCtx};
-use rvcap_sim::Signal;
+use rvcap_sim::{MmioAudit, Signal};
 
-use crate::map::{PLIC_CLAIM, PLIC_ENABLE, PLIC_PENDING};
+use crate::map::{PLIC_ENABLE, PLIC_MAP, PLIC_PENDING};
 
 #[derive(Debug, Default)]
 struct Shared {
@@ -53,7 +54,8 @@ impl PlicHandle {
 pub struct Plic {
     name: String,
     port: SlavePort,
-    base: u64,
+    /// Typed decode of the register window.
+    regs: RegisterFile,
     /// Level signals indexed by source id.
     sources: Vec<(u32, Signal<bool>)>,
     shared: Rc<RefCell<Shared>>,
@@ -64,7 +66,7 @@ impl Plic {
     pub fn new(
         name: impl Into<String>,
         port: SlavePort,
-        base: u64,
+        _base: u64,
         sources: Vec<(u32, Signal<bool>)>,
     ) -> (Self, PlicHandle) {
         for &(id, _) in &sources {
@@ -78,7 +80,7 @@ impl Plic {
             Plic {
                 name: name.into(),
                 port,
-                base,
+                regs: RegisterFile::new(&PLIC_MAP),
                 sources,
                 shared,
             },
@@ -109,14 +111,13 @@ impl Component for Plic {
             }
         }
         if let Some(req) = self.port.try_take(cycle) {
-            let off = req.addr - self.base;
-            let resp = match req.op {
-                MmOp::Read { bytes } => {
+            let resp = match self.regs.decode(&req) {
+                Decoded::Read { def, bytes } => {
                     let mut sh = self.shared.borrow_mut();
-                    let v = match off {
+                    let v = match def.offset {
                         PLIC_PENDING => sh.pending as u64,
                         PLIC_ENABLE => sh.enabled as u64,
-                        PLIC_CLAIM => {
+                        _ => {
                             // Claim: highest-priority (lowest id) pending.
                             let id = (1..32).find(|i| sh.pending & (1 << i) != 0);
                             match id {
@@ -129,24 +130,21 @@ impl Component for Plic {
                                 None => 0,
                             }
                         }
-                        _ => 0,
                     };
                     MmResp::data(v, bytes, true)
                 }
-                MmOp::Write { data, .. } => {
+                Decoded::Write { def, value } => {
                     let mut sh = self.shared.borrow_mut();
-                    match off {
-                        PLIC_ENABLE => sh.enabled = data as u32,
-                        PLIC_CLAIM => {
-                            // Complete: allow the source to pend again.
-                            let bit = 1u32 << (data as u32 & 31);
-                            sh.in_service &= !bit;
-                        }
-                        _ => {}
+                    if def.offset == PLIC_ENABLE {
+                        sh.enabled = value as u32;
+                    } else {
+                        // Complete: allow the source to pend again.
+                        let bit = 1u32 << (value as u32 & 31);
+                        sh.in_service &= !bit;
                     }
                     MmResp::write_ack()
                 }
-                MmOp::ReadBurst { .. } => MmResp::err(),
+                Decoded::Reject => MmResp::err(),
             };
             let _ = self.port.try_respond(cycle, resp);
         }
@@ -172,12 +170,16 @@ impl Component for Plic {
             Some(rvcap_sim::Cycle::MAX)
         }
     }
+
+    fn mmio_audit(&self) -> Option<MmioAudit> {
+        Some(self.regs.audit())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::map::PLIC_BASE;
+    use crate::map::{PLIC_BASE, PLIC_CLAIM};
     use rvcap_axi::mm::{link, MmReq};
     use rvcap_sim::{Freq, Simulator};
 

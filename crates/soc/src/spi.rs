@@ -8,11 +8,12 @@
 //! compared to the reconfiguration itself, exactly as on the board.
 
 use rvcap_axi::mm::{MmOp, MmResp, SlavePort};
+use rvcap_axi::regmap::{Decoded, RegisterFile};
 use rvcap_sim::component::{Component, TickCtx};
-use rvcap_sim::Cycle;
+use rvcap_sim::{Cycle, MmioAudit};
 use rvcap_storage::{BlockDevice, SdCard};
 
-use crate::map::{SPI_CLKDIV, SPI_CS, SPI_STATUS, SPI_TXRX};
+use crate::map::{SPI_CS, SPI_MAP, SPI_STATUS, SPI_TXRX};
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -39,7 +40,8 @@ impl SpiHandle {
 pub struct Spi<D: BlockDevice> {
     name: String,
     port: SlavePort,
-    base: u64,
+    /// Typed decode of the register window.
+    regs: RegisterFile,
     card: SdCard<D>,
     /// Fabric cycles per SPI bit (clock divider).
     clkdiv: u32,
@@ -56,7 +58,7 @@ impl<D: BlockDevice> Spi<D> {
     pub fn new(
         name: impl Into<String>,
         port: SlavePort,
-        base: u64,
+        _base: u64,
         card: SdCard<D>,
         clkdiv: u32,
     ) -> (Self, SpiHandle) {
@@ -69,7 +71,7 @@ impl<D: BlockDevice> Spi<D> {
             Spi {
                 name: name.into(),
                 port,
-                base,
+                regs: RegisterFile::new(&SPI_MAP),
                 card,
                 clkdiv,
                 cs_asserted: false,
@@ -103,21 +105,21 @@ impl<D: BlockDevice> Component for Spi<D> {
         // Service one register access per cycle; TXRX writes are
         // refused (retried by the bus) while a transfer is in flight.
         if let Some(req) = self.port.req.peek() {
-            let off = req.addr - self.base;
+            let off = self.regs.offset_of(req.addr);
             let busy = self.busy_until.is_some();
             if off == SPI_TXRX && matches!(req.op, MmOp::Write { .. }) && busy {
                 return; // back-pressure until the shifter is free
             }
             let req = self.port.try_take(cycle).expect("peeked");
-            let resp = match req.op {
-                MmOp::Write { data, .. } => {
-                    match off {
+            let resp = match self.regs.decode(&req) {
+                Decoded::Write { def, value } => {
+                    match def.offset {
                         SPI_TXRX => {
                             // Full-duplex exchange: the card computes
                             // MISO now; it becomes readable when the
                             // shift completes.
                             let miso = if self.cs_asserted {
-                                self.card.exchange(data as u8)
+                                self.card.exchange(value as u8)
                             } else {
                                 0xFF // nothing selected
                             };
@@ -125,23 +127,21 @@ impl<D: BlockDevice> Component for Spi<D> {
                             self.busy_until = Some((cycle + 8 * bit_time, miso));
                             self.shared.borrow_mut().transfers += 1;
                         }
-                        SPI_CS => self.cs_asserted = data & 1 != 0,
-                        SPI_CLKDIV => self.clkdiv = (data as u32).max(1),
-                        _ => {}
+                        SPI_CS => self.cs_asserted = value & 1 != 0,
+                        _ => self.clkdiv = (value as u32).max(1),
                     }
                     MmResp::write_ack()
                 }
-                MmOp::Read { bytes } => {
-                    let v = match off {
+                Decoded::Read { def, bytes } => {
+                    let v = match def.offset {
                         SPI_TXRX => self.rx as u64,
                         SPI_STATUS => self.busy_until.is_some() as u64,
                         SPI_CS => self.cs_asserted as u64,
-                        SPI_CLKDIV => self.clkdiv as u64,
-                        _ => 0,
+                        _ => self.clkdiv as u64,
                     };
                     MmResp::data(v, bytes, true)
                 }
-                MmOp::ReadBurst { .. } => MmResp::err(),
+                Decoded::Reject => MmResp::err(),
             };
             let _ = self.port.try_respond(cycle, resp);
         }
@@ -162,6 +162,10 @@ impl<D: BlockDevice> Component for Spi<D> {
             Some((done, _)) => Some(done.max(now)),
             None => Some(Cycle::MAX),
         }
+    }
+
+    fn mmio_audit(&self) -> Option<MmioAudit> {
+        Some(self.regs.audit())
     }
 }
 

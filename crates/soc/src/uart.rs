@@ -7,10 +7,12 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use rvcap_axi::mm::{MmOp, MmResp, SlavePort};
+use rvcap_axi::mm::{MmResp, SlavePort};
+use rvcap_axi::regmap::{Decoded, RegisterFile};
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::MmioAudit;
 
-use crate::map::{UART_STATUS, UART_TX};
+use crate::map::{UART_MAP, UART_STATUS, UART_TX};
 
 /// Shared view of everything the UART transmitted.
 #[derive(Debug, Clone, Default)]
@@ -39,19 +41,22 @@ impl UartHandle {
 pub struct Uart {
     name: String,
     port: SlavePort,
-    base: u64,
+    /// Typed decode of the register window.
+    regs: RegisterFile,
     handle: UartHandle,
 }
 
 impl Uart {
-    /// Create a UART at `base`.
-    pub fn new(name: impl Into<String>, port: SlavePort, base: u64) -> (Self, UartHandle) {
+    /// Create a UART; the window base is resolved through the
+    /// power-of-two [`UART_MAP`] mask, so `_base` only documents
+    /// placement.
+    pub fn new(name: impl Into<String>, port: SlavePort, _base: u64) -> (Self, UartHandle) {
         let handle = UartHandle::default();
         (
             Uart {
                 name: name.into(),
                 port,
-                base,
+                regs: RegisterFile::new(&UART_MAP),
                 handle: handle.clone(),
             },
             handle,
@@ -66,16 +71,21 @@ impl Component for Uart {
 
     fn tick(&mut self, ctx: &mut TickCtx<'_>) {
         if let Some(req) = self.port.try_take(ctx.cycle) {
-            let off = req.addr - self.base;
-            let resp = match req.op {
-                MmOp::Write { data, .. } if off == UART_TX => {
-                    self.handle.log.borrow_mut().push(data as u8);
+            let resp = match self.regs.decode(&req) {
+                Decoded::Write { def, value } => {
+                    if def.offset == UART_TX {
+                        self.handle.log.borrow_mut().push(value as u8);
+                    }
                     MmResp::write_ack()
                 }
-                MmOp::Read { bytes } if off == UART_STATUS => MmResp::data(1, bytes, true),
-                MmOp::Read { bytes } => MmResp::data(0, bytes, true),
-                MmOp::Write { .. } => MmResp::write_ack(),
-                MmOp::ReadBurst { .. } => MmResp::err(),
+                Decoded::Read { def, bytes } => {
+                    let v = match def.offset {
+                        UART_STATUS => 1,
+                        _ => 0,
+                    };
+                    MmResp::data(v, bytes, true)
+                }
+                Decoded::Reject => MmResp::err(),
             };
             let _ = self.port.try_respond(ctx.cycle, resp);
         }
@@ -87,6 +97,10 @@ impl Component for Uart {
         } else {
             Some(now)
         }
+    }
+
+    fn mmio_audit(&self) -> Option<MmioAudit> {
+        Some(self.regs.audit())
     }
 }
 

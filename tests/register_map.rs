@@ -1,0 +1,65 @@
+//! Tier-1 guards for the unified register-map layer.
+//!
+//! Two invariants the refactor introduced and must keep:
+//!
+//! 1. `REGISTERS.md` is generated, not hand-maintained — the checked-in
+//!    file must match what the registry renders today.
+//! 2. The paper experiments drive the bus cleanly: across every paper
+//!    rig, neither controller trips a crossbar decode error or a
+//!    register-policy violation (unmapped, misaligned, RO write, WO
+//!    read, overwide). A violation would mean a driver and a device
+//!    disagree about the map — exactly what one source of truth
+//!    forbids.
+
+use rvcap_bench::{paper_soc, runner};
+use rvcap_repro::core::drivers::DmaMode;
+use rvcap_repro::fabric::rp::RpGeometry;
+
+#[test]
+fn registers_md_is_current() {
+    let checked_in = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/REGISTERS.md"))
+        .expect("REGISTERS.md is checked in at the repo root");
+    let rendered = rvcap_repro::core::registry::to_markdown();
+    assert_eq!(
+        checked_in, rendered,
+        "REGISTERS.md is stale — regenerate with \
+         `cargo run --release -p rvcap-bench --bin regs_md`"
+    );
+}
+
+#[test]
+fn paper_rigs_decode_cleanly() {
+    let geometries = [
+        RpGeometry::paper_rp(),
+        RpGeometry::scaled(2, 0, 0),
+        RpGeometry::scaled(8, 2, 1),
+    ];
+    for g in geometries {
+        let rv = runner::reconfigure_rvcap(
+            paper_soc::rig_with_geometry(g.clone()),
+            DmaMode::NonBlocking,
+        );
+        let a = runner::mmio_audit(&rv.soc);
+        assert_eq!(a.violations(), 0, "RV-CAP run on {g:?}: {a:?}");
+        assert_eq!(a.unmapped, 0, "crossbar decode errors on {g:?}");
+        assert!(
+            a.reads > 0 && a.writes > 0,
+            "audit counted nothing on {g:?}"
+        );
+
+        let hw = runner::reconfigure_hwicap(paper_soc::rig_with_geometry(g.clone()), 16);
+        let a = runner::mmio_audit(&hw.soc);
+        assert_eq!(a.violations(), 0, "HWICAP run on {g:?}: {a:?}");
+        assert_eq!(a.unmapped, 0, "crossbar decode errors on {g:?}");
+    }
+}
+
+#[test]
+fn blocking_mode_decodes_cleanly_too() {
+    let rv = runner::reconfigure_rvcap(
+        paper_soc::rig_with_geometry(RpGeometry::scaled(2, 0, 0)),
+        DmaMode::Blocking,
+    );
+    let a = runner::mmio_audit(&rv.soc);
+    assert_eq!(a.violations(), 0, "blocking-mode RV-CAP run: {a:?}");
+}
