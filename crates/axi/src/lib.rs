@@ -25,6 +25,9 @@
 //!   static/reconfigurable boundary while a partial bitstream loads.
 //! * [`monitor`] — passive protocol checkers (framing invariants,
 //!   deadlock detection) for wiring onto suspect links in tests.
+//! * [`sanitizer`] — payload descriptions and wiring helpers teaching
+//!   `rvcap-sim`'s bus sanitizer the AXI vocabulary (stream framing,
+//!   transaction pairing, decouple gating).
 //! * [`regmap`] — typed register maps: each device declares its
 //!   registers once ([`register_map!`]), and the declaration drives
 //!   the device-side decode ([`regmap::RegisterFile`]), the driver-side
@@ -46,6 +49,7 @@ pub mod mm;
 pub mod monitor;
 pub mod protocol;
 pub mod regmap;
+pub mod sanitizer;
 pub mod stream;
 pub mod switch;
 pub mod width;
@@ -55,6 +59,7 @@ pub use isolator::{MmIsolator, StreamIsolator};
 pub use mm::{MasterPort, MmOp, MmReq, MmResp, SlavePort};
 pub use monitor::StreamMonitor;
 pub use regmap::{Access, Decoded, RegDef, RegisterFile, RegisterMap};
+pub use sanitizer::{watch_mm_link, watch_stream, watch_stream_gated};
 pub use stream::{AxisBeat, AxisChannel};
 pub use switch::StreamSwitch;
 pub use width::{Narrower, Widener};

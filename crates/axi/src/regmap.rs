@@ -231,13 +231,19 @@ pub enum Decoded {
         /// Requested beat size (≤ the register width).
         bytes: u8,
     },
-    /// An accepted write of `value` (already masked to the register
-    /// width).
+    /// An accepted write of `value` (already masked to the accessed
+    /// byte lanes — which for a narrow access is a subset of the
+    /// register's bits).
     Write {
         /// The register being written.
         def: &'static RegDef,
-        /// Write data, masked to the register's valid bits.
+        /// Write data, masked to the accessed byte lanes and the
+        /// register's valid bits.
         value: u64,
+        /// Accessed beat size (≤ the register width). Device hooks
+        /// with read-modify-write semantics beyond W1C can use this to
+        /// preserve the untouched lanes.
+        bytes: u8,
     },
     /// A rejected access: respond with [`crate::mm::MmResp::err`] and
     /// change no state. The reason is recorded in the audit.
@@ -332,9 +338,18 @@ impl RegisterFile {
                     } else {
                         self.writes[i] += 1;
                         self.audit.writes += 1;
+                        // Mask to the accessed byte lanes, not just the
+                        // register width: a 1-byte store must not carry
+                        // data into lanes it never drove — a W1C device
+                        // hook would otherwise clear bits the bus never
+                        // addressed. (Narrow accesses always start at
+                        // the register base — a mid-register offset is
+                        // rejected as misaligned above — so the
+                        // accessed lanes are the low `bytes` bytes.)
                         Decoded::Write {
                             def,
-                            value: data & def.mask(),
+                            value: data & lane_mask(bytes) & def.mask(),
+                            bytes,
                         }
                     }
                 }
@@ -352,6 +367,15 @@ impl RegisterFile {
         } else {
             self.audit.unmapped += 1;
         }
+    }
+}
+
+/// Mask selecting the low `bytes` byte lanes of an access.
+pub fn lane_mask(bytes: u8) -> u64 {
+    if bytes >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (8 * bytes as u32)) - 1
     }
 }
 
@@ -451,9 +475,10 @@ mod tests {
     fn accepts_reads_and_writes_within_policy() {
         let mut f = file();
         match f.decode(&MmReq::write(T_CTRL, 0xFFFF_FFFF_DEAD_BEEF, 4)) {
-            Decoded::Write { def, value } => {
+            Decoded::Write { def, value, bytes } => {
                 assert_eq!(def.name, "T_CTRL");
                 assert_eq!(value, 0xDEAD_BEEF, "masked to the register width");
+                assert_eq!(bytes, 4);
             }
             other => panic!("{other:?}"),
         }
@@ -518,6 +543,32 @@ mod tests {
             f.decode(&MmReq::write(T_ISR, 0x1000, 4)),
             Decoded::Write { .. }
         ));
+    }
+
+    #[test]
+    fn narrow_writes_mask_to_the_accessed_byte_lanes() {
+        let mut f = file();
+        // A 1-byte store to a W1C register: bit 12 of the data lies
+        // outside the accessed lane and must not survive the decode —
+        // a device hook would otherwise clear an interrupt flag the
+        // bus never addressed. (Pre-fix, `data & def.mask()` leaked
+        // every register-width bit through.)
+        match f.decode(&MmReq::write(T_ISR, 0x1000, 1)) {
+            Decoded::Write { value, bytes, .. } => {
+                assert_eq!(bytes, 1);
+                assert_eq!(value, 0, "bit 12 is outside the accessed byte lane");
+            }
+            other => panic!("{other:?}"),
+        }
+        // A 2-byte store drives lanes 0..2: bits 0..16 survive.
+        match f.decode(&MmReq::write(T_ISR, 0xFFFF_1234, 2)) {
+            Decoded::Write { value, bytes, .. } => {
+                assert_eq!(bytes, 2);
+                assert_eq!(value, 0x1234);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(lane_mask(8), u64::MAX);
     }
 
     #[test]

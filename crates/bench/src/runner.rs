@@ -114,6 +114,20 @@ pub fn audit_summary(a: &MmioAudit) -> String {
 /// Assert the run decoded cleanly: no crossbar decode errors, no
 /// unmapped/misaligned/policy-violating register accesses.
 pub fn assert_clean_mmio(soc: &RvCapSoc) {
+    // When the bus sanitizer is attached (`with_sanitizer` /
+    // RVCAP_STRICT), name the recorded protocol violations before the
+    // aggregate count fails — "protocol: 3" alone is undebuggable.
+    if let Some(s) = &soc.handles.sanitizer {
+        let v = s.violations();
+        assert!(
+            v.is_empty(),
+            "protocol violations during a run:\n{}",
+            v.iter()
+                .map(|v| format!("  {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
     let a = mmio_audit(soc);
     assert_eq!(a.violations(), 0, "MMIO violations during a run: {a:?}");
 }

@@ -36,8 +36,9 @@ rvcap_axi::register_map! {
     pub static DMA_MAP: "dma", size 0x1000 {
         /// MM2S control: bit 0 RS (run/stop), bit 12 IOC IRQ enable.
         MM2S_DMACR @ 0x00: 4 RW reset 0x0, "MM2S control (RS, IOC IRQ enable)";
-        /// MM2S status: bit 0 halted, bit 1 idle, bit 12 IOC (W1C).
-        MM2S_DMASR @ 0x04: 4 W1C reset 0x1, "MM2S status (halted, idle, IOC W1C)";
+        /// MM2S status: bit 0 halted, bit 1 idle, bit 4 DMAIntErr
+        /// (sticky until restart), bit 12 IOC (W1C).
+        MM2S_DMASR @ 0x04: 4 W1C reset 0x1, "MM2S status (halted, idle, DMAIntErr, IOC W1C)";
         /// MM2S source address (low word).
         MM2S_SA @ 0x18: 4 RW reset 0x0, "MM2S source address, low 32 bits";
         /// MM2S source address (high word).
@@ -47,7 +48,7 @@ rvcap_axi::register_map! {
         /// S2MM control register.
         S2MM_DMACR @ 0x30: 4 RW reset 0x0, "S2MM control (RS, IOC IRQ enable)";
         /// S2MM status register.
-        S2MM_DMASR @ 0x34: 4 W1C reset 0x1, "S2MM status (halted, idle, IOC W1C)";
+        S2MM_DMASR @ 0x34: 4 W1C reset 0x1, "S2MM status (halted, idle, DMAIntErr, IOC W1C)";
         /// S2MM destination address (low word).
         S2MM_DA @ 0x48: 4 RW reset 0x0, "S2MM destination address, low 32 bits";
         /// S2MM destination address (high word).
@@ -65,6 +66,11 @@ pub const CR_IOC_IRQ_EN: u32 = 1 << 12;
 pub const SR_HALTED: u32 = 1 << 0;
 /// DMASR: engine idle (transfer complete).
 pub const SR_IDLE: u32 = 1 << 1;
+/// DMASR: DMA internal error — raised on a zero-byte LENGTH write
+/// (PG021). Sticky: not W1C; cleared only when the channel is
+/// restarted via DMACR.RS (hardware requires a reset; the model has
+/// no soft-reset bit, so RS re-assert stands in for it).
+pub const SR_DMA_INT_ERR: u32 = 1 << 4;
 /// DMASR: interrupt-on-complete (write 1 to clear).
 pub const SR_IOC: u32 = 1 << 12;
 
@@ -198,7 +204,7 @@ impl XilinxDma {
                 if v & CR_RS != 0 {
                     if self.mm2s_state == Mm2sState::Halted {
                         self.mm2s_state = Mm2sState::Idle;
-                        self.mm2s_sr &= !SR_HALTED;
+                        self.mm2s_sr &= !(SR_HALTED | SR_DMA_INT_ERR);
                         self.mm2s_sr |= SR_IDLE;
                     }
                 } else {
@@ -225,10 +231,21 @@ impl XilinxDma {
                     };
                     self.mm2s_sr &= !SR_IDLE;
                 }
+            MM2S_LENGTH
+                // Hardware raises DMAIntErr on a zero-byte LENGTH
+                // (PG021) and halts the channel. Arming a transfer
+                // that can never complete would otherwise end in an
+                // opaque stall report.
+                if self.mm2s_cr & CR_RS != 0 => {
+                    self.mm2s_sr |= SR_DMA_INT_ERR | SR_HALTED;
+                    self.mm2s_sr &= !SR_IDLE;
+                    self.mm2s_cr &= !CR_RS;
+                    self.mm2s_state = Mm2sState::Halted;
+                }
             S2MM_DMACR => {
                 self.s2mm_cr = v;
                 if v & CR_RS != 0 {
-                    self.s2mm_sr &= !SR_HALTED;
+                    self.s2mm_sr &= !(SR_HALTED | SR_DMA_INT_ERR);
                     self.s2mm_sr |= SR_IDLE;
                 } else {
                     self.s2mm_sr |= SR_HALTED;
@@ -247,8 +264,15 @@ impl XilinxDma {
                     self.s2mm_remaining = v as u64;
                     self.s2mm_sr &= !SR_IDLE;
                 }
+            S2MM_LENGTH
+                // Zero-byte LENGTH: DMAIntErr, same as MM2S.
+                if self.s2mm_cr & CR_RS != 0 => {
+                    self.s2mm_sr |= SR_DMA_INT_ERR | SR_HALTED;
+                    self.s2mm_sr &= !SR_IDLE;
+                    self.s2mm_cr &= !CR_RS;
+                }
             // Guard-failed arms (W1C without the IOC bit, LENGTH while
-            // halted or zero) are accepted writes with no effect.
+            // halted) are accepted writes with no effect.
             _ => {}
         }
     }
@@ -279,7 +303,7 @@ impl Component for XilinxDma {
                 Decoded::Read { def, bytes } => {
                     MmResp::data(self.reg_read(def.offset) as u64, bytes, true)
                 }
-                Decoded::Write { def, value } => {
+                Decoded::Write { def, value, .. } => {
                     self.reg_write(cycle, def.offset, value as u32);
                     MmResp::write_ack()
                 }
@@ -505,6 +529,81 @@ mod tests {
         wr(&mut r, MM2S_LENGTH, 64);
         r.sim.step_n(200);
         assert!(r.mm2s.is_empty());
+    }
+
+    #[test]
+    fn zero_length_write_raises_dma_int_err() {
+        let mut r = rig();
+        wr(&mut r, MM2S_DMACR, CR_RS);
+        wr(&mut r, MM2S_LENGTH, 0);
+        // Pre-fix this write fell into the silent-ignore arm; hardware
+        // raises DMAIntErr and halts the channel (PG021).
+        let sr = rd(&mut r, MM2S_DMASR);
+        assert_ne!(sr & SR_DMA_INT_ERR, 0, "DMAIntErr must be set");
+        assert_ne!(sr & SR_HALTED, 0, "channel must halt");
+        assert_eq!(sr & SR_IDLE, 0);
+        // Nothing was armed: the stream stays silent.
+        r.sim.step_n(2000);
+        assert!(r.mm2s.is_empty());
+        // The error is sticky across W1C stores...
+        wr(&mut r, MM2S_DMASR, SR_DMA_INT_ERR | SR_IOC);
+        assert_ne!(rd(&mut r, MM2S_DMASR) & SR_DMA_INT_ERR, 0);
+        // ...and clears only on restart, after which the channel works.
+        wr(&mut r, MM2S_DMACR, CR_RS);
+        assert_eq!(rd(&mut r, MM2S_DMASR) & SR_DMA_INT_ERR, 0);
+        r.ddr.write_bytes(DDR_BASE, &[7u8; 64]);
+        start_mm2s(&mut r, DDR_BASE, 64, false);
+        r.sim
+            .run_until(5000, || r.mm2s.len() == 8)
+            .expect("recovered transfer completes");
+    }
+
+    #[test]
+    fn s2mm_zero_length_write_raises_dma_int_err() {
+        let mut r = rig();
+        wr(&mut r, S2MM_DMACR, CR_RS);
+        wr(&mut r, S2MM_LENGTH, 0);
+        let sr = rd(&mut r, S2MM_DMASR);
+        assert_ne!(sr & SR_DMA_INT_ERR, 0);
+        assert_ne!(sr & SR_HALTED, 0);
+        // Beats pushed at the engine are not consumed: it never armed.
+        r.s2mm.force_push(AxisBeat::wide(1, true));
+        r.sim.step_n(500);
+        assert_eq!(r.s2mm.len(), 1);
+    }
+
+    #[test]
+    fn narrow_w1c_store_to_dmasr_preserves_ioc() {
+        let mut r = rig();
+        r.ddr.write_bytes(DDR_BASE, &[0u8; 64]);
+        start_mm2s(&mut r, DDR_BASE, 64, true);
+        r.sim.run_until(5000, || r.irq.get()).unwrap();
+        assert_ne!(rd(&mut r, MM2S_DMASR) & SR_IOC, 0);
+        // A 1-byte store of 0x1000 to DMASR: bit 12 lies outside the
+        // accessed byte lane, so IOC must survive (pre-fix the decode
+        // leaked register-width bits through and cleared it).
+        loop {
+            if r.ctrl
+                .try_issue(r.sim.now(), MmReq::write(MM2S_DMASR, SR_IOC as u64, 1))
+                .is_ok()
+            {
+                break;
+            }
+            r.sim.step();
+        }
+        r.sim
+            .run_until(1000, || r.ctrl.resp.force_pop().is_some())
+            .unwrap();
+        assert_ne!(
+            rd(&mut r, MM2S_DMASR) & SR_IOC,
+            0,
+            "1-byte store must not reach bit 12"
+        );
+        assert!(r.irq.get(), "interrupt line stays asserted");
+        // The full-width store clears it.
+        wr(&mut r, MM2S_DMASR, SR_IOC);
+        assert_eq!(rd(&mut r, MM2S_DMASR) & SR_IOC, 0);
+        assert!(!r.irq.get());
     }
 
     #[test]

@@ -196,7 +196,7 @@ impl Component for AxiHwicap {
         // One register access per cycle.
         if let Some(req) = self.port.try_take(cycle) {
             let resp = match self.regs.decode(&req) {
-                Decoded::Write { def, value } => {
+                Decoded::Write { def, value, .. } => {
                     let data = value as u32;
                     match def.offset {
                         REG_WF

@@ -101,7 +101,7 @@ impl Component for RpController {
         let cycle = ctx.cycle;
         if let Some(req) = self.port.try_take(cycle) {
             let resp = match self.regs.decode(&req) {
-                Decoded::Write { def, value } => {
+                Decoded::Write { def, value, .. } => {
                     if def.offset == REG_DECOUPLE {
                         self.decouple_reg = value as u32;
                         for (i, line) in self.decouple.iter().enumerate() {

@@ -80,7 +80,7 @@ impl Component for SwitchCtrl {
     fn tick(&mut self, ctx: &mut TickCtx<'_>) {
         if let Some(req) = self.port.try_take(ctx.cycle) {
             let resp = match self.regs.decode(&req) {
-                Decoded::Write { def, value } => {
+                Decoded::Write { def, value, .. } => {
                     match def.offset {
                         REG_SELECT => {
                             self.icap_mode = value & 1 != 0;

@@ -27,6 +27,7 @@ use rvcap_axi::crossbar::{Crossbar, RamSlave, SlaveRegion};
 use rvcap_axi::isolator::StreamIsolator;
 use rvcap_axi::mm::link;
 use rvcap_axi::protocol::MmAdapter;
+use rvcap_axi::sanitizer::{watch_mm_link, watch_stream, watch_stream_gated};
 use rvcap_axi::switch::StreamSwitch;
 use rvcap_axi::AxisChannel;
 use rvcap_fabric::bitstream::KINTEX7_IDCODE;
@@ -35,6 +36,7 @@ use rvcap_fabric::host::{RmHost, RmHostHandle};
 use rvcap_fabric::icap::{Icap, IcapHandle};
 use rvcap_fabric::rm::RmLibrary;
 use rvcap_fabric::rp::{Rp, RpGeometry};
+use rvcap_sim::sanitizer::Sanitizer;
 use rvcap_sim::trace::TraceLevel;
 use rvcap_sim::vcd::{VcdHandle, VcdRecorder};
 use rvcap_sim::{Fifo, Freq, Signal, Simulator};
@@ -79,6 +81,11 @@ pub struct SocHandles {
     pub library: Rc<RmLibrary>,
     /// Waveform dump (present when built `with_vcd`).
     pub vcd: Option<VcdHandle>,
+    /// Bus sanitizer (present when built `with_sanitizer` or under
+    /// `RVCAP_STRICT`): every MM link and stream channel in the system
+    /// is under protocol watch; violations surface in
+    /// [`rvcap_sim::MmioAudit::protocol`] and the kernel stats.
+    pub sanitizer: Option<Sanitizer>,
 }
 
 /// A built system: the CPU host plus its handles.
@@ -102,6 +109,7 @@ pub struct SocBuilder {
     config_frames: usize,
     compressed_loader: bool,
     vcd: bool,
+    sanitize: bool,
 }
 
 impl Default for SocBuilder {
@@ -126,6 +134,7 @@ impl SocBuilder {
             config_frames: 200_000,
             compressed_loader: false,
             vcd: false,
+            sanitize: false,
         }
     }
 
@@ -196,6 +205,18 @@ impl SocBuilder {
         self
     }
 
+    /// Put the whole bus under the protocol sanitizer: every MM link
+    /// and stream channel is watched, and violations surface through
+    /// [`rvcap_sim::MmioAudit`] / [`rvcap_sim::KernelStats`]. The
+    /// sanitizer is a passive recorder — it never refuses or reorders
+    /// traffic, so cycle counts are identical with it on or off.
+    /// Setting `RVCAP_STRICT` (to anything but `0` or empty) enables
+    /// it regardless of this flag.
+    pub fn with_sanitizer(mut self) -> Self {
+        self.sanitize = true;
+        self
+    }
+
     /// Build the system.
     pub fn build(self) -> RvCapSoc {
         let mut sim = match self.tracing {
@@ -219,6 +240,36 @@ impl SocBuilder {
         let (rpctrl_m, rpctrl_s) = link("rpctrl", 2);
         let (swctrl_m, swctrl_s) = link("swctrl", 2);
         let (ddr_m, ddr_s) = link("ddr", 8);
+
+        // ---------------- sanitizer ----------------
+        // Watch every link's FIFOs via the master-side handles while
+        // both halves are still in scope (a link's two ports share the
+        // same channels, so one watch covers both directions of use).
+        // Only the DMA issues bursts; they travel dma.mem → crossbar →
+        // ddr, so those two links advertise the DMA burst length and
+        // every other link is single-beat.
+        let strict_env = std::env::var("RVCAP_STRICT").is_ok_and(|v| !v.is_empty() && v != "0");
+        let sanitizer = (self.sanitize || strict_env).then(Sanitizer::new);
+        if let Some(s) = &sanitizer {
+            watch_mm_link(s, &cpu_m.req, &cpu_m.resp, 1);
+            watch_mm_link(s, &dma_mem_m.req, &dma_mem_m.resp, self.dma_burst_beats);
+            watch_mm_link(s, &ddr_m.req, &ddr_m.resp, self.dma_burst_beats);
+            for m in [
+                &boot_m,
+                &clint_m,
+                &plic_m,
+                &uart_m,
+                &spi_m,
+                &hwicap_up_m,
+                &hwicap_dn_m,
+                &dma_up_m,
+                &dma_dn_m,
+                &rpctrl_m,
+                &swctrl_m,
+            ] {
+                watch_mm_link(s, &m.req, &m.resp, 1);
+            }
+        }
 
         // ---------------- crossbar ----------------
         let xbar = Crossbar::new(
@@ -275,6 +326,12 @@ impl SocBuilder {
         let icap_raw: AxisChannel = Fifo::new("switch.icap", 4);
         let select = Signal::new(0u8);
         let n_rps = rps.len();
+        if let Some(s) = &sanitizer {
+            watch_stream(s, &mm2s);
+            watch_stream(s, &s2mm);
+            watch_stream(s, &icap_raw);
+            watch_stream(s, &icap_in);
+        }
 
         let mut switch_outputs = Vec::new();
         let mut decouple = Vec::new();
@@ -286,6 +343,13 @@ impl SocBuilder {
             let rm_in: AxisChannel = Fifo::new(format!("rm{i}.in"), 8);
             let rm_out: AxisChannel = Fifo::new(format!("rm{i}.out"), 8);
             let dec = Signal::new(false);
+            if let Some(s) = &sanitizer {
+                watch_stream(s, &to_iso);
+                watch_stream(s, &rm_out);
+                // Nothing may cross into the partition while its
+                // decouple line is high — the PR isolation invariant.
+                watch_stream_gated(s, &rm_in, dec.clone());
+            }
             switch_outputs.push(to_iso.clone());
             isolators.push(StreamIsolator::new(
                 format!("iso{i}.in"),
@@ -321,6 +385,9 @@ impl SocBuilder {
         // decompressor, which expands into the ICAP channel.
         let (bridge, decompressor) = if self.compressed_loader {
             let expanded: AxisChannel = Fifo::new("rle.in", 8);
+            if let Some(s) = &sanitizer {
+                watch_stream(s, &expanded);
+            }
             let bridge = Axis2Icap::new("axis2icap", icap_raw, expanded.clone());
             let d = crate::decompressor::RleDecompressor::new("rle", expanded, icap_in.clone());
             (bridge, Some(d))
@@ -372,6 +439,9 @@ impl SocBuilder {
         let (ddr, ddr_h) = Ddr::new("ddr", ddr_s, DDR_BASE, self.ddr_cfg);
 
         // ---------------- registration (dataflow order) ----------------
+        if let Some(s) = &sanitizer {
+            sim.attach_sanitizer(s.clone());
+        }
         sim.register(Box::new(ddr));
         sim.register(Box::new(xbar));
         sim.register(Box::new(dma_adapter));
@@ -437,6 +507,7 @@ impl SocBuilder {
                 rps,
                 library,
                 vcd: vcd_handle,
+                sanitizer,
             },
         }
     }

@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 use rvcap_axi::mm::MmReq;
-use rvcap_axi::regmap::{Access, Decoded, RegisterFile};
+use rvcap_axi::regmap::{lane_mask, Access, Decoded, RegisterFile};
 use rvcap_core::registry;
 
 /// What the declaration says should happen to a single-beat access.
@@ -31,7 +31,7 @@ fn should_accept(map: &rvcap_axi::regmap::RegisterMap, off: u64, bytes: u8, writ
 proptest! {
     /// Random single-beat traffic against all eight maps: decode
     /// matches the declaration, accepted writes are masked to the
-    /// register width, and nothing panics.
+    /// accessed byte lanes, and nothing panics.
     #[test]
     fn decode_matches_declarations(
         addr in any::<u64>(),
@@ -53,10 +53,14 @@ proptest! {
                     prop_assert!(!expected, "{}: {off:#x}/{bytes} rejected", w.map.device);
                     prop_assert_eq!(f.audit().violations(), 1);
                 }
-                Decoded::Write { def, value: v } => {
+                Decoded::Write { def, value: v, bytes: b } => {
                     prop_assert!(expected && write, "{}: {off:#x}", w.map.device);
                     prop_assert_eq!(def.offset, off);
-                    prop_assert_eq!(v, value & def.mask());
+                    prop_assert_eq!(b, bytes);
+                    // Only the accessed byte lanes may carry data into
+                    // the device hook (narrow W1C stores must not
+                    // clear bits they never addressed).
+                    prop_assert_eq!(v, value & lane_mask(bytes) & def.mask());
                     prop_assert_eq!(f.audit().violations(), 0);
                 }
                 Decoded::Read { def, bytes: b } => {

@@ -17,6 +17,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use crate::sanitizer::ChannelMonitor;
 use crate::time::Cycle;
 
 #[derive(Debug)]
@@ -32,6 +33,11 @@ struct Inner<T> {
     /// Lifetime counters for statistics / assertions.
     total_pushed: u64,
     total_popped: u64,
+    /// Elements dropped by [`Fifo::clear`] — keeps
+    /// `total_pushed - total_popped - total_cleared == len` exact.
+    total_cleared: u64,
+    /// Optional sanitizer hook; fires on every push/pop/clear.
+    monitor: Option<ChannelMonitor<T>>,
 }
 
 /// A bounded single-producer single-consumer channel with hardware
@@ -63,6 +69,8 @@ impl<T> Fifo<T> {
                 last_pop: None,
                 total_pushed: 0,
                 total_popped: 0,
+                total_cleared: 0,
+                monitor: None,
             })),
         }
     }
@@ -124,9 +132,13 @@ impl<T> Fifo<T> {
         if inner.queue.len() >= inner.capacity || inner.last_push == Some(cycle) {
             return Err(item);
         }
+        let meta = inner.monitor.as_ref().map(|m| m.meta_of(&item));
         inner.queue.push_back(item);
         inner.last_push = Some(cycle);
         inner.total_pushed += 1;
+        if let (Some(monitor), Some(meta)) = (&inner.monitor, meta) {
+            monitor.record_push(meta, inner.queue.len());
+        }
         Ok(())
     }
 
@@ -138,7 +150,11 @@ impl<T> Fifo<T> {
         }
         inner.last_pop = Some(cycle);
         inner.total_popped += 1;
-        inner.queue.pop_front()
+        let item = inner.queue.pop_front();
+        if let Some(monitor) = &inner.monitor {
+            monitor.record_pop(inner.queue.len());
+        }
+        item
     }
 
     /// Push without rate limiting — used only by *initialization* code
@@ -151,8 +167,12 @@ impl<T> Fifo<T> {
             "force_push on full FIFO {}",
             inner.name
         );
+        let meta = inner.monitor.as_ref().map(|m| m.meta_of(&item));
         inner.queue.push_back(item);
         inner.total_pushed += 1;
+        if let (Some(monitor), Some(meta)) = (&inner.monitor, meta) {
+            monitor.record_push(meta, inner.queue.len());
+        }
     }
 
     /// Pop without rate limiting — for *observers outside the clocked
@@ -164,13 +184,30 @@ impl<T> Fifo<T> {
         let item = inner.queue.pop_front();
         if item.is_some() {
             inner.total_popped += 1;
+            if let Some(monitor) = &inner.monitor {
+                monitor.record_pop(inner.queue.len());
+            }
         }
         item
     }
 
     /// Drop all queued elements (a hardware FIFO reset).
+    ///
+    /// A reset empties the datapath *and* its handshake state: the
+    /// per-cycle rate-limit marks are forgotten, so the first transfer
+    /// after the reset succeeds even within the same cycle. Dropped
+    /// elements are accounted in [`Fifo::total_cleared`] so lifetime
+    /// occupancy math stays exact.
     pub fn clear(&self) {
-        self.inner.borrow_mut().queue.clear();
+        let mut inner = self.inner.borrow_mut();
+        let dropped = inner.queue.len() as u64;
+        inner.queue.clear();
+        inner.last_push = None;
+        inner.last_pop = None;
+        inner.total_cleared += dropped;
+        if let Some(monitor) = &inner.monitor {
+            monitor.record_clear();
+        }
     }
 
     /// Lifetime count of successful pushes.
@@ -181,6 +218,16 @@ impl<T> Fifo<T> {
     /// Lifetime count of successful pops.
     pub fn total_popped(&self) -> u64 {
         self.inner.borrow().total_popped
+    }
+
+    /// Lifetime count of elements dropped by [`Fifo::clear`].
+    pub fn total_cleared(&self) -> u64 {
+        self.inner.borrow().total_cleared
+    }
+
+    /// Install a sanitizer hook (see [`crate::sanitizer::Sanitizer`]).
+    pub(crate) fn attach_monitor(&self, monitor: ChannelMonitor<T>) {
+        self.inner.borrow_mut().monitor = Some(monitor);
     }
 }
 
@@ -260,6 +307,28 @@ mod tests {
         }
         assert_eq!(f.total_pushed(), 5);
         assert_eq!(f.total_popped(), 3);
+    }
+
+    #[test]
+    fn clear_resets_rate_marks_and_accounts_dropped_elements() {
+        let f: Fifo<u32> = Fifo::new("t", 4);
+        f.try_push(7, 1).unwrap();
+        f.try_push(8, 2).unwrap();
+        assert_eq!(f.try_pop(8), Some(1));
+        f.clear();
+        // The reset forgets the rate-limit marks: a transfer in the
+        // *same cycle* as the reset must succeed (pre-fix, the stale
+        // `last_push == Some(8)` refused it).
+        f.try_push(8, 3).unwrap();
+        assert_eq!(f.try_pop(8), Some(3));
+        // And the dropped element is accounted, keeping lifetime
+        // occupancy math exact (pre-fix, pushed-popped drifted from
+        // the real queue length after every reset).
+        assert_eq!(f.total_cleared(), 1);
+        assert_eq!(
+            f.total_pushed() - f.total_popped() - f.total_cleared(),
+            f.len() as u64
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The simulation kernel: owns components, advances the clock.
 
 use crate::component::{Component, TickCtx};
+use crate::sanitizer::{Sanitizer, StuckChannel};
 use crate::stats::{ComponentStats, KernelStats, MmioAudit};
 use crate::time::{Cycle, Freq};
 use crate::trace::{TraceEvent, TraceLevel, Tracer};
@@ -33,6 +34,14 @@ pub struct StallReport {
     /// the time of the stall — a wrong-register access is a common way
     /// to hang a driver poll loop.
     pub mmio_violations: u64,
+    /// Bus/stream protocol violations recorded by the attached
+    /// sanitizer (zero when no sanitizer is attached).
+    pub protocol_violations: u64,
+    /// Watchdog evidence from the sanitizer: non-empty channels that
+    /// saw no traffic for at least half the exhausted limit — the
+    /// usual shape of a deadlocked handshake or a livelocked retry
+    /// loop. Empty when no sanitizer is attached.
+    pub stuck_channels: Vec<StuckChannel>,
 }
 
 impl std::fmt::Display for StallReport {
@@ -51,6 +60,20 @@ impl std::fmt::Display for StallReport {
         }
         if self.mmio_violations > 0 {
             write!(f, "; {} MMIO violations recorded", self.mmio_violations)?;
+        }
+        if self.protocol_violations > 0 {
+            write!(
+                f,
+                "; {} protocol violations recorded",
+                self.protocol_violations
+            )?;
+        }
+        for s in &self.stuck_channels {
+            write!(
+                f,
+                "; channel {} stuck since cycle {} ({} queued)",
+                s.name, s.since, s.occupancy
+            )?;
         }
         if !self.trace_tail.is_empty() {
             writeln!(f, "; trace tail:")?;
@@ -118,6 +141,7 @@ pub struct Simulator {
     counters: Vec<ActivityCounters>,
     jumps: u64,
     jumped_cycles: Cycle,
+    sanitizer: Option<Sanitizer>,
 }
 
 impl Simulator {
@@ -132,6 +156,7 @@ impl Simulator {
             counters: Vec::new(),
             jumps: 0,
             jumped_cycles: 0,
+            sanitizer: None,
         }
     }
 
@@ -184,6 +209,22 @@ impl Simulator {
         self.fast_forward
     }
 
+    /// Attach a bus sanitizer (see [`crate::sanitizer`]). The kernel
+    /// brackets every tick loop with the sanitizer's cycle hooks so it
+    /// can distinguish ticked-component traffic (subject to the
+    /// one-op-per-cycle rate rule) from host-driver traffic, and folds
+    /// its verdict into [`Simulator::mmio_audit`], [`StallReport`] and
+    /// [`KernelStats`].
+    pub fn attach_sanitizer(&mut self, sanitizer: Sanitizer) {
+        sanitizer.set_now(self.cycle);
+        self.sanitizer = Some(sanitizer);
+    }
+
+    /// The attached sanitizer, if any.
+    pub fn sanitizer(&self) -> Option<&Sanitizer> {
+        self.sanitizer.as_ref()
+    }
+
     /// Advance the simulation by one cycle.
     ///
     /// Never jumps the clock (external drivers mutate FIFO state
@@ -195,6 +236,9 @@ impl Simulator {
             cycle: now,
             tracer: &self.tracer,
         };
+        if let Some(s) = &self.sanitizer {
+            s.begin_cycle(now);
+        }
         for (c, counters) in self.components.iter_mut().zip(&mut self.counters) {
             // Query the hint immediately before this component's tick
             // slot: an earlier component may have pushed work to it
@@ -208,6 +252,9 @@ impl Simulator {
             }
         }
         self.cycle += 1;
+        if let Some(s) = &self.sanitizer {
+            s.end_cycle();
+        }
     }
 
     /// Advance by up to `window` cycles (at least one), jumping over
@@ -245,6 +292,9 @@ impl Simulator {
                 }
                 self.jumps += 1;
                 self.jumped_cycles += delta;
+                if let Some(s) = &self.sanitizer {
+                    s.set_now(self.cycle);
+                }
                 return delta;
             }
         }
@@ -308,6 +358,16 @@ impl Simulator {
     fn stall_report(&self, start: Cycle, limit: Cycle) -> StallReport {
         let events = self.tracer.events();
         let tail_from = events.len().saturating_sub(STALL_TRACE_TAIL);
+        let (protocol_violations, stuck_channels) = match &self.sanitizer {
+            // "Stuck" = no event for at least half the exhausted
+            // limit: long enough to rule out ordinary backpressure,
+            // short enough that the culprit of the stall qualifies.
+            Some(s) => (
+                s.violation_count(),
+                s.stuck_channels(self.cycle, (limit / 2).max(1)),
+            ),
+            None => (0, Vec::new()),
+        };
         StallReport {
             cycle: self.cycle,
             start,
@@ -319,16 +379,24 @@ impl Simulator {
                 .collect(),
             trace_tail: events[tail_from..].to_vec(),
             mmio_violations: self.mmio_audit().violations(),
+            protocol_violations,
+            stuck_channels,
         }
     }
 
-    /// Merged MMIO audit across every registered component.
+    /// Merged MMIO audit across every registered component, with the
+    /// attached sanitizer's protocol-violation count folded into
+    /// [`MmioAudit::protocol`] — one `violations() == 0` assertion
+    /// covers register policy and bus protocol alike.
     pub fn mmio_audit(&self) -> MmioAudit {
         let mut total = MmioAudit::default();
         for c in &self.components {
             if let Some(a) = c.mmio_audit() {
                 total.merge(&a);
             }
+        }
+        if let Some(s) = &self.sanitizer {
+            total.protocol += s.violation_count();
         }
         total
     }
@@ -350,6 +418,7 @@ impl Simulator {
             fast_forward: self.fast_forward,
             jumps: self.jumps,
             jumped_cycles: self.jumped_cycles,
+            protocol_violations: self.sanitizer.as_ref().map_or(0, |s| s.violation_count()),
             components: self
                 .components
                 .iter()
@@ -606,6 +675,73 @@ mod tests {
         let err = sim.run_until(12_345, || false).unwrap_err();
         assert_eq!(err.cycle, 12_345);
         assert_eq!(sim.now(), 12_345);
+    }
+
+    #[test]
+    fn sanitizer_catches_force_push_misuse_from_ticked_code() {
+        use crate::sanitizer::{ChannelKind, Sanitizer, ViolationKind};
+
+        /// A buggy producer that force-pushes two items per tick,
+        /// bypassing the FIFO's own rate limit.
+        struct DoublePusher {
+            out: Fifo<u64>,
+            remaining: u64,
+        }
+        impl Component for DoublePusher {
+            fn name(&self) -> &str {
+                "doubler"
+            }
+            fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+                if self.remaining > 0 {
+                    self.out.force_push(1);
+                    self.out.force_push(2);
+                    self.remaining -= 1;
+                }
+            }
+        }
+
+        let mut sim = Simulator::new(Freq::FABRIC_100MHZ);
+        let chan: Fifo<u64> = Fifo::new("hot", 16);
+        let san = Sanitizer::new();
+        san.watch(&chan, ChannelKind::Opaque);
+        sim.register(Box::new(DoublePusher {
+            out: chan.clone(),
+            remaining: 3,
+        }));
+        sim.attach_sanitizer(san.clone());
+        sim.step_n(5);
+        assert_eq!(san.count_of(ViolationKind::MultiPush), 3);
+        assert_eq!(sim.kernel_stats().protocol_violations, 3);
+        assert_eq!(sim.mmio_audit().protocol, 3);
+        assert_ne!(sim.mmio_audit().violations(), 0);
+        // Host-context pushes between steps stay exempt.
+        chan.force_push(7);
+        chan.force_push(8);
+        assert_eq!(san.violation_count(), 3);
+    }
+
+    #[test]
+    fn stall_report_carries_stuck_channel_evidence() {
+        use crate::sanitizer::{ChannelKind, Sanitizer};
+
+        let mut sim = Simulator::new(Freq::FABRIC_100MHZ);
+        let chan = Fifo::new("p2c", 2);
+        let san = Sanitizer::new();
+        san.watch(&chan, ChannelKind::Opaque);
+        // A producer into a FIFO nobody drains: fills, then the queued
+        // elements sit untouched for the rest of the run.
+        sim.register(Box::new(Producer {
+            out: chan,
+            remaining: 50,
+        }));
+        sim.attach_sanitizer(san);
+        let err = sim.run_until_quiescent(1000).unwrap_err();
+        assert_eq!(err.protocol_violations, 0, "backpressure is legal");
+        assert_eq!(err.stuck_channels.len(), 1);
+        assert_eq!(err.stuck_channels[0].name, "p2c");
+        assert_eq!(err.stuck_channels[0].occupancy, 2);
+        let msg = err.to_string();
+        assert!(msg.contains("channel p2c stuck since cycle"), "got: {msg}");
     }
 
     #[test]

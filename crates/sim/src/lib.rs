@@ -18,6 +18,9 @@
 //! * [`kernel`] — the [`kernel::Simulator`]: owns the
 //!   components, advances the clock, and enforces a deterministic tick
 //!   order.
+//! * [`sanitizer`] — the bus sanitizer: a passive invariant-checking
+//!   layer hooked into watched FIFOs (stream framing, MM transaction
+//!   pairing, decouple gating, rate rules, stuck-channel watchdog).
 //! * [`trace`] — a lightweight bounded event trace for debugging and
 //!   for the waveform-style dumps used in the examples.
 //! * [`vcd`] — value-change-dump recording: real waveforms (GTKWave-
@@ -54,6 +57,7 @@
 pub mod component;
 pub mod fifo;
 pub mod kernel;
+pub mod sanitizer;
 pub mod signal;
 pub mod stats;
 pub mod time;
@@ -63,6 +67,10 @@ pub mod vcd;
 pub use component::Component;
 pub use fifo::Fifo;
 pub use kernel::{Simulator, StallReport};
+pub use sanitizer::{
+    ChannelKind, LinkId, Payload, PayloadMeta, ProtocolViolation, Sanitizer, StuckChannel,
+    ViolationKind,
+};
 pub use signal::Signal;
 pub use stats::{ComponentStats, KernelStats, MmioAudit};
 pub use time::{Cycle, Freq};

@@ -89,6 +89,12 @@ pub struct MmioAudit {
     pub overwide: u64,
     /// Burst operations aimed at single-beat register space.
     pub bursts: u64,
+    /// Bus/stream protocol violations recorded by the sanitizer
+    /// (see `rvcap-sim`'s `sanitizer` module). Zero unless a sanitizer
+    /// is attached; folded in by `Simulator::mmio_audit` so a single
+    /// `violations() == 0` assertion covers both register policy and
+    /// bus protocol.
+    pub protocol: u64,
 }
 
 impl MmioAudit {
@@ -100,6 +106,7 @@ impl MmioAudit {
             + self.wo_reads
             + self.overwide
             + self.bursts
+            + self.protocol
     }
 
     /// Accumulate another audit into this one.
@@ -112,6 +119,7 @@ impl MmioAudit {
         self.wo_reads += other.wo_reads;
         self.overwide += other.overwide;
         self.bursts += other.bursts;
+        self.protocol += other.protocol;
     }
 }
 
@@ -158,6 +166,9 @@ pub struct KernelStats {
     pub jumps: u64,
     /// Total cycles covered by those jumps.
     pub jumped_cycles: Cycle,
+    /// Bus/stream protocol violations recorded by the attached
+    /// sanitizer (zero when no sanitizer is attached).
+    pub protocol_violations: u64,
     /// Per-component counters, in registration order.
     pub components: Vec<ComponentStats>,
 }
@@ -247,6 +258,12 @@ impl KernelStats {
                 audit.wo_reads,
                 audit.overwide,
                 audit.bursts,
+            ));
+        }
+        if self.protocol_violations > 0 {
+            out.push_str(&format!(
+                "  sanitizer: {} protocol violations\n",
+                self.protocol_violations,
             ));
         }
         out
@@ -366,6 +383,7 @@ mod tests {
             fast_forward: true,
             jumps: 0,
             jumped_cycles: 0,
+            protocol_violations: 0,
             components: vec![
                 ComponentStats {
                     name: "a".into(),

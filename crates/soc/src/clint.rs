@@ -112,7 +112,7 @@ impl Component for Clint {
                     };
                     MmResp::data(v, bytes, true)
                 }
-                Decoded::Write { def, value } => {
+                Decoded::Write { def, value, .. } => {
                     let mut sh = self.shared.borrow_mut();
                     match def.offset {
                         CLINT_MTIME => sh.mtime = value,

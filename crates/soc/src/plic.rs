@@ -133,7 +133,7 @@ impl Component for Plic {
                     };
                     MmResp::data(v, bytes, true)
                 }
-                Decoded::Write { def, value } => {
+                Decoded::Write { def, value, .. } => {
                     let mut sh = self.shared.borrow_mut();
                     if def.offset == PLIC_ENABLE {
                         sh.enabled = value as u32;

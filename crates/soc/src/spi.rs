@@ -112,7 +112,7 @@ impl<D: BlockDevice> Component for Spi<D> {
             }
             let req = self.port.try_take(cycle).expect("peeked");
             let resp = match self.regs.decode(&req) {
-                Decoded::Write { def, value } => {
+                Decoded::Write { def, value, .. } => {
                     match def.offset {
                         SPI_TXRX => {
                             // Full-duplex exchange: the card computes

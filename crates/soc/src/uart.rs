@@ -72,7 +72,7 @@ impl Component for Uart {
     fn tick(&mut self, ctx: &mut TickCtx<'_>) {
         if let Some(req) = self.port.try_take(ctx.cycle) {
             let resp = match self.regs.decode(&req) {
-                Decoded::Write { def, value } => {
+                Decoded::Write { def, value, .. } => {
                     if def.offset == UART_TX {
                         self.handle.log.borrow_mut().push(value as u8);
                     }

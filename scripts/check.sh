@@ -8,8 +8,11 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release =="
 cargo build --release
 
-echo "== cargo test -q =="
-cargo test -q
+# RVCAP_STRICT=1 attaches the bus sanitizer to every SoC the tests
+# build: any stream-framing, burst, pairing or decouple violation on
+# any channel fails the MMIO-cleanliness asserts.
+echo "== RVCAP_STRICT=1 cargo test -q =="
+RVCAP_STRICT=1 cargo test -q
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

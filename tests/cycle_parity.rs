@@ -5,20 +5,39 @@
 //! mismatch means the change altered simulated timing, not just code
 //! structure.
 //!
+//! Every rig here runs **with the bus sanitizer attached**. The pins
+//! were recorded before the sanitizer existed, so their continued
+//! match is the proof that monitoring is passive: cycle counts are
+//! bit-identical with it on or off. Each point additionally asserts
+//! that the run recorded zero protocol violations.
+//!
 //! (Table II's two RISC-V rows are the same measurements as Table I —
 //! the paper rig below covers both.)
 
 use rvcap_bench::paper_soc::{self, PaperRig};
 use rvcap_repro::core::drivers::{DmaMode, HwIcapDriver, RvCapDriver};
+use rvcap_repro::core::system::SocBuilder;
 use rvcap_repro::fabric::rp::RpGeometry;
+
+/// A paper rig with the protocol sanitizer watching every channel.
+fn sanitized_rig(g: RpGeometry) -> PaperRig {
+    paper_soc::rig_with_builder(SocBuilder::new().with_sanitizer(), g)
+}
 
 /// RV-CAP reconfiguration on one rig: (Td ticks, Tr ticks, final cycle).
 fn rvcap_point(g: RpGeometry) -> (u64, u64, u64) {
     let PaperRig {
         mut soc, module, ..
-    } = paper_soc::rig_with_geometry(g);
+    } = sanitized_rig(g);
     let driver = RvCapDriver::new(0, soc.handles.plic.clone());
     let t = driver.init_reconfig_process(&mut soc.core, &module, DmaMode::NonBlocking);
+    let san = soc.handles.sanitizer.as_ref().expect("sanitizer attached");
+    assert_eq!(
+        san.violation_count(),
+        0,
+        "protocol violations: {:?}",
+        san.violations()
+    );
     (t.td_ticks, t.tr_ticks, soc.core.now())
 }
 
@@ -26,9 +45,16 @@ fn rvcap_point(g: RpGeometry) -> (u64, u64, u64) {
 fn hwicap_point(g: RpGeometry) -> (u64, u64) {
     let PaperRig {
         mut soc, module, ..
-    } = paper_soc::rig_with_geometry(g);
+    } = sanitized_rig(g);
     let ddr = soc.handles.ddr.clone();
     let ticks = HwIcapDriver::new().reconfigure_rp(&mut soc.core, &ddr, &module);
+    let san = soc.handles.sanitizer.as_ref().expect("sanitizer attached");
+    assert_eq!(
+        san.violation_count(),
+        0,
+        "protocol violations: {:?}",
+        san.violations()
+    );
     (ticks, soc.core.now())
 }
 
