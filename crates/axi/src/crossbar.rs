@@ -345,10 +345,23 @@ impl Component for Crossbar {
                 at = at.min(head.ready_at);
             }
             // A non-empty scoreboard alone is pure waiting: the wake
-            // comes from the slave's response FIFO becoming non-empty,
-            // which the kernel re-checks every cycle.
+            // comes from the slave's response FIFO becoming non-empty
+            // (hint re-query, or the subscription in `wake_sources`).
         }
         Some(at)
+    }
+
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        // Every lane that can deliver new work: master requests in,
+        // slave responses back. Pipe-head deadlines are time-based and
+        // covered by the post-tick hint.
+        for m in &self.masters {
+            m.port.req.subscribe_wake(waker.clone());
+        }
+        for s in &self.slaves {
+            s.port.resp.subscribe_wake(waker.clone());
+        }
+        rvcap_sim::WakePolicy::Wired
     }
 }
 
@@ -472,6 +485,12 @@ impl Component for RamSlave {
         } else {
             Some(now)
         }
+    }
+
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        // An active burst self-reschedules via its ready-cycle hint.
+        self.port.req.subscribe_wake(waker.clone());
+        rvcap_sim::WakePolicy::Wired
     }
 }
 

@@ -96,6 +96,14 @@ impl Component for StreamIsolator {
             Some(now)
         }
     }
+
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        // The decouple signal needs no subscription: with an empty
+        // input a decouple flip changes nothing observable, and with a
+        // queued beat the hint is already "now".
+        self.input.subscribe_wake(waker.clone());
+        rvcap_sim::WakePolicy::Wired
+    }
 }
 
 /// Gates a memory-mapped path with a decouple signal.
@@ -180,6 +188,12 @@ impl Component for MmIsolator {
         } else {
             Some(now)
         }
+    }
+
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        self.upstream.req.subscribe_wake(waker.clone());
+        self.downstream.resp.subscribe_wake(waker.clone());
+        rvcap_sim::WakePolicy::Wired
     }
 }
 

@@ -144,6 +144,14 @@ impl Component for MmAdapter {
         }
         Some(at)
     }
+
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        // Pipe-head deadlines are time-based and covered by the
+        // post-tick hint; only new bus traffic needs a wake.
+        self.upstream.req.subscribe_wake(waker.clone());
+        self.downstream.resp.subscribe_wake(waker.clone());
+        rvcap_sim::WakePolicy::Wired
+    }
 }
 
 #[cfg(test)]

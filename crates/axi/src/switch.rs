@@ -105,6 +105,14 @@ impl Component for StreamSwitch {
             Some(now)
         }
     }
+
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        // The select signal needs no subscription: an idle re-latch is
+        // unobservable (see `next_activity`), and mid-packet routing
+        // ignores select until the next beat — which wakes us.
+        self.input.subscribe_wake(waker.clone());
+        rvcap_sim::WakePolicy::Wired
+    }
 }
 
 #[cfg(test)]

@@ -92,6 +92,13 @@ impl Component for Narrower {
             Some(rvcap_sim::Cycle::MAX)
         }
     }
+
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        // Only a new input beat can make an empty narrower runnable; a
+        // buffered carry self-reschedules via the post-tick "now" hint.
+        self.input.subscribe_wake(waker.clone());
+        rvcap_sim::WakePolicy::Wired
+    }
 }
 
 /// 32-bit → 64-bit stream width converter.
@@ -170,6 +177,12 @@ impl Component for Widener {
         } else {
             Some(now)
         }
+    }
+
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        // The hint depends only on input emptiness.
+        self.input.subscribe_wake(waker.clone());
+        rvcap_sim::WakePolicy::Wired
     }
 }
 

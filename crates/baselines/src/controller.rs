@@ -130,6 +130,21 @@ impl Component for PacedSource {
     fn busy(&self) -> bool {
         self.pos < self.words.len()
     }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.pos >= self.words.len() {
+            return Some(Cycle::MAX);
+        }
+        // Due at the pace deadline; a full output channel retries via
+        // the post-tick "now" hint until the push lands.
+        Some(self.next_at.max(now))
+    }
+
+    fn wake_sources(&self, _waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        // Purely time-paced: the hint reads only internal state, so
+        // there is nothing to subscribe.
+        rvcap_sim::WakePolicy::Wired
+    }
 }
 
 /// Run `spec` loading a partial bitstream of `payload_words` words

@@ -67,25 +67,44 @@ fn main() {
     println!("{}", runner::mmio_summary(&run.soc));
 
     // ---- Fig 3 sweep end point: max throughput ----
-    for (c, b, d) in [(12usize, 3usize, 1usize), (24, 6, 2), (48, 12, 4)] {
-        let rig = paper_soc::rig_with_geometry(rvcap_fabric::rp::RpGeometry::scaled(c, b, d));
-        let run = runner::reconfigure_rvcap(rig, DmaMode::NonBlocking);
-        println!(
-            "RV-CAP {} B: Tr = {:.1} us, throughput = {:.2} MB/s",
-            run.module.pbit_size,
-            run.timing.tr_us(),
-            run.throughput_mbs()
-        );
+    let scaled_runs: Vec<(u32, f64, f64)> = runner::run_parallel(
+        [(12usize, 3usize, 1usize), (24, 6, 2), (48, 12, 4)]
+            .into_iter()
+            .map(|(c, b, d)| {
+                move || {
+                    let rig =
+                        paper_soc::rig_with_geometry(rvcap_fabric::rp::RpGeometry::scaled(c, b, d));
+                    let run = runner::reconfigure_rvcap(rig, DmaMode::NonBlocking);
+                    (
+                        run.module.pbit_size,
+                        run.timing.tr_us(),
+                        run.throughput_mbs(),
+                    )
+                }
+            })
+            .collect(),
+    );
+    for &(bytes, tr_us, mbs) in &scaled_runs {
+        println!("RV-CAP {bytes} B: Tr = {tr_us:.1} us, throughput = {mbs:.2} MB/s");
     }
 
     // ---- HWICAP at unroll 1 and 16 ----
-    for unroll in [1usize, 16, 32] {
-        let run = runner::reconfigure_hwicap(paper_soc::rvcap_rig(), unroll);
-        let us = run.ticks as f64 / 5.0;
+    let unroll_runs: Vec<(usize, u64, f64)> = runner::run_parallel(
+        [1usize, 16, 32]
+            .into_iter()
+            .map(|unroll| {
+                move || {
+                    let run = runner::reconfigure_hwicap(paper_soc::rvcap_rig(), unroll);
+                    (unroll, run.ticks, run.throughput_mbs())
+                }
+            })
+            .collect(),
+    );
+    for &(unroll, ticks, mbs) in &unroll_runs {
+        let us = ticks as f64 / 5.0;
         println!(
-            "HWICAP u={unroll:>2}: Tr = {:.2} ms, throughput = {:.2} MB/s (paper: u1→4.16, u16→8.23)",
+            "HWICAP u={unroll:>2}: Tr = {:.2} ms, throughput = {mbs:.2} MB/s (paper: u1→4.16, u16→8.23)",
             us / 1000.0,
-            run.throughput_mbs(),
         );
     }
 }

@@ -73,18 +73,15 @@ fn main() {
         RpGeometry::scaled(48, 12, 4),
         RpGeometry::scaled(72, 18, 6),
     ];
-    // Fan the sweep out across threads (results re-sorted by size, so
-    // the output is identical to a sequential run).
-    let mut points: Vec<Point> = std::thread::scope(|scope| {
-        let handles: Vec<_> = geometries
+    // Fan the sweep out across the worker pool (RVCAP_BENCH_THREADS);
+    // results come back in input order, then re-sort by size so the
+    // output is identical to a sequential run.
+    let mut points: Vec<Point> = runner::run_parallel(
+        geometries
             .into_iter()
-            .map(|g| scope.spawn(move || run_point(g)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker"))
-            .collect()
-    });
+            .map(|g| move || run_point(g))
+            .collect(),
+    );
     points.sort_by_key(|p| p.bitstream_bytes);
 
     let rows: Vec<Vec<String>> = points

@@ -1,0 +1,318 @@
+//! Host-performance harness: simulated-cycles-per-second per rig and
+//! per kernel scheduler, written to `BENCH_hostbench.json`.
+//!
+//! Every paper figure is *measured* from simulated cycles, so host
+//! wall-clock per simulated cycle caps how many sweeps and fault
+//! campaigns the harness can afford. This binary makes that number
+//! visible and regression-proof:
+//!
+//! * each rig runs under all four [`SchedulerMode`]s (naive reference,
+//!   the PR 1 full-scan fast-forward, the active-set scheduler, and
+//!   active-set + batched streaming ticks);
+//! * simulated cycle counts are asserted identical across modes (the
+//!   schedulers may only trade host time, never timing);
+//! * the active-set-batched rows are checked against a generous pinned
+//!   cycles/sec floor, so a >5x host-performance regression fails CI
+//!   while ordinary machine-to-machine variance does not.
+//!
+//! `--smoke` runs one timed sample per row (CI); the default is a
+//! median of three. The JSON lands in `BENCH_hostbench.json` in the
+//! current directory (override with `--out <path>`), and additionally
+//! in `$RVCAP_RESULTS_DIR/hostbench.json` when that variable is set.
+
+use rvcap_bench::hostbench::{measure_rig, RigPerf, SchedulerMode};
+use rvcap_bench::{paper_soc, report, runner};
+use rvcap_core::drivers::DmaMode;
+use rvcap_core::system::{RvCapSoc, SocBuilder};
+use rvcap_fabric::bitstream::BitstreamBuilder;
+use rvcap_fabric::resources::Resources;
+use rvcap_fabric::rm::{RmImage, RmLibrary};
+use rvcap_fabric::rp::RpGeometry;
+
+/// Generous pinned cycles/sec floors for the `active_set_batched`
+/// rows, ~5x below what a modest 2020s laptop core measures (see
+/// EXPERIMENTS.md for reference numbers). A violation means the
+/// scheduler lost most of its advantage, not that the host is slow.
+const FLOORS: &[(&str, f64)] = &[
+    ("rvcap_paper", 900_000.0),
+    ("hwicap_paper", 10_000_000.0),
+    ("hwicap_small", 8_000_000.0),
+    ("sd_staging", 3_000_000.0),
+    ("hwicap_multi_rp", 8_000_000.0),
+];
+
+/// One rig: a paper measurement the harness times end to end
+/// (setup excluded), returning the simulated cycles covered.
+struct Rig {
+    name: &'static str,
+    /// Human description for the report header.
+    what: &'static str,
+}
+
+const RIGS: &[Rig] = &[
+    Rig {
+        name: "rvcap_paper",
+        what: "RV-CAP reconfiguration, paper RP (650 892 B)",
+    },
+    Rig {
+        name: "hwicap_paper",
+        what: "AXI_HWICAP reconfiguration, paper RP, 16-unrolled driver",
+    },
+    Rig {
+        name: "hwicap_small",
+        what: "AXI_HWICAP reconfiguration, scaled(2,0,0) RP",
+    },
+    Rig {
+        name: "sd_staging",
+        what: "init_RModules SD -> DDR staging over SPI, scaled(2,0,0) bitstream",
+    },
+    Rig {
+        name: "hwicap_multi_rp",
+        what: "AXI_HWICAP reconfiguration of RP0, paper RP + 11 idle partitions",
+    },
+];
+
+/// The multi-partition shell of §III: the paper RP plus eleven more
+/// partitions whose isolators and module hosts are registered but idle
+/// during the timed RP0 reconfiguration. This is the shape the
+/// active-set scheduler targets — per-cycle work proportional to the
+/// handful of *active* components, where the full-scan fast-forward
+/// pays a hint query per *registered* component on every stepped cycle.
+fn multi_rp_rig() -> paper_soc::PaperRig {
+    let mut rps = vec![RpGeometry::paper_rp()];
+    rps.extend((1..12).map(|_| RpGeometry::scaled(2, 0, 0)));
+    paper_soc::rig_with_rps(SocBuilder::new(), rps)
+}
+
+/// Build the staging rig: the scaled(2,0,0) partial bitstream sits on
+/// the SD card's FAT32 volume, not yet in DDR. The timed run is the
+/// paper's `init_RModules` step — every byte crosses the simulated SPI
+/// link, so the simulation is dominated by short idle waits (32-cycle
+/// byte shifts between MMIO polls), the shape the wake-queue scheduler
+/// is built for.
+fn staging_soc() -> RvCapSoc {
+    let geometry = RpGeometry::scaled(2, 0, 0);
+    let img = RmImage::synthesize("Module0", geometry.frames(), Resources::new(901, 773, 4, 0));
+    let bytes = BitstreamBuilder::kintex7()
+        .partial(0, &img.payload)
+        .to_bytes();
+    let mut lib = RmLibrary::new();
+    lib.register_image(img);
+    SocBuilder::new()
+        .with_rps(vec![geometry])
+        .with_library(lib)
+        .with_sd_file("MODULE0.PBI", bytes)
+        .build()
+}
+
+fn measure(name: &'static str, mode: SchedulerMode, samples: usize) -> RigPerf {
+    match name {
+        "rvcap_paper" => measure_rig(name, mode, samples, paper_soc::rvcap_rig, |rig| {
+            runner::reconfigure_rvcap_sched(rig, DmaMode::NonBlocking, mode)
+                .soc
+                .core
+                .now()
+        }),
+        "hwicap_paper" => measure_rig(name, mode, samples, paper_soc::rvcap_rig, |rig| {
+            runner::reconfigure_hwicap_sched(rig, 16, mode)
+                .soc
+                .core
+                .now()
+        }),
+        "hwicap_small" => measure_rig(
+            name,
+            mode,
+            samples,
+            || paper_soc::rig_with_geometry(RpGeometry::scaled(2, 0, 0)),
+            |rig| {
+                runner::reconfigure_hwicap_sched(rig, 16, mode)
+                    .soc
+                    .core
+                    .now()
+            },
+        ),
+        "hwicap_multi_rp" => measure_rig(name, mode, samples, multi_rp_rig, |rig| {
+            runner::reconfigure_hwicap_sched(rig, 16, mode)
+                .soc
+                .core
+                .now()
+        }),
+        "sd_staging" => measure_rig(name, mode, samples, staging_soc, |mut soc| {
+            mode.apply(&mut soc.core.sim);
+            let modules = rvcap_core::drivers::init_rmodules(
+                &mut soc.core,
+                &soc.handles.ddr,
+                paper_soc::STAGE_ADDR,
+                &["MODULE0.PBI"],
+            );
+            assert_eq!(modules.len(), 1, "one file staged");
+            runner::assert_clean_mmio(&soc);
+            soc.core.now()
+        }),
+        _ => unreachable!("unknown rig {name}"),
+    }
+}
+
+/// Per-rig speedup summary derived from the measured rows.
+struct Summary {
+    rig: String,
+    naive_cps: f64,
+    scan_cps: f64,
+    active_set_cps: f64,
+    active_set_batched_cps: f64,
+    /// Active-set+batching over the PR 1 fast-forward baseline.
+    speedup_vs_scan: f64,
+    /// Active-set+batching over the naive reference.
+    speedup_vs_naive: f64,
+}
+rvcap_bench::impl_json_struct!(Summary {
+    rig,
+    naive_cps,
+    scan_cps,
+    active_set_cps,
+    active_set_batched_cps,
+    speedup_vs_scan,
+    speedup_vs_naive
+});
+
+struct HostbenchReport {
+    samples: usize,
+    results: Vec<RigPerf>,
+    summary: Vec<Summary>,
+}
+rvcap_bench::impl_json_struct!(HostbenchReport {
+    samples,
+    results,
+    summary
+});
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hostbench.json".into());
+    // `--rig <name>` restricts the run to one rig (repeatable) —
+    // for profiling a single row or triaging a floor failure.
+    let only: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--rig")
+        .filter_map(|(i, _)| args.get(i + 1).map(|s| s.as_str()))
+        .collect();
+    let rigs: Vec<&Rig> = RIGS
+        .iter()
+        .filter(|r| only.is_empty() || only.contains(&r.name))
+        .collect();
+    assert!(!rigs.is_empty(), "no rig matches {only:?}");
+    // `--mode <name>` restricts to one scheduler (repeatable). A
+    // filtered run measures without summarizing or floor-checking —
+    // the ratios need every column.
+    let only_modes: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--mode")
+        .filter_map(|(i, _)| args.get(i + 1).map(|s| s.as_str()))
+        .collect();
+    let modes: Vec<SchedulerMode> = SchedulerMode::ALL
+        .into_iter()
+        .filter(|m| only_modes.is_empty() || only_modes.contains(&m.name()))
+        .collect();
+    assert!(!modes.is_empty(), "no scheduler matches {only_modes:?}");
+    let full_grid = modes.len() == SchedulerMode::ALL.len();
+    let samples = if smoke { 1 } else { 3 };
+
+    // Sequential on purpose: these rows are *timed*; concurrent
+    // measurements would contend for cores and skew the ratios the
+    // floor check and the speedup summary depend on.
+    let mut results: Vec<RigPerf> = Vec::new();
+    for rig in &rigs {
+        println!("{} — {}", rig.name, rig.what);
+        let mut cycles = None;
+        for &mode in &modes {
+            let perf = measure(rig.name, mode, samples);
+            println!("  {}", perf.render());
+            // Schedulers trade host time only; simulated timing is
+            // pinned by the parity tests and re-asserted here.
+            match cycles {
+                None => cycles = Some(perf.sim_cycles),
+                Some(c) => assert_eq!(
+                    c, perf.sim_cycles,
+                    "{}: simulated cycles differ across schedulers",
+                    rig.name
+                ),
+            }
+            results.push(perf);
+        }
+    }
+
+    let cps = |rig: &str, mode: SchedulerMode| {
+        results
+            .iter()
+            .find(|r| r.rig == rig && r.scheduler == mode.name())
+            .expect("measured above")
+            .cycles_per_sec
+    };
+    let summary: Vec<Summary> = rigs
+        .iter()
+        .filter(|_| full_grid)
+        .map(|rig| {
+            let batched = cps(rig.name, SchedulerMode::ActiveSetBatched);
+            Summary {
+                rig: rig.name.into(),
+                naive_cps: cps(rig.name, SchedulerMode::Naive),
+                scan_cps: cps(rig.name, SchedulerMode::Scan),
+                active_set_cps: cps(rig.name, SchedulerMode::ActiveSet),
+                active_set_batched_cps: batched,
+                speedup_vs_scan: batched / cps(rig.name, SchedulerMode::Scan),
+                speedup_vs_naive: batched / cps(rig.name, SchedulerMode::Naive),
+            }
+        })
+        .collect();
+
+    println!();
+    for s in &summary {
+        println!(
+            "{:<16} active-set+batching: {:>12.0} cyc/s = {:.1}x vs scan (PR 1), {:.1}x vs naive",
+            s.rig, s.active_set_batched_cps, s.speedup_vs_scan, s.speedup_vs_naive
+        );
+    }
+
+    // Regression gate: every batched row must clear its pinned floor.
+    let mut failed = false;
+    for (rig, floor) in FLOORS {
+        if !full_grid || !rigs.iter().any(|r| r.name == *rig) {
+            continue;
+        }
+        let got = cps(rig, SchedulerMode::ActiveSetBatched);
+        if got < *floor {
+            eprintln!(
+                "FAIL: {rig} active_set_batched measured {got:.0} cyc/s, \
+                 below the pinned floor of {floor:.0}"
+            );
+            failed = true;
+        }
+    }
+
+    let rep = HostbenchReport {
+        samples,
+        results,
+        summary,
+    };
+    let json = report::record_json("hostbench", &rep);
+    if let Err(e) = std::fs::write(&out_path, json.as_bytes()) {
+        eprintln!("warning: could not write {out_path}: {e}");
+        println!("{json}");
+    } else {
+        println!("\nwrote {out_path}");
+    }
+    report::dump_json("hostbench", &rep);
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("all rigs clear their pinned cycles/sec floors");
+}

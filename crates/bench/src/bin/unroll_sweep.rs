@@ -60,37 +60,45 @@ rvcap_bench::impl_json_struct!(Row {
     interpreter_cycles_per_word
 });
 
+/// Measure one unroll factor: the driver model end to end, then the
+/// instruction-accurate fill loop. Self-contained so the sweep points
+/// run on the shared worker pool.
+fn run_point(unroll: usize, words: usize) -> Row {
+    // --- 1: driver model, end to end over a 72-frame RP ---
+    let rig = paper_soc::rig_with_geometry(RpGeometry::scaled(2, 0, 0));
+    let driver_mbs = runner::reconfigure_hwicap(rig, unroll).throughput_mbs();
+
+    // --- 2: instruction-accurate fill loop on the interpreter ---
+    let mut soc = SocBuilder::new()
+        .with_hwicap_depth(words * 2) // fill only; no flush logic
+        .build();
+    soc.handles
+        .ddr
+        .write_bytes(DDR_BASE, &vec![0x5Au8; words * 4]);
+    let program = assemble(&fill_loop_asm(unroll, words), 0x1_0000).expect("asm");
+    let mut cpu = Cpu::new(program, 0x1_0000);
+    let ddr = soc.handles.ddr.clone();
+    let mut bus = InterpreterBus::new(&mut soc.core, ddr);
+    let res = cpu.run(&mut bus, 10_000_000);
+    assert_eq!(res.exit, RunExit::Halted, "unroll {unroll}");
+    let cpw = res.cycles as f64 / words as f64;
+
+    Row {
+        unroll,
+        driver_mbs,
+        interpreter_mbs: 400.0 / cpw,
+        interpreter_cycles_per_word: cpw,
+    }
+}
+
 fn main() {
     let words = 2048usize;
-    let mut rows = Vec::new();
-    for unroll in UNROLLS {
-        // --- 1: driver model, end to end over a 72-frame RP ---
-        let rig = paper_soc::rig_with_geometry(RpGeometry::scaled(2, 0, 0));
-        let driver_mbs = runner::reconfigure_hwicap(rig, unroll).throughput_mbs();
-
-        // --- 2: instruction-accurate fill loop on the interpreter ---
-        let mut soc = SocBuilder::new()
-            .with_hwicap_depth(words * 2) // fill only; no flush logic
-            .build();
-        soc.handles
-            .ddr
-            .write_bytes(DDR_BASE, &vec![0x5Au8; words * 4]);
-        let program = assemble(&fill_loop_asm(unroll, words), 0x1_0000).expect("asm");
-        let mut cpu = Cpu::new(program, 0x1_0000);
-        let ddr = soc.handles.ddr.clone();
-        let mut bus = InterpreterBus::new(&mut soc.core, ddr);
-        let res = cpu.run(&mut bus, 10_000_000);
-        assert_eq!(res.exit, RunExit::Halted, "unroll {unroll}");
-        let cpw = res.cycles as f64 / words as f64;
-        let interp_mbs = 400.0 / cpw;
-
-        rows.push(Row {
-            unroll,
-            driver_mbs,
-            interpreter_mbs: interp_mbs,
-            interpreter_cycles_per_word: cpw,
-        });
-    }
+    let rows: Vec<Row> = runner::run_parallel(
+        UNROLLS
+            .iter()
+            .map(|&unroll| move || run_point(unroll, words))
+            .collect(),
+    );
 
     let table: Vec<Vec<String>> = rows
         .iter()

@@ -1,13 +1,154 @@
-//! Minimal wall-clock measurement for the `harness = false` host
-//! benches (`benches/controllers.rs`, `benches/substrates.rs`).
+//! Host-performance measurement: wall-clock benches and the
+//! simulated-cycles-per-second harness.
 //!
-//! These track how fast the *host* runs the simulations (a regression
-//! here makes every table slower to regenerate), complementing the
-//! harness binaries which report *simulated* time. The previous
-//! Criterion harness needed a registry dependency; this is a std-only
-//! replacement: warm-up + N timed iterations, median-of-runs.
+//! Two layers share this module:
+//!
+//! * Minimal wall-clock measurement for the `harness = false` host
+//!   benches (`benches/controllers.rs`, `benches/substrates.rs`):
+//!   warm-up + N timed iterations, median-of-runs, no registry deps.
+//! * The host-performance harness (`bin/hostbench.rs`): measures
+//!   **simulated cycles per host second** per rig and per scheduler
+//!   ([`SchedulerMode`]), the number that caps how many sweeps and
+//!   fault campaigns the paper harness can afford. Results land in
+//!   `BENCH_hostbench.json` so the perf trajectory is recorded and
+//!   CI can fail on gross regressions.
 
 use std::time::{Duration, Instant};
+
+use rvcap_sim::{Scheduler, Simulator};
+
+/// Kernel scheduler configuration under measurement.
+///
+/// `Naive` is the reference tick-everything loop; `Scan` is the PR 1
+/// idle-fast-forward baseline (hint scan over every component each
+/// step); the two active-set variants differ only in whether dense
+/// streaming components may execute batched ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerMode {
+    /// Tick every component every cycle.
+    Naive,
+    /// Full-scan idle fast-forward (the PR 1 baseline).
+    Scan,
+    /// Wake-queue scheduling, one tick per component per cycle.
+    ActiveSet,
+    /// Wake-queue scheduling plus batched streaming ticks.
+    ActiveSetBatched,
+}
+
+impl SchedulerMode {
+    /// All modes, slowest first.
+    pub const ALL: [SchedulerMode; 4] = [
+        SchedulerMode::Naive,
+        SchedulerMode::Scan,
+        SchedulerMode::ActiveSet,
+        SchedulerMode::ActiveSetBatched,
+    ];
+
+    /// Stable label used in reports and JSON records.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerMode::Naive => "naive",
+            SchedulerMode::Scan => "scan",
+            SchedulerMode::ActiveSet => "active_set",
+            SchedulerMode::ActiveSetBatched => "active_set_batched",
+        }
+    }
+
+    /// Configure a simulator's kernel for this mode.
+    pub fn apply(self, sim: &mut Simulator) {
+        match self {
+            SchedulerMode::Naive => sim.set_scheduler(Scheduler::Naive),
+            SchedulerMode::Scan => sim.set_scheduler(Scheduler::Scan),
+            SchedulerMode::ActiveSet => {
+                sim.set_scheduler(Scheduler::ActiveSet);
+                sim.set_batching(false);
+            }
+            SchedulerMode::ActiveSetBatched => {
+                sim.set_scheduler(Scheduler::ActiveSet);
+                sim.set_batching(true);
+            }
+        }
+    }
+}
+
+/// One rig × scheduler host-performance measurement.
+pub struct RigPerf {
+    /// Rig label (e.g. `rvcap_paper`).
+    pub rig: String,
+    /// Scheduler label ([`SchedulerMode::name`]).
+    pub scheduler: String,
+    /// Simulated cycles one run of the rig covers (must not depend on
+    /// the scheduler — the parity tests pin this).
+    pub sim_cycles: u64,
+    /// Median wall-clock seconds per run.
+    pub wall_s: f64,
+    /// `sim_cycles / wall_s`.
+    pub cycles_per_sec: f64,
+}
+crate::impl_json_struct!(RigPerf {
+    rig,
+    scheduler,
+    sim_cycles,
+    wall_s,
+    cycles_per_sec
+});
+
+impl RigPerf {
+    /// Render one result line.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<24} {:<20} {:>12} cycles {:>10.3} ms {:>12.0} cyc/s",
+            self.rig,
+            self.scheduler,
+            self.sim_cycles,
+            self.wall_s * 1e3,
+            self.cycles_per_sec
+        )
+    }
+}
+
+/// Measure simulated-cycles-per-second for one rig run.
+///
+/// `setup` builds the rig (untimed — bitstream synthesis and DDR
+/// staging cost the same under every scheduler and would dilute the
+/// ratio between them); `run` executes the simulation and returns the
+/// simulated cycles covered. `samples` runs are timed and the median
+/// reported (robust to host scheduler noise; the cycle count itself
+/// is deterministic and asserted identical across samples).
+pub fn measure_rig<S>(
+    rig: &str,
+    scheduler: SchedulerMode,
+    samples: usize,
+    mut setup: impl FnMut() -> S,
+    mut run: impl FnMut(S) -> u64,
+) -> RigPerf {
+    let samples = samples.max(1);
+    let mut runs: Vec<(Duration, u64)> = (0..samples)
+        .map(|_| {
+            let input = setup();
+            let t0 = Instant::now();
+            let cycles = run(input);
+            (t0.elapsed(), cycles)
+        })
+        .collect();
+    let cycles = runs[0].1;
+    for (_, c) in &runs {
+        assert_eq!(*c, cycles, "rig {rig} is not deterministic across runs");
+    }
+    runs.sort_unstable();
+    let wall = runs[runs.len() / 2].0.as_secs_f64();
+    RigPerf {
+        rig: rig.into(),
+        scheduler: scheduler.name().into(),
+        sim_cycles: cycles,
+        wall_s: wall,
+        cycles_per_sec: if wall > 0.0 {
+            cycles as f64 / wall
+        } else {
+            f64::INFINITY
+        },
+    }
+}
 
 /// One measured benchmark result.
 pub struct Measurement {

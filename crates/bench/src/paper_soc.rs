@@ -32,10 +32,23 @@ pub fn rig_with_geometry(geometry: RpGeometry) -> PaperRig {
 /// Like [`rig_with_geometry`] but starting from a customized builder
 /// (ablations override burst size, FIFO depth, …).
 pub fn rig_with_builder(builder: SocBuilder, geometry: RpGeometry) -> PaperRig {
-    let img = RmImage::synthesize("Module0", geometry.frames(), Resources::new(901, 773, 4, 0));
+    rig_with_rps(builder, vec![geometry])
+}
+
+/// Build a rig with several reconfigurable partitions. The staged
+/// module targets RP 0; the remaining partitions sit idle with their
+/// isolators and module hosts registered — the multi-partition designs
+/// of §III, where one reconfiguration touches one RP while the rest of
+/// the shell keeps its place.
+pub fn rig_with_rps(builder: SocBuilder, geometries: Vec<RpGeometry>) -> PaperRig {
+    let img = RmImage::synthesize(
+        "Module0",
+        geometries[0].frames(),
+        Resources::new(901, 773, 4, 0),
+    );
     let mut lib = RmLibrary::new();
     lib.register_image(img.clone());
-    let soc = builder.with_rps(vec![geometry]).with_library(lib).build();
+    let soc = builder.with_rps(geometries).with_library(lib).build();
     let bs = BitstreamBuilder::kintex7().partial(soc.handles.rps[0].far_base, &img.payload);
     let bytes = bs.to_bytes();
     soc.handles.ddr.write_bytes(STAGE_ADDR, &bytes);

@@ -8,11 +8,71 @@
 //! not a valid measurement, so the helpers fail loudly instead of
 //! letting a malformed access skew a reported number.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use rvcap_core::drivers::{DmaMode, HwIcapDriver, ReconfigModule, ReconfigTiming, RvCapDriver};
 use rvcap_core::system::RvCapSoc;
 use rvcap_sim::MmioAudit;
 
+use crate::hostbench::SchedulerMode;
 use crate::paper_soc::PaperRig;
+
+/// Worker-thread count for parallel measurements: `RVCAP_BENCH_THREADS`
+/// when set (clamped to at least 1), otherwise the host's available
+/// parallelism.
+pub fn bench_threads() -> usize {
+    match std::env::var("RVCAP_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Run independent measurement jobs across [`bench_threads`] worker
+/// threads and return the results **in input order**, regardless of
+/// completion order — harness output must be deterministic however the
+/// host schedules the workers.
+///
+/// Each job builds its own simulator: the sim is single-threaded by
+/// design (`Rc` innards), but independent sims parallelize perfectly.
+/// A panicking job propagates when the scope joins, so a failed
+/// measurement cannot be silently dropped from the report.
+pub fn run_parallel<R, F>(jobs: Vec<F>) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = bench_threads().min(n);
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let f = jobs[i].lock().unwrap().take().expect("job taken once");
+                let r = f();
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("job completed"))
+        .collect()
+}
 
 /// A finished RV-CAP reconfiguration: the SoC (for stats/inspection),
 /// the staged module, and the measured `T_d`/`T_r`.
@@ -57,10 +117,21 @@ pub fn reconfigure_rvcap(rig: PaperRig, mode: DmaMode) -> RvCapRun {
 /// Like [`reconfigure_rvcap`] with explicit idle-fast-forward control
 /// (the determinism harness runs both settings).
 pub fn reconfigure_rvcap_ff(rig: PaperRig, mode: DmaMode, fast_forward: bool) -> RvCapRun {
+    let sched = if fast_forward {
+        SchedulerMode::ActiveSetBatched
+    } else {
+        SchedulerMode::Naive
+    };
+    reconfigure_rvcap_sched(rig, mode, sched)
+}
+
+/// Like [`reconfigure_rvcap`] under an explicit [`SchedulerMode`] (the
+/// hostbench harness measures all of them).
+pub fn reconfigure_rvcap_sched(rig: PaperRig, mode: DmaMode, sched: SchedulerMode) -> RvCapRun {
     let PaperRig {
         mut soc, module, ..
     } = rig;
-    soc.core.sim.set_fast_forward(fast_forward);
+    sched.apply(&mut soc.core.sim);
     let driver = RvCapDriver::new(0, soc.handles.plic.clone());
     let timing = driver.init_reconfig_process(&mut soc.core, &module, mode);
     let run = RvCapRun {
@@ -79,10 +150,20 @@ pub fn reconfigure_hwicap(rig: PaperRig, unroll: usize) -> HwIcapRun {
 
 /// Like [`reconfigure_hwicap`] with explicit idle-fast-forward control.
 pub fn reconfigure_hwicap_ff(rig: PaperRig, unroll: usize, fast_forward: bool) -> HwIcapRun {
+    let sched = if fast_forward {
+        SchedulerMode::ActiveSetBatched
+    } else {
+        SchedulerMode::Naive
+    };
+    reconfigure_hwicap_sched(rig, unroll, sched)
+}
+
+/// Like [`reconfigure_hwicap`] under an explicit [`SchedulerMode`].
+pub fn reconfigure_hwicap_sched(rig: PaperRig, unroll: usize, sched: SchedulerMode) -> HwIcapRun {
     let PaperRig {
         mut soc, module, ..
     } = rig;
-    soc.core.sim.set_fast_forward(fast_forward);
+    sched.apply(&mut soc.core.sim);
     let ddr = soc.handles.ddr.clone();
     let ticks = HwIcapDriver::with_unroll(unroll).reconfigure_rp(&mut soc.core, &ddr, &module);
     let run = HwIcapRun { soc, module, ticks };

@@ -152,6 +152,14 @@ impl Component for RleDecompressor {
             Some(rvcap_sim::Cycle::MAX)
         }
     }
+
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        // Emit self-reschedules via the "now" hint (and can only be
+        // entered by consuming input); everything else waits on a
+        // compressed word arriving.
+        self.input.subscribe_wake(waker.clone());
+        rvcap_sim::WakePolicy::Wired
+    }
 }
 
 #[cfg(test)]

@@ -419,6 +419,16 @@ impl Component for XilinxDma {
         Some(Cycle::MAX)
     }
 
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        // External inputs: register traffic, burst read data coming
+        // back from memory, and the RM's return stream. The start-up
+        // deadline is time-based (post-tick hint).
+        self.ctrl.req.subscribe_wake(waker.clone());
+        self.mem.resp.subscribe_wake(waker.clone());
+        self.s2mm.subscribe_wake(waker.clone());
+        rvcap_sim::WakePolicy::Wired
+    }
+
     fn mmio_audit(&self) -> Option<MmioAudit> {
         Some(self.regs.audit())
     }

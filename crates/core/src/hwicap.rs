@@ -261,6 +261,13 @@ impl Component for AxiHwicap {
         }
     }
 
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        // Both engines are armed by register writes (bus traffic) and
+        // then self-reschedule via the "now" hint until they drain.
+        self.port.req.subscribe_wake(waker.clone());
+        rvcap_sim::WakePolicy::Wired
+    }
+
     fn mmio_audit(&self) -> Option<MmioAudit> {
         Some(self.regs.audit())
     }

@@ -66,6 +66,10 @@ impl Component for Axis2Icap {
     fn next_activity(&self, now: rvcap_sim::Cycle) -> Option<rvcap_sim::Cycle> {
         self.inner.next_activity(now)
     }
+
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        self.inner.wake_sources(waker)
+    }
 }
 
 #[cfg(test)]

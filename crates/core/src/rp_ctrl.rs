@@ -2,7 +2,7 @@
 //!
 //! "An RP control interface is implemented to provide R/W control
 //! signals to the RMs including RP coupling/decoupling" (§III-B ③).
-//! One register window controls up to 8 partitions; the map is
+//! One register window controls up to 16 partitions; the map is
 //! declared once in [`RP_CTRL_MAP`] and drives the decode, the driver
 //! constants, and the generated `REGISTERS.md`.
 
@@ -16,7 +16,7 @@ use rvcap_sim::component::{Component, TickCtx};
 use rvcap_sim::{MmioAudit, Signal};
 
 rvcap_axi::register_map! {
-    /// The RP control register window (one per SoC, up to 8 RPs).
+    /// The RP control register window (one per SoC, up to 16 RPs).
     pub static RP_CTRL_MAP: "rp_ctrl", size 0x1000 {
         /// DECOUPLE register: bit *n* decouples partition *n*.
         REG_DECOUPLE @ 0x00: 4 RW reset 0x0, "bit n: decouple partition n (1 = isolated)";
@@ -38,6 +38,22 @@ rvcap_axi::register_map! {
         REG_RM_ID6 @ 0x28: 4 RO reset 0x0, "id of the module in RP 6, 0 = none";
         /// RM_ID register for partition 7.
         REG_RM_ID7 @ 0x2C: 4 RO reset 0x0, "id of the module in RP 7, 0 = none";
+        /// RM_ID register for partition 8.
+        REG_RM_ID8 @ 0x30: 4 RO reset 0x0, "id of the module in RP 8, 0 = none";
+        /// RM_ID register for partition 9.
+        REG_RM_ID9 @ 0x34: 4 RO reset 0x0, "id of the module in RP 9, 0 = none";
+        /// RM_ID register for partition 10.
+        REG_RM_ID10 @ 0x38: 4 RO reset 0x0, "id of the module in RP 10, 0 = none";
+        /// RM_ID register for partition 11.
+        REG_RM_ID11 @ 0x3C: 4 RO reset 0x0, "id of the module in RP 11, 0 = none";
+        /// RM_ID register for partition 12.
+        REG_RM_ID12 @ 0x40: 4 RO reset 0x0, "id of the module in RP 12, 0 = none";
+        /// RM_ID register for partition 13.
+        REG_RM_ID13 @ 0x44: 4 RO reset 0x0, "id of the module in RP 13, 0 = none";
+        /// RM_ID register for partition 14.
+        REG_RM_ID14 @ 0x48: 4 RO reset 0x0, "id of the module in RP 14, 0 = none";
+        /// RM_ID register for partition 15.
+        REG_RM_ID15 @ 0x4C: 4 RO reset 0x0, "id of the module in RP 15, 0 = none";
     }
 }
 
@@ -68,7 +84,7 @@ impl RpController {
         library: Rc<RmLibrary>,
     ) -> Self {
         assert_eq!(decouple.len(), hosts.len());
-        assert!(decouple.len() <= 8, "register map supports 8 partitions");
+        assert!(decouple.len() <= 16, "register map supports 16 partitions");
         RpController {
             name: name.into(),
             port,
@@ -147,6 +163,11 @@ impl Component for RpController {
         } else {
             Some(now)
         }
+    }
+
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        self.port.req.subscribe_wake(waker.clone());
+        rvcap_sim::WakePolicy::Wired
     }
 
     fn mmio_audit(&self) -> Option<MmioAudit> {

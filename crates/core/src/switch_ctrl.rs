@@ -123,6 +123,11 @@ impl Component for SwitchCtrl {
         }
     }
 
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        self.port.req.subscribe_wake(waker.clone());
+        rvcap_sim::WakePolicy::Wired
+    }
+
     fn mmio_audit(&self) -> Option<MmioAudit> {
         Some(self.regs.audit())
     }

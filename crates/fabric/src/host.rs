@@ -169,6 +169,17 @@ impl Component for RmHost {
             Some(rvcap_sim::Cycle::MAX)
         }
     }
+
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        // The hint has two inputs: unseen ICAP load records (covered
+        // by the handle's record-push notify) and a hosted behaviour —
+        // which only ever appears by processing a load record, and
+        // from then on self-reschedules via the "always now" hint.
+        // The stream channels need no subscription: an inert partition
+        // ignores them, an occupied one is always-now anyway.
+        self.icap.subscribe_wake(waker.clone());
+        rvcap_sim::WakePolicy::Wired
+    }
 }
 
 #[cfg(test)]

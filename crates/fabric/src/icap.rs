@@ -54,6 +54,10 @@ struct Shared {
     sync_count: u64,
     abort_count: u64,
     busy: bool,
+    /// Fired whenever a load record is pushed (completed or aborted):
+    /// the wake path for components watching `load_count`, e.g. the
+    /// RM hosts.
+    wakers: Vec<rvcap_sim::Waker>,
 }
 
 /// Shared introspection handle onto an [`Icap`] (drivers poll the RP
@@ -99,6 +103,14 @@ impl IcapHandle {
     pub fn busy(&self) -> bool {
         self.shared.borrow().busy
     }
+
+    /// Subscribe `waker` to load completion: it fires whenever a
+    /// [`LoadRecord`] is pushed (successful or aborted). This is the
+    /// [`rvcap_sim::Component::wake_sources`] hook for components
+    /// whose activity hint watches [`IcapHandle::load_count`].
+    pub fn subscribe_wake(&self, waker: rvcap_sim::Waker) {
+        self.shared.borrow_mut().wakers.push(waker);
+    }
 }
 
 /// The ICAP component.
@@ -131,6 +143,7 @@ impl Icap {
             sync_count: 0,
             abort_count: 0,
             busy: false,
+            wakers: Vec::new(),
         }));
         let handle = IcapHandle {
             shared: shared.clone(),
@@ -166,6 +179,9 @@ impl Icap {
             sh.abort_count += 1;
         }
         sh.busy = false;
+        for w in &sh.wakers {
+            w.wake();
+        }
         drop(sh);
         self.state = State::Desynced;
         self.frame_buf.clear();
@@ -319,6 +335,51 @@ impl Component for Icap {
         } else {
             Some(now)
         }
+    }
+
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        self.input.subscribe_wake(waker.clone());
+        rvcap_sim::WakePolicy::Wired
+    }
+
+    fn batch_capable(&self) -> bool {
+        true
+    }
+
+    fn tick_batch(&mut self, ctx: &mut TickCtx<'_>, max_cycles: Cycle) -> Cycle {
+        let start = ctx.cycle;
+        let mut executed: Cycle = 0;
+        while executed < max_cycles {
+            let cur = start + executed;
+            let Some(beat) = self.input.try_pop_batched(cur) else {
+                // Starved tick: a no-op cycle, and nothing can arrive
+                // mid-batch (the kernel runs us solo) — stop here.
+                executed += 1;
+                break;
+            };
+            debug_assert!(beat.bytes == 4, "ICAP port is 32 bits wide");
+            let was_desynced = matches!(self.state, State::Desynced);
+            let frames_before = self.frames_committed;
+            self.shared.borrow_mut().words_consumed += 1;
+            self.process_word(cur, ctx, beat.low_word());
+            executed += 1;
+            // Truncate at every effect observable outside the pure
+            // word drain, so it lands on the batch's last executed
+            // cycle: a SYNC or a finish/abort (busy flip, record
+            // push), a frame commit (ConfigMem write), or the input
+            // running dry (the post-batch hint must see the empty
+            // channel). The per-word `words_consumed` counter does
+            // advance inside a batch, but every run predicate in the
+            // tree gates on `busy`/records/ConfigMem state, all of
+            // which truncate.
+            if was_desynced != matches!(self.state, State::Desynced)
+                || self.frames_committed != frames_before
+                || self.input.is_empty()
+            {
+                break;
+            }
+        }
+        executed.max(1)
     }
 }
 

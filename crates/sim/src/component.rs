@@ -2,6 +2,7 @@
 
 use crate::time::Cycle;
 use crate::trace::Tracer;
+use crate::wake::{WakePolicy, Waker};
 
 /// Context handed to every component on every tick.
 ///
@@ -73,6 +74,64 @@ pub trait Component {
     /// time.
     fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
         None
+    }
+
+    /// Subscribe the component's wake sources and declare its
+    /// [`WakePolicy`]. Called once by the kernel at registration time
+    /// with this component's [`Waker`].
+    ///
+    /// A component returning [`WakePolicy::Wired`] promises that every
+    /// external input whose state feeds its [`Component::next_activity`]
+    /// hint has the waker subscribed
+    /// ([`crate::Fifo::subscribe_wake`] /
+    /// [`crate::Signal::subscribe_wake`] / a handle-specific notify).
+    /// The active-set scheduler then sleeps the component until its
+    /// declared hint cycle or a wake — whichever comes first — instead
+    /// of re-querying the hint every cycle. Time-based deadlines (a DDR
+    /// refresh, a busy-until timer) need no subscription: they are
+    /// covered by the post-tick hint the kernel reschedules from.
+    ///
+    /// The default, [`WakePolicy::Poll`], makes no promise: the kernel
+    /// re-queries the hint every stepped cycle, exactly like the
+    /// pre-active-set kernel. Always correct, merely slower.
+    fn wake_sources(&self, _waker: &Waker) -> WakePolicy {
+        WakePolicy::Poll
+    }
+
+    /// Execute up to `max_cycles` consecutive ticks in one call,
+    /// starting at `ctx.cycle`; returns how many cycles were actually
+    /// executed (`1..=max_cycles`).
+    ///
+    /// The kernel offers a batch only when this component is the *sole*
+    /// runnable component for the window — no other component ticks and
+    /// no host code runs until the batch returns. The implementation
+    /// must behave exactly like that many individual `tick` calls at
+    /// cycles `ctx.cycle`, `ctx.cycle + 1`, …: same end state, same
+    /// FIFO traffic with per-cycle stamps (use
+    /// [`crate::Fifo::try_push_batched`] /
+    /// [`crate::Fifo::try_pop_batched`]), same trace events. It must
+    /// **truncate** the batch so that any effect observable outside the
+    /// component — a push into a shared channel, a signal level change,
+    /// a counter or record on a shared handle that host predicates can
+    /// poll — lands on the *last executed cycle*: the caller re-checks
+    /// run predicates and quiescence only at batch boundaries, so an
+    /// interior observable effect would let a bounded run overshoot the
+    /// cycle the naive schedule stops at.
+    ///
+    /// The default executes a single `tick`, which is always correct.
+    fn tick_batch(&mut self, ctx: &mut TickCtx<'_>, _max_cycles: Cycle) -> Cycle {
+        self.tick(ctx);
+        1
+    }
+
+    /// Whether [`Component::tick_batch`] is a real multi-cycle
+    /// implementation. Queried once at registration; the kernel only
+    /// takes the solo-batch path for components that return `true` —
+    /// for everyone else the default single-tick fallback would pay
+    /// the batch set-up cost (an extra hint query and reschedule per
+    /// cycle) and gain nothing.
+    fn batch_capable(&self) -> bool {
+        false
     }
 
     /// MMIO access audit for register-mapped devices.

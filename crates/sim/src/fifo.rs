@@ -19,6 +19,7 @@ use std::rc::Rc;
 
 use crate::sanitizer::ChannelMonitor;
 use crate::time::Cycle;
+use crate::wake::Waker;
 
 #[derive(Debug)]
 struct Inner<T> {
@@ -38,6 +39,20 @@ struct Inner<T> {
     total_cleared: u64,
     /// Optional sanitizer hook; fires on every push/pop/clear.
     monitor: Option<ChannelMonitor<T>>,
+    /// Consumer wakers fired on every successful push (see
+    /// [`Fifo::subscribe_wake`]). Pops fire nothing: a producer blocked
+    /// on a full channel keeps itself scheduled via its own
+    /// `next_activity` hint, so it never needs a pop-side wake.
+    wakers: Vec<Waker>,
+}
+
+impl<T> Inner<T> {
+    #[inline]
+    fn fire_wakers(&self) {
+        for w in &self.wakers {
+            w.wake();
+        }
+    }
 }
 
 /// A bounded single-producer single-consumer channel with hardware
@@ -71,6 +86,7 @@ impl<T> Fifo<T> {
                 total_popped: 0,
                 total_cleared: 0,
                 monitor: None,
+                wakers: Vec::new(),
             })),
         }
     }
@@ -139,6 +155,32 @@ impl<T> Fifo<T> {
         if let (Some(monitor), Some(meta)) = (&inner.monitor, meta) {
             monitor.record_push(meta, inner.queue.len());
         }
+        inner.fire_wakers();
+        Ok(())
+    }
+
+    /// [`Fifo::try_push`] with the sanitizer observation stamped at an
+    /// explicit `cycle` instead of the kernel's current cycle.
+    ///
+    /// This is the producer-side bulk primitive for
+    /// [`crate::Component::tick_batch`]: a component replaying `k`
+    /// cycles in one call pushes at `start`, `start + 1`, … and each
+    /// push must look to the sanitizer exactly as it would have in `k`
+    /// separate ticks (one op per cycle, correct progress stamps).
+    /// Outside a batch replay, use [`Fifo::try_push`].
+    pub fn try_push_batched(&self, cycle: Cycle, item: T) -> Result<(), T> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.queue.len() >= inner.capacity || inner.last_push == Some(cycle) {
+            return Err(item);
+        }
+        let meta = inner.monitor.as_ref().map(|m| m.meta_of(&item));
+        inner.queue.push_back(item);
+        inner.last_push = Some(cycle);
+        inner.total_pushed += 1;
+        if let (Some(monitor), Some(meta)) = (&inner.monitor, meta) {
+            monitor.record_push_at(meta, inner.queue.len(), cycle);
+        }
+        inner.fire_wakers();
         Ok(())
     }
 
@@ -153,6 +195,23 @@ impl<T> Fifo<T> {
         let item = inner.queue.pop_front();
         if let Some(monitor) = &inner.monitor {
             monitor.record_pop(inner.queue.len());
+        }
+        item
+    }
+
+    /// [`Fifo::try_pop`] with the sanitizer observation stamped at an
+    /// explicit `cycle` — the consumer-side bulk primitive for
+    /// [`crate::Component::tick_batch`] (see [`Fifo::try_push_batched`]).
+    pub fn try_pop_batched(&self, cycle: Cycle) -> Option<T> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.queue.is_empty() || inner.last_pop == Some(cycle) {
+            return None;
+        }
+        inner.last_pop = Some(cycle);
+        inner.total_popped += 1;
+        let item = inner.queue.pop_front();
+        if let Some(monitor) = &inner.monitor {
+            monitor.record_pop_at(inner.queue.len(), cycle);
         }
         item
     }
@@ -173,6 +232,7 @@ impl<T> Fifo<T> {
         if let (Some(monitor), Some(meta)) = (&inner.monitor, meta) {
             monitor.record_push(meta, inner.queue.len());
         }
+        inner.fire_wakers();
     }
 
     /// Pop without rate limiting — for *observers outside the clocked
@@ -228,6 +288,16 @@ impl<T> Fifo<T> {
     /// Install a sanitizer hook (see [`crate::sanitizer::Sanitizer`]).
     pub(crate) fn attach_monitor(&self, monitor: ChannelMonitor<T>) {
         self.inner.borrow_mut().monitor = Some(monitor);
+    }
+
+    /// Subscribe a consumer [`Waker`]: it fires on every successful
+    /// push (rate-limited, forced, or batched), from ticked code and
+    /// host drivers alike. Components call this from
+    /// [`crate::Component::wake_sources`] for each channel whose
+    /// arrival can change their [`crate::Component::next_activity`]
+    /// hint.
+    pub fn subscribe_wake(&self, waker: Waker) {
+        self.inner.borrow_mut().wakers.push(waker);
     }
 }
 

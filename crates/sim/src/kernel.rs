@@ -1,10 +1,14 @@
 //! The simulation kernel: owns components, advances the clock.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use crate::component::{Component, TickCtx};
 use crate::sanitizer::{Sanitizer, StuckChannel};
 use crate::stats::{ComponentStats, KernelStats, MmioAudit};
 use crate::time::{Cycle, Freq};
 use crate::trace::{TraceEvent, TraceLevel, Tracer};
+use crate::wake::{BitSet, WakeHub, WakePolicy};
 
 /// Identifies a registered component within a [`Simulator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,11 +94,33 @@ impl std::error::Error for StallReport {}
 /// How many trailing trace events a [`StallReport`] carries.
 const STALL_TRACE_TAIL: usize = 16;
 
-/// Per-component activity counters (parallel to the component list).
-#[derive(Debug, Default, Clone, Copy)]
-struct ActivityCounters {
-    ticks_executed: u64,
-    cycles_skipped: u64,
+/// The execution schedule the kernel uses to decide which components
+/// to tick each cycle. All three produce bit-identical simulations —
+/// same cycle counts, same observable component state, same sanitizer
+/// observations — they only trade host time differently. Per-component
+/// *executed-tick* counts match between the hint-driven schedules
+/// ([`Scheduler::Scan`] and [`Scheduler::ActiveSet`] skip exactly the
+/// ticks the hints rule out), while [`Scheduler::Naive`] executes
+/// every tick including the no-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Tick every component every cycle; never query hints, never jump
+    /// the clock. The reference schedule everything else is compared
+    /// against.
+    Naive,
+    /// Per-cycle full scan of [`Component::next_activity`] hints: skip
+    /// individual guaranteed-no-op ticks, jump the clock when *every*
+    /// component declares a future cycle. This is the original idle
+    /// fast-forward scheduler, kept as a measured baseline for the
+    /// host-performance harness.
+    Scan,
+    /// The default: a wake-queue scheduler that only touches *due*
+    /// components — self-scheduled via a min-heap of hint deadlines, or
+    /// externally woken through [`crate::Fifo`]/[`crate::Signal`]
+    /// subscriptions (see [`Component::wake_sources`]). Per-cycle work
+    /// is proportional to the number of active components, not to the
+    /// number registered.
+    ActiveSet,
 }
 
 /// The cycle-stepped simulator.
@@ -107,38 +133,78 @@ struct ActivityCounters {
 /// builders in `rvcap-core` register components in dataflow order and
 /// document where they rely on it.
 ///
-/// # Idle fast-forward
+/// # Scheduling
 ///
 /// Ticking every component on every cycle is simple and deterministic
 /// but wastes host time whenever the system sits in a long wait (a DDR
 /// round trip, a DMA start latency, a timer poll loop). The kernel
-/// therefore consults [`Component::next_activity`]:
+/// offers three schedules (see [`Scheduler`]); the default,
+/// [`Scheduler::ActiveSet`], keeps a per-cycle *due set*:
 ///
-/// - Within a cycle, a component whose hint points past `now` is not
-///   ticked (its tick is a guaranteed no-op). Hints are queried
-///   immediately before each component's tick slot, so a producer that
-///   pushes mid-cycle re-activates its consumer in the same cycle.
-/// - Across cycles, the batch entry points ([`Simulator::step_n`],
-///   [`Simulator::run_until`], [`Simulator::run_until_quiescent`])
-///   jump the clock to the earliest declared activity when *every*
-///   component declares a future cycle, skipping the no-op cycles
-///   entirely.
+/// - Components whose [`Component::next_activity`] hint named a future
+///   cycle sleep in a min-heap keyed by that cycle (ties broken by
+///   registration index, preserving the ordering contract) and are
+///   re-examined exactly when it arrives.
+/// - Components that declared [`crate::WakePolicy::Wired`] sleep on
+///   `Some(Cycle::MAX)` until one of their subscribed inputs fires
+///   their waker. Wakes landing mid-cycle from an earlier-registered
+///   component join the *same* cycle (same-cycle forwarding); wakes
+///   from a later one are deferred to the next cycle (pipeline
+///   latency) — exactly the visibility the full scan gives.
+/// - [`crate::WakePolicy::Poll`] components are re-queried every
+///   stepped cycle, like the pre-active-set kernel.
+/// - When nothing is due, the clock jumps straight to the earliest
+///   deadline.
+/// - When exactly one component is due for a known-quiet window and
+///   batching is enabled ([`Simulator::set_batching`]), the kernel
+///   offers it the window as one [`Component::tick_batch`] call.
 ///
-/// Both optimizations preserve the exact cycle-by-cycle behavior of
-/// the naive schedule — cycle counts are bit-identical with
-/// fast-forward on or off (`set_fast_forward`), which the
-/// `determinism` integration tests pin.
+/// Hints are queried exactly once per component per stepped cycle,
+/// immediately before its tick slot. All of this preserves the exact
+/// cycle-by-cycle behavior of the naive schedule — cycle counts are
+/// bit-identical across schedulers ([`Simulator::set_scheduler`]),
+/// which the `determinism` and `cycle_parity` integration tests pin.
 ///
-/// [`Simulator::step`] never jumps: external drivers (the CPU model
-/// mutates FIFOs between steps) rely on observing every cycle
-/// boundary, so single-step mode only gates individual ticks.
+/// [`Simulator::step`] never jumps and never batches: external drivers
+/// (the CPU model mutates FIFOs between steps) rely on observing every
+/// cycle boundary, so single-step mode only gates individual ticks.
 pub struct Simulator {
     freq: Freq,
     cycle: Cycle,
     components: Vec<Box<dyn Component>>,
     tracer: Tracer,
-    fast_forward: bool,
-    counters: Vec<ActivityCounters>,
+    scheduler: Scheduler,
+    batching: bool,
+    /// Per-component executed-tick counts (parallel to `components`).
+    /// Skipped-cycle counts are not tracked eagerly: a component has
+    /// been skipped for every cycle since registration it was not
+    /// ticked, so `kernel_stats` derives them.
+    ticks: Vec<u64>,
+    /// Cycle at which each component was registered.
+    registered_at: Vec<Cycle>,
+    /// Wake policy each component declared at registration.
+    policies: Vec<WakePolicy>,
+    /// Whether each component declared a real multi-cycle
+    /// [`Component::tick_batch`] (queried once at registration).
+    batchable: Vec<bool>,
+    /// Indices of `WakePolicy::Poll` components, ascending.
+    polled: Vec<u32>,
+    /// Pending external wakes (shared with `Waker`s via `Rc`).
+    hub: WakeHub,
+    /// Self-scheduled deadlines: `(cycle, index)` min-heap with lazy
+    /// deletion — an entry is live iff its key equals
+    /// `scheduled[index]`.
+    heap: BinaryHeap<Reverse<(Cycle, u32)>>,
+    /// Earliest live heap deadline per component (`Cycle::MAX` when
+    /// none).
+    scheduled: Vec<Cycle>,
+    /// Reusable per-cycle due set.
+    due: BitSet,
+    /// Wired components whose post-tick hint said "again next cycle".
+    /// A streaming component re-arms every cycle while it drains;
+    /// carrying it in a bitset instead of the heap keeps the dense
+    /// phases free of per-cycle heap traffic.
+    carry: BitSet,
     jumps: u64,
     jumped_cycles: Cycle,
     sanitizer: Option<Sanitizer>,
@@ -152,8 +218,18 @@ impl Simulator {
             cycle: 0,
             components: Vec::new(),
             tracer: Tracer::off(),
-            fast_forward: true,
-            counters: Vec::new(),
+            scheduler: Scheduler::ActiveSet,
+            batching: true,
+            ticks: Vec::new(),
+            registered_at: Vec::new(),
+            policies: Vec::new(),
+            batchable: Vec::new(),
+            polled: Vec::new(),
+            hub: WakeHub::new(),
+            heap: BinaryHeap::new(),
+            scheduled: Vec::new(),
+            due: BitSet::default(),
+            carry: BitSet::default(),
             jumps: 0,
             jumped_cycles: 0,
             sanitizer: None,
@@ -183,11 +259,27 @@ impl Simulator {
         &self.tracer
     }
 
-    /// Register a component; it will tick every cycle from now on.
+    /// Register a component; it participates in the schedule from the
+    /// next cycle on. Its [`Component::wake_sources`] is called here,
+    /// exactly once, with its [`crate::Waker`].
     pub fn register(&mut self, component: Box<dyn Component>) -> ComponentId {
+        let idx = self.components.len();
+        let policy = component.wake_sources(&self.hub.waker(idx));
+        self.batchable.push(component.batch_capable());
         self.components.push(component);
-        self.counters.push(ActivityCounters::default());
-        ComponentId(self.components.len() - 1)
+        self.ticks.push(0);
+        self.registered_at.push(self.cycle);
+        self.policies.push(policy);
+        self.scheduled.push(Cycle::MAX);
+        self.due.grow_to(idx);
+        self.carry.grow_to(idx);
+        if policy == WakePolicy::Poll {
+            self.polled.push(idx as u32);
+        }
+        // Every component starts pending so its first hint query
+        // happens on the next stepped cycle regardless of policy.
+        self.hub.wake(idx);
+        ComponentId(idx)
     }
 
     /// Number of registered components.
@@ -195,18 +287,66 @@ impl Simulator {
         self.components.len()
     }
 
-    /// Enable or disable idle fast-forward (enabled by default).
+    /// Select the execution schedule (default [`Scheduler::ActiveSet`]).
     ///
-    /// Cycle counts are identical either way; disabling only trades
-    /// host time for a simpler execution schedule (useful to
-    /// cross-check the hints, and what the determinism tests do).
-    pub fn set_fast_forward(&mut self, enabled: bool) {
-        self.fast_forward = enabled;
+    /// Cycle counts are identical across schedulers; switching only
+    /// trades host time for a simpler execution schedule (useful to
+    /// cross-check the hints and wake wiring, and what the determinism
+    /// tests and the host-perf harness do). Safe mid-run: scheduler
+    /// state is rebuilt from fresh hint queries on the next cycle.
+    pub fn set_scheduler(&mut self, scheduler: Scheduler) {
+        if self.scheduler == scheduler {
+            return;
+        }
+        self.scheduler = scheduler;
+        // Drop deadlines accumulated under the old schedule and mark
+        // everything pending for a fresh hint query.
+        self.heap.clear();
+        self.carry.clear_all();
+        for s in &mut self.scheduled {
+            *s = Cycle::MAX;
+        }
+        for i in 0..self.components.len() {
+            self.hub.wake(i);
+        }
     }
 
-    /// Whether idle fast-forward is enabled.
+    /// The active execution schedule.
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
+    }
+
+    /// Enable or disable idle fast-forward (enabled by default).
+    ///
+    /// Compatibility wrapper over [`Simulator::set_scheduler`]:
+    /// `true` selects [`Scheduler::ActiveSet`], `false` the reference
+    /// [`Scheduler::Naive`] schedule.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.set_scheduler(if enabled {
+            Scheduler::ActiveSet
+        } else {
+            Scheduler::Naive
+        });
+    }
+
+    /// Whether any hint-driven schedule (anything but
+    /// [`Scheduler::Naive`]) is active.
     pub fn fast_forward(&self) -> bool {
-        self.fast_forward
+        self.scheduler != Scheduler::Naive
+    }
+
+    /// Enable or disable batched streaming ticks (enabled by default;
+    /// only takes effect under [`Scheduler::ActiveSet`]). Cycle counts
+    /// are identical either way — the toggle exists so the host-perf
+    /// harness can attribute speedup between the active-set scheduler
+    /// and tick batching.
+    pub fn set_batching(&mut self, enabled: bool) {
+        self.batching = enabled;
+    }
+
+    /// Whether batched streaming ticks are enabled.
+    pub fn batching(&self) -> bool {
+        self.batching
     }
 
     /// Attach a bus sanitizer (see [`crate::sanitizer`]). The kernel
@@ -227,10 +367,21 @@ impl Simulator {
 
     /// Advance the simulation by one cycle.
     ///
-    /// Never jumps the clock (external drivers mutate FIFO state
-    /// between calls), but does skip ticking components whose
-    /// [`Component::next_activity`] hint lies strictly in the future.
+    /// Never jumps the clock and never batches (external drivers
+    /// mutate FIFO state between calls), but does skip ticking
+    /// components that are not due.
     pub fn step(&mut self) {
+        match self.scheduler {
+            Scheduler::Naive => self.step_naive(),
+            Scheduler::Scan => self.step_scan(),
+            Scheduler::ActiveSet => {
+                self.step_active(0, 1);
+            }
+        }
+    }
+
+    /// One cycle of the reference schedule: tick everything.
+    fn step_naive(&mut self) {
         let now = self.cycle;
         let mut ctx = TickCtx {
             cycle: now,
@@ -239,16 +390,34 @@ impl Simulator {
         if let Some(s) = &self.sanitizer {
             s.begin_cycle(now);
         }
-        for (c, counters) in self.components.iter_mut().zip(&mut self.counters) {
-            // Query the hint immediately before this component's tick
-            // slot: an earlier component may have pushed work to it
-            // during this very cycle.
-            let idle = self.fast_forward && matches!(c.next_activity(now), Some(at) if at > now);
-            if idle {
-                counters.cycles_skipped += 1;
-            } else {
+        for (c, ticks) in self.components.iter_mut().zip(&mut self.ticks) {
+            c.tick(&mut ctx);
+            *ticks += 1;
+        }
+        self.cycle += 1;
+        if let Some(s) = &self.sanitizer {
+            s.end_cycle();
+        }
+    }
+
+    /// One cycle of the scan schedule: query every hint, skip idle
+    /// ticks. Hints are queried immediately before each component's
+    /// tick slot, so a producer that pushes mid-cycle re-activates its
+    /// consumer in the same cycle.
+    fn step_scan(&mut self) {
+        let now = self.cycle;
+        let mut ctx = TickCtx {
+            cycle: now,
+            tracer: &self.tracer,
+        };
+        if let Some(s) = &self.sanitizer {
+            s.begin_cycle(now);
+        }
+        for (c, ticks) in self.components.iter_mut().zip(&mut self.ticks) {
+            let idle = matches!(c.next_activity(now), Some(at) if at > now);
+            if !idle {
                 c.tick(&mut ctx);
-                counters.ticks_executed += 1;
+                *ticks += 1;
             }
         }
         self.cycle += 1;
@@ -258,48 +427,300 @@ impl Simulator {
     }
 
     /// Advance by up to `window` cycles (at least one), jumping over
-    /// an all-idle prefix when fast-forward is enabled. Returns the
-    /// number of cycles advanced.
+    /// all-idle stretches when a hint-driven scheduler is active.
+    /// Returns the number of cycles advanced.
     ///
-    /// The jump is sound because every component declared its next
+    /// A jump is sound because every component declared its next
     /// activity to be at or after `now + delta`: no tick in the
     /// skipped range would have changed any state, so the system
     /// arrives at the target cycle in exactly the state the naive
-    /// schedule would produce.
+    /// schedule would produce. The delta is clamped to the caller's
+    /// window so limit-hit cycles land on exactly the same boundary as
+    /// the naive schedule.
     fn advance(&mut self, window: Cycle) -> Cycle {
         debug_assert!(window > 0);
-        if self.fast_forward && !self.components.is_empty() {
-            let now = self.cycle;
-            let mut earliest = Cycle::MAX;
-            let mut all_future = true;
-            for c in &self.components {
-                match c.next_activity(now) {
-                    Some(at) if at > now => earliest = earliest.min(at),
-                    _ => {
-                        all_future = false;
-                        break;
+        match self.scheduler {
+            Scheduler::Naive => {
+                self.step_naive();
+                1
+            }
+            Scheduler::Scan => self.advance_scan(window),
+            Scheduler::ActiveSet => self.advance_active(window),
+        }
+    }
+
+    /// Scan-schedule advance: one full hint scan decides between a
+    /// jump and a stepped cycle, and the stepped cycle reuses the
+    /// scan's verdicts for the prefix it already cleared.
+    fn advance_scan(&mut self, window: Cycle) -> Cycle {
+        let now = self.cycle;
+        let mut earliest = Cycle::MAX;
+        let mut first_due = None;
+        for (i, c) in self.components.iter().enumerate() {
+            match c.next_activity(now) {
+                Some(at) if at > now => earliest = earliest.min(at),
+                _ => {
+                    first_due = Some(i);
+                    break;
+                }
+            }
+        }
+        let Some(first) = first_due else {
+            if self.components.is_empty() {
+                self.step_scan();
+                return 1;
+            }
+            let delta = (earliest - now).min(window);
+            self.cycle += delta;
+            self.jumps += 1;
+            self.jumped_cycles += delta;
+            if let Some(s) = &self.sanitizer {
+                s.set_now(self.cycle);
+            }
+            return delta;
+        };
+        // Step one cycle without re-querying what the scan already
+        // answered: components before `first` were idle at cycle start
+        // and nothing ticks before their slots, so their verdicts
+        // stand; `first` itself is known due. Only the tail after
+        // `first` — which mid-cycle pushes may have re-activated —
+        // needs a fresh query.
+        if let Some(s) = &self.sanitizer {
+            s.begin_cycle(now);
+        }
+        let mut ctx = TickCtx {
+            cycle: now,
+            tracer: &self.tracer,
+        };
+        for (i, (c, ticks)) in self
+            .components
+            .iter_mut()
+            .zip(&mut self.ticks)
+            .enumerate()
+            .skip(first)
+        {
+            let idle = i > first && matches!(c.next_activity(now), Some(at) if at > now);
+            if !idle {
+                c.tick(&mut ctx);
+                *ticks += 1;
+            }
+        }
+        self.cycle += 1;
+        if let Some(s) = &self.sanitizer {
+            s.end_cycle();
+        }
+        1
+    }
+
+    /// Active-set advance: jump when nothing is pending and every
+    /// deadline is in the future; otherwise run one stepped cycle
+    /// (which may open with a solo batch).
+    fn advance_active(&mut self, window: Cycle) -> Cycle {
+        let now = self.cycle;
+        if self.hub.is_empty() && self.carry.is_empty() && !self.components.is_empty() {
+            let mut next_due = self.heap_next_live();
+            let mut polled_from = 0;
+            if next_due > now {
+                for (pos, &i) in self.polled.iter().enumerate() {
+                    match self.components[i as usize].next_activity(now) {
+                        Some(at) if at > now => {
+                            next_due = next_due.min(at);
+                            polled_from = pos + 1;
+                        }
+                        _ => {
+                            next_due = now;
+                            polled_from = pos;
+                            break;
+                        }
                     }
                 }
             }
-            if all_future {
-                // `earliest > now`, so the delta is at least 1; clamp
-                // to the caller's window so limit-hit cycles land on
-                // exactly the same boundary as the naive schedule.
-                let delta = (earliest - now).min(window);
+            if next_due > now {
+                let delta = (next_due - now).min(window);
                 self.cycle += delta;
-                for counters in &mut self.counters {
-                    counters.cycles_skipped += delta;
-                }
                 self.jumps += 1;
                 self.jumped_cycles += delta;
                 if let Some(s) = &self.sanitizer {
                     s.set_now(self.cycle);
                 }
+                if delta < window {
+                    // The jump landed on the earliest deadline with
+                    // window to spare: run the due cycle in the same
+                    // call. Callers' run-loop predicates only read
+                    // component-produced state (the documented
+                    // `run_until` contract), which a pure jump cannot
+                    // change — so no observation point is lost by not
+                    // returning in between.
+                    return delta + self.step_active(0, window - delta);
+                }
                 return delta;
             }
+            // Not jumping, but the polled prefix `..polled_from` was
+            // just verified idle and nothing can tick before its
+            // slots, so it keeps its verdict for this cycle.
+            return self.step_active(polled_from, window);
         }
-        self.step();
-        1
+        self.step_active(0, window)
+    }
+
+    /// Earliest live heap deadline, discarding stale entries on the
+    /// way. `Cycle::MAX` when nothing is scheduled.
+    fn heap_next_live(&mut self) -> Cycle {
+        while let Some(&Reverse((at, idx))) = self.heap.peek() {
+            if self.scheduled[idx as usize] == at {
+                return at;
+            }
+            self.heap.pop();
+        }
+        Cycle::MAX
+    }
+
+    /// Push a live deadline for `idx`, keeping `scheduled` the minimum
+    /// live key. `Cycle::MAX` means "sleep until a wake" and is never
+    /// enqueued.
+    fn schedule(&mut self, idx: usize, at: Cycle) {
+        if at != Cycle::MAX && at < self.scheduled[idx] {
+            self.scheduled[idx] = at;
+            self.heap.push(Reverse((at, idx as u32)));
+        }
+    }
+
+    /// One stepped cycle of the active-set schedule; returns the
+    /// cycles advanced (1, or more when a solo batch ran).
+    ///
+    /// `polled_from` skips re-querying a prefix of `self.polled` the
+    /// caller has already verified idle this cycle; `window` bounds a
+    /// solo batch (1 = no batching, as in [`Simulator::step`]).
+    fn step_active(&mut self, polled_from: usize, window: Cycle) -> Cycle {
+        let now = self.cycle;
+        if let Some(s) = &self.sanitizer {
+            s.begin_cycle(now);
+        }
+        // Build the due set: carried-over streamers, polled
+        // components, pending wakes, and deadlines that have arrived.
+        // The sweep below fully drains `due`, so the swap hands the
+        // carry bits over and leaves `carry` empty for this cycle's
+        // refills.
+        debug_assert!(self.due.is_empty());
+        std::mem::swap(&mut self.due, &mut self.carry);
+        for &i in &self.polled[polled_from..] {
+            self.due.set(i as usize);
+        }
+        self.hub.drain_all_into(&mut self.due);
+        while let Some(&Reverse((at, idx))) = self.heap.peek() {
+            if at > now {
+                break;
+            }
+            self.heap.pop();
+            let idx = idx as usize;
+            if self.scheduled[idx] == at {
+                self.scheduled[idx] = Cycle::MAX;
+                self.due.set(idx);
+            }
+        }
+
+        // The cycle the in-progress tick loop is stamped at: stays
+        // `now` unless a solo batch advances it.
+        let mut cur = now;
+        let mut from = 0;
+
+        // Solo batch: in an all-wired system with exactly one due
+        // component and no other deadline inside the window, offer the
+        // whole quiet stretch as one `tick_batch` call.
+        if window > 1 && self.batching && self.polled.is_empty() && self.due.count() == 1 {
+            let idx = self.due.next_at_or_after(0).expect("one bit is set");
+            let max = if self.batchable[idx] {
+                self.heap_next_live().saturating_sub(now).min(window)
+            } else {
+                0
+            };
+            if max > 1 {
+                let c = &mut self.components[idx];
+                if !matches!(c.next_activity(now), Some(at) if at > now) {
+                    self.due.clear(idx);
+                    let mut ctx = TickCtx {
+                        cycle: now,
+                        tracer: &self.tracer,
+                    };
+                    let executed = c.tick_batch(&mut ctx, max).clamp(1, max);
+                    self.ticks[idx] += executed;
+                    cur = now + executed - 1;
+                    // Reschedule from the batch's final cycle.
+                    let next = match c.next_activity(cur) {
+                        Some(at) => at.max(cur + 1),
+                        None => cur + 1,
+                    };
+                    if next == cur + 1 {
+                        self.carry.set(idx);
+                    } else {
+                        self.schedule(idx, next);
+                    }
+                    if let Some(s) = &self.sanitizer {
+                        s.set_now(cur);
+                    }
+                    // Effects of the final batched cycle may have woken
+                    // later-registered components: finish cycle `cur`
+                    // for them below, exactly as after a plain tick.
+                    self.hub.drain_above_into(idx, &mut self.due);
+                    from = idx + 1;
+                }
+            }
+        }
+
+        // Ordered sweep over the due set: ascending index is
+        // registration order, so forwarding behaves exactly like the
+        // full scan.
+        let mut i = from;
+        while let Some(idx) = self.due.next_at_or_after(i) {
+            self.due.clear(idx);
+            i = idx + 1;
+            let c = &mut self.components[idx];
+            // Query the hint exactly once, immediately before this
+            // component's tick slot: an earlier component may have
+            // pushed work to it during this very cycle.
+            if let Some(at) = c.next_activity(cur) {
+                if at > cur {
+                    // Not due after all. Wired components sleep until
+                    // the declared cycle (or a wake); polled ones are
+                    // re-queried next cycle anyway.
+                    if self.policies[idx] == WakePolicy::Wired {
+                        self.schedule(idx, at);
+                    }
+                    continue;
+                }
+            }
+            let mut ctx = TickCtx {
+                cycle: cur,
+                tracer: &self.tracer,
+            };
+            c.tick(&mut ctx);
+            self.ticks[idx] += 1;
+            if self.policies[idx] == WakePolicy::Wired {
+                // Reschedule from the post-tick hint. `None` and `now`
+                // both mean "again next cycle" — the carry bitset, not
+                // the heap, so a streaming drain costs no heap traffic
+                // — while MAX means "sleep until a wake arrives".
+                let next = match c.next_activity(cur) {
+                    Some(at) => at.max(cur + 1),
+                    None => cur + 1,
+                };
+                if next == cur + 1 {
+                    self.carry.set(idx);
+                } else {
+                    self.schedule(idx, next);
+                }
+            }
+            // A push during this tick wakes its subscribers: later
+            // components join this very cycle (same-cycle forwarding),
+            // earlier ones wait for the next (pipeline latency) — the
+            // same visibility the full scan gives.
+            self.hub.drain_above_into(idx, &mut self.due);
+        }
+        self.cycle = cur + 1;
+        if let Some(s) = &self.sanitizer {
+            s.end_cycle();
+        }
+        self.cycle - now
     }
 
     /// Advance by `n` cycles.
@@ -373,9 +794,10 @@ impl Simulator {
             start,
             limit,
             busy: self
-                .busy_components()
+                .components
                 .iter()
-                .map(|s| s.to_string())
+                .filter(|c| c.busy())
+                .map(|c| c.name().to_string())
                 .collect(),
             trace_tail: events[tail_from..].to_vec(),
             mmio_violations: self.mmio_audit().violations(),
@@ -412,21 +834,27 @@ impl Simulator {
 
     /// Snapshot of the kernel's activity accounting: total cycles,
     /// jump counts, and per-component executed/skipped tick counts.
+    ///
+    /// Skipped-cycle counts are derived here rather than accumulated
+    /// in the hot loop: a component was skipped on every cycle since
+    /// its registration that did not execute one of its ticks, whether
+    /// the kernel gated the tick individually, jumped the clock over
+    /// it, or never looked at the sleeping component at all.
     pub fn kernel_stats(&self) -> KernelStats {
         KernelStats {
             cycles: self.cycle,
-            fast_forward: self.fast_forward,
+            fast_forward: self.fast_forward(),
             jumps: self.jumps,
             jumped_cycles: self.jumped_cycles,
             protocol_violations: self.sanitizer.as_ref().map_or(0, |s| s.violation_count()),
             components: self
                 .components
                 .iter()
-                .zip(&self.counters)
-                .map(|(c, k)| ComponentStats {
+                .zip(self.ticks.iter().zip(&self.registered_at))
+                .map(|(c, (&ticks, &registered))| ComponentStats {
                     name: c.name().to_string(),
-                    ticks_executed: k.ticks_executed,
-                    cycles_skipped: k.cycles_skipped,
+                    ticks_executed: ticks,
+                    cycles_skipped: (self.cycle - registered) - ticks,
                     audit: c.mmio_audit(),
                 })
                 .collect(),

@@ -44,15 +44,22 @@
 //! waits (a DDR round trip, a DMA start latency, the CPU polling a
 //! status register) — is addressed without giving up the flat
 //! schedule: components *declare* their next activity cycle via
-//! [`component::Component::next_activity`], and the kernel skips
-//! guaranteed-no-op ticks and jumps the clock across windows where the
-//! whole system is idle. This recovers the main benefit of an event
-//! queue (work proportional to activity, not to simulated time) while
-//! keeping cycle counts bit-identical to the naive schedule — the
-//! hints are an optimization contract, never a behavioral one, and
-//! can be switched off ([`kernel::Simulator::set_fast_forward`]) to
-//! cross-check. Per-component accounting ([`stats::KernelStats`])
-//! reports how many ticks were executed versus skipped.
+//! [`component::Component::next_activity`], and the default active-set
+//! scheduler ([`kernel::Scheduler::ActiveSet`]) keeps them asleep in a
+//! deadline heap — or, for components that wire their inputs to a
+//! [`wake::Waker`] ([`component::Component::wake_sources`]), until new
+//! input actually arrives. Each cycle only *due* components are
+//! touched, the clock jumps over windows where nothing is due, and a
+//! lone streaming component can be handed a whole quiet window as one
+//! batched call ([`component::Component::tick_batch`]). This recovers
+//! the main benefit of an event queue (work proportional to activity,
+//! not to simulated time or component count) while keeping cycle
+//! counts bit-identical to the naive schedule — the hints and wake
+//! subscriptions are an optimization contract, never a behavioral
+//! one, and can be switched off
+//! ([`kernel::Simulator::set_scheduler`]) to cross-check.
+//! Per-component accounting ([`stats::KernelStats`]) reports how many
+//! ticks were executed versus skipped.
 
 pub mod component;
 pub mod fifo;
@@ -63,10 +70,11 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 pub mod vcd;
+pub mod wake;
 
 pub use component::Component;
 pub use fifo::Fifo;
-pub use kernel::{Simulator, StallReport};
+pub use kernel::{Scheduler, Simulator, StallReport};
 pub use sanitizer::{
     ChannelKind, LinkId, Payload, PayloadMeta, ProtocolViolation, Sanitizer, StuckChannel,
     ViolationKind,
@@ -76,3 +84,4 @@ pub use stats::{ComponentStats, KernelStats, MmioAudit};
 pub use time::{Cycle, Freq};
 pub use trace::{TraceEvent, TraceLevel, Tracer};
 pub use vcd::{VcdHandle, VcdRecorder};
+pub use wake::{WakeHub, WakePolicy, Waker};

@@ -5,8 +5,10 @@
 //! the DMA to the PLIC — anywhere hardware would run a plain wire
 //! rather than a handshaked channel.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+
+use crate::wake::Waker;
 
 /// A shared level signal carrying a `Copy` value (most signals are
 /// `bool`; the stream-switch select is a small integer).
@@ -17,6 +19,10 @@ use std::rc::Rc;
 #[derive(Debug, Clone)]
 pub struct Signal<T: Copy> {
     value: Rc<Cell<T>>,
+    /// Wakers fired on every [`Signal::set`] (see
+    /// [`Signal::subscribe_wake`]). Kept behind its own `Rc` so clones
+    /// share subscriptions; empty for the vast majority of signals.
+    wakers: Rc<RefCell<Vec<Waker>>>,
 }
 
 impl<T: Copy> Signal<T> {
@@ -24,6 +30,7 @@ impl<T: Copy> Signal<T> {
     pub fn new(value: T) -> Self {
         Signal {
             value: Rc::new(Cell::new(value)),
+            wakers: Rc::new(RefCell::new(Vec::new())),
         }
     }
 
@@ -35,6 +42,20 @@ impl<T: Copy> Signal<T> {
     /// Drive a new level.
     pub fn set(&self, value: T) {
         self.value.set(value);
+        let wakers = self.wakers.borrow();
+        for w in wakers.iter() {
+            w.wake();
+        }
+    }
+
+    /// Subscribe a [`Waker`]: it fires on every [`Signal::set`]
+    /// (whether or not the level actually changed — drivers re-assert
+    /// levels, and a spurious wake only costs one hint re-query).
+    /// Components call this from [`crate::Component::wake_sources`] for
+    /// each wire whose level feeds their
+    /// [`crate::Component::next_activity`] hint.
+    pub fn subscribe_wake(&self, waker: Waker) {
+        self.wakers.borrow_mut().push(waker);
     }
 }
 

@@ -1,0 +1,299 @@
+//! Wake plumbing for the active-set scheduler.
+//!
+//! The kernel's active-set mode (see [`crate::Simulator`]) only ticks
+//! components that are *due*: self-scheduled via their
+//! [`crate::Component::next_activity`] hint, or externally woken
+//! because new input arrived. This module carries the "externally
+//! woken" half:
+//!
+//! * A [`WakeHub`] is owned by the simulator — one pending-wake bitset
+//!   over component indices.
+//! * A [`Waker`] is a cheap handle to one component's bit. The kernel
+//!   hands each component its waker at registration time
+//!   ([`crate::Component::wake_sources`]); the component subscribes it
+//!   to every input channel that can make it runnable
+//!   ([`crate::Fifo::subscribe_wake`], [`crate::Signal::subscribe_wake`]).
+//! * [`WakePolicy`] is the component's promise: [`WakePolicy::Wired`]
+//!   means *every* external input is subscribed, so the kernel may
+//!   trust the wake queue and sleep the component between hints;
+//!   [`WakePolicy::Poll`] (the default) means the kernel re-queries the
+//!   hint every stepped cycle, exactly like the pre-active-set kernel.
+//!
+//! Wakes are level-cheap: firing a waker sets one bit in the hub (no
+//! allocation, idempotent within a cycle). The kernel drains the hub at
+//! each cycle start and again after every tick so a producer pushing
+//! mid-cycle still activates a later-registered consumer *that* cycle,
+//! preserving the producer-before-consumer ordering contract.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A component's promise about its external inputs, returned from
+/// [`crate::Component::wake_sources`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakePolicy {
+    /// No promise: the kernel re-queries the component's
+    /// [`crate::Component::next_activity`] hint every stepped cycle.
+    /// Always correct; this is the default and matches the pre-wake
+    /// kernel exactly.
+    Poll,
+    /// Every channel or signal whose state can change the component's
+    /// hint has the waker subscribed. The kernel may sleep the
+    /// component until its declared hint cycle or a wake, whichever
+    /// comes first.
+    Wired,
+}
+
+#[derive(Debug, Default)]
+struct HubInner {
+    /// Pending-wake bitset over component indices.
+    words: Vec<u64>,
+    /// Fast emptiness check (cleared only by full drains).
+    any: bool,
+}
+
+/// The simulator-owned pending-wake set. Cloning shares the set.
+#[derive(Debug, Clone, Default)]
+pub struct WakeHub {
+    inner: Rc<RefCell<HubInner>>,
+}
+
+impl WakeHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        WakeHub::default()
+    }
+
+    /// Make room for component index `index`.
+    pub(crate) fn grow_to(&self, index: usize) {
+        let mut inner = self.inner.borrow_mut();
+        let words = index / 64 + 1;
+        if inner.words.len() < words {
+            inner.words.resize(words, 0);
+        }
+    }
+
+    /// A waker for component `index`.
+    pub fn waker(&self, index: usize) -> Waker {
+        self.grow_to(index);
+        Waker {
+            hub: self.inner.clone(),
+            index,
+        }
+    }
+
+    /// Mark component `index` pending.
+    pub(crate) fn wake(&self, index: usize) {
+        self.grow_to(index);
+        let mut inner = self.inner.borrow_mut();
+        inner.words[index / 64] |= 1 << (index % 64);
+        inner.any = true;
+    }
+
+    /// True when no wakes are pending.
+    pub(crate) fn is_empty(&self) -> bool {
+        !self.inner.borrow().any
+    }
+
+    /// Move every pending wake into `due` (bit-or) and clear the hub.
+    pub(crate) fn drain_all_into(&self, due: &mut BitSet) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.any {
+            return;
+        }
+        due.grow_to_words(inner.words.len());
+        for (d, w) in due.words.iter_mut().zip(inner.words.iter_mut()) {
+            *d |= *w;
+            *w = 0;
+        }
+        inner.any = false;
+    }
+
+    /// Move pending wakes for indices **strictly greater than**
+    /// `threshold` into `due`, leaving lower indices pending (they get
+    /// their re-query at the next cycle start — a wake aimed at an
+    /// already-passed tick slot is a next-cycle wake, exactly like the
+    /// one-cycle pipeline latency of the naive schedule).
+    pub(crate) fn drain_above_into(&self, threshold: usize, due: &mut BitSet) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.any {
+            return;
+        }
+        due.grow_to_words(inner.words.len());
+        let word = threshold / 64;
+        let bit = threshold % 64;
+        let mut below = false;
+        for (i, (d, w)) in due.words.iter_mut().zip(inner.words.iter_mut()).enumerate() {
+            if i < word {
+                below |= *w != 0;
+                continue;
+            }
+            let take = if i == word {
+                // Keep bits 0..=threshold pending.
+                *w & !(u64::MAX >> (63 - bit) as u32)
+            } else {
+                *w
+            };
+            *d |= take;
+            *w &= !take;
+            below |= *w != 0;
+        }
+        inner.any = below;
+    }
+}
+
+/// Handle that marks one component pending in its simulator's
+/// [`WakeHub`]. Stored inside [`crate::Fifo`]s and
+/// [`crate::Signal`]s via their `subscribe_wake` methods.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    hub: Rc<RefCell<HubInner>>,
+    index: usize,
+}
+
+impl Waker {
+    /// Mark the owning component pending. Idempotent and allocation-
+    /// free; safe to call from any context (ticked code or host).
+    pub fn wake(&self) {
+        let mut inner = self.hub.borrow_mut();
+        debug_assert!(self.index / 64 < inner.words.len());
+        inner.words[self.index / 64] |= 1 << (self.index % 64);
+        inner.any = true;
+    }
+
+    /// The component index this waker targets.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+/// A reusable bitset over component indices (the kernel's per-cycle
+/// due set). Not a general-purpose container — just enough for the
+/// scheduler's zero-allocation inner loop.
+#[derive(Debug, Default)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    pub(crate) fn grow_to_words(&mut self, words: usize) {
+        if self.words.len() < words {
+            self.words.resize(words, 0);
+        }
+    }
+
+    pub(crate) fn grow_to(&mut self, index: usize) {
+        self.grow_to_words(index / 64 + 1);
+    }
+
+    pub(crate) fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    pub(crate) fn set(&mut self, index: usize) {
+        self.grow_to(index);
+        self.words[index / 64] |= 1 << (index % 64);
+    }
+
+    pub(crate) fn clear(&mut self, index: usize) {
+        if index / 64 < self.words.len() {
+            self.words[index / 64] &= !(1 << (index % 64));
+        }
+    }
+
+    /// Smallest set index `>= from`, if any.
+    pub(crate) fn next_at_or_after(&self, from: usize) -> Option<usize> {
+        let mut word = from / 64;
+        if word >= self.words.len() {
+            return None;
+        }
+        let mut bits = self.words[word] & (u64::MAX << (from % 64) as u32);
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word >= self.words.len() {
+                return None;
+            }
+            bits = self.words[word];
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Number of set bits.
+    pub(crate) fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_sets_pending_and_drains() {
+        let hub = WakeHub::new();
+        let w = hub.waker(70);
+        assert!(hub.is_empty());
+        w.wake();
+        w.wake(); // idempotent
+        assert!(!hub.is_empty());
+        let mut due = BitSet::default();
+        hub.drain_all_into(&mut due);
+        assert!(hub.is_empty());
+        assert_eq!(due.next_at_or_after(0), Some(70));
+        assert_eq!(due.count(), 1);
+    }
+
+    #[test]
+    fn drain_above_splits_on_the_threshold() {
+        let hub = WakeHub::new();
+        for i in [3usize, 64, 65, 130] {
+            hub.waker(i).wake();
+        }
+        let mut due = BitSet::default();
+        // Threshold 64: 3 and 64 stay pending, 65 and 130 become due.
+        hub.drain_above_into(64, &mut due);
+        assert_eq!(due.next_at_or_after(0), Some(65));
+        assert_eq!(due.next_at_or_after(66), Some(130));
+        assert_eq!(due.count(), 2);
+        assert!(!hub.is_empty());
+        let mut rest = BitSet::default();
+        hub.drain_all_into(&mut rest);
+        assert_eq!(rest.next_at_or_after(0), Some(3));
+        assert_eq!(rest.next_at_or_after(4), Some(64));
+        assert_eq!(rest.count(), 2);
+        assert!(hub.is_empty());
+    }
+
+    #[test]
+    fn drain_above_clears_any_flag_only_when_nothing_remains() {
+        let hub = WakeHub::new();
+        hub.waker(10).wake();
+        let mut due = BitSet::default();
+        hub.drain_above_into(5, &mut due);
+        assert!(hub.is_empty(), "10 > 5 was fully drained");
+        assert_eq!(due.next_at_or_after(0), Some(10));
+    }
+
+    #[test]
+    fn bitset_iterates_ascending() {
+        let mut b = BitSet::default();
+        for i in [0usize, 1, 63, 64, 127, 200] {
+            b.set(i);
+        }
+        let mut seen = Vec::new();
+        let mut from = 0;
+        while let Some(i) = b.next_at_or_after(from) {
+            seen.push(i);
+            b.clear(i);
+            from = i + 1;
+        }
+        assert_eq!(seen, vec![0, 1, 63, 64, 127, 200]);
+        assert!(b.is_empty());
+    }
+}

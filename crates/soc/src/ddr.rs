@@ -337,6 +337,14 @@ impl Component for Ddr {
         }
         Some(at)
     }
+
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        // Refresh edges, read latency, and write drains are all
+        // time-based deadlines covered by the post-tick hint; the only
+        // external input is the request channel.
+        self.port.req.subscribe_wake(waker.clone());
+        rvcap_sim::WakePolicy::Wired
+    }
 }
 
 impl Ddr {

@@ -171,6 +171,17 @@ impl Component for Plic {
         }
     }
 
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        // Level sources re-evaluate the hint on every signal edge (a
+        // rising line may newly pend; enable/claim traffic arrives via
+        // the bus request channel, which is also subscribed).
+        self.port.req.subscribe_wake(waker.clone());
+        for (_, sig) in &self.sources {
+            sig.subscribe_wake(waker.clone());
+        }
+        rvcap_sim::WakePolicy::Wired
+    }
+
     fn mmio_audit(&self) -> Option<MmioAudit> {
         Some(self.regs.audit())
     }

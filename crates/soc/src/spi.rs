@@ -164,6 +164,13 @@ impl<D: BlockDevice> Component for Spi<D> {
         }
     }
 
+    fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
+        // Register traffic arrives on the request channel; the shift
+        // completion is a time-based deadline the hint already names.
+        self.port.req.subscribe_wake(waker.clone());
+        rvcap_sim::WakePolicy::Wired
+    }
+
     fn mmio_audit(&self) -> Option<MmioAudit> {
         Some(self.regs.audit())
     }

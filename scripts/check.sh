@@ -14,6 +14,13 @@ cargo build --release
 echo "== RVCAP_STRICT=1 cargo test -q =="
 RVCAP_STRICT=1 cargo test -q
 
+# Host-performance gate: one timed sample per rig × scheduler, written
+# to BENCH_hostbench.json. Fails only when an active_set_batched row
+# drops below its generous pinned cycles/sec floor (>5x regression —
+# a broken scheduler, not a slow host).
+echo "== hostbench --smoke (host-perf floors) =="
+cargo run --release -q -p rvcap-bench --bin hostbench -- --smoke
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
