@@ -104,6 +104,17 @@ impl Component for StreamIsolator {
         self.input.subscribe_wake(waker.clone());
         rvcap_sim::WakePolicy::Wired
     }
+
+    fn max_batch(&self, _now: rvcap_sim::Cycle) -> Option<rvcap_sim::Cycle> {
+        // Due exactly while beats are queued, coupled or not: a
+        // decoupled tick counts a blocked cycle, a coupled one forwards
+        // at most one beat. A decouple flip mid-window only changes
+        // *which* of those each tick does, so the queued occupancy
+        // bounds the promise regardless of the gate or downstream
+        // backpressure.
+        let o = self.input.len();
+        (o > 0).then_some(o as rvcap_sim::Cycle)
+    }
 }
 
 /// Gates a memory-mapped path with a decouple signal.

@@ -113,6 +113,14 @@ impl Component for StreamSwitch {
         self.input.subscribe_wake(waker.clone());
         rvcap_sim::WakePolicy::Wired
     }
+
+    fn max_batch(&self, _now: rvcap_sim::Cycle) -> Option<rvcap_sim::Cycle> {
+        // Due exactly while the input is non-empty; at most one beat
+        // forwards per cycle, and a stalled route (unrouted select or
+        // full output) keeps the queue — and the due stretch — intact.
+        let occ = self.input.len();
+        (occ > 0).then_some(occ as rvcap_sim::Cycle)
+    }
 }
 
 #[cfg(test)]

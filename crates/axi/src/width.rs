@@ -99,6 +99,14 @@ impl Component for Narrower {
         self.input.subscribe_wake(waker.clone());
         rvcap_sim::WakePolicy::Wired
     }
+
+    fn max_batch(&self, _now: rvcap_sim::Cycle) -> Option<rvcap_sim::Cycle> {
+        // The carry (if any) takes one due cycle; each queued input
+        // beat then takes at least one (two when it splits, and a
+        // blocked output only stretches the due stretch further).
+        let w = usize::from(self.carry.is_some()) + self.input.len();
+        (w > 0).then_some(w as rvcap_sim::Cycle)
+    }
 }
 
 /// 32-bit → 64-bit stream width converter.
@@ -183,6 +191,15 @@ impl Component for Widener {
         // The hint depends only on input emptiness.
         self.input.subscribe_wake(waker.clone());
         rvcap_sim::WakePolicy::Wired
+    }
+
+    fn max_batch(&self, _now: rvcap_sim::Cycle) -> Option<rvcap_sim::Cycle> {
+        // Due exactly while the input is non-empty; at most one pop per
+        // cycle, so the current occupancy is a safe window. The
+        // buffered half contributes nothing: it moves only when a
+        // partner beat arrives.
+        let occ = self.input.len();
+        (occ > 0).then_some(occ as rvcap_sim::Cycle)
     }
 }
 

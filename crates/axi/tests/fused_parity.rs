@@ -1,0 +1,453 @@
+//! Fused-window parity over the real stream datapath.
+//!
+//! A DMA-shaped source feeds a `StreamIsolator` (its decouple gate
+//! toggled on a random schedule), a 64→32 `Narrower`, a 32→64
+//! `Widener`, and a sink with a random run/stall backpressure pattern
+//! — the DMA→ICAP chain's scheduling shape with every disturbance the
+//! fused scheduler must survive: backpressure, TLAST framing, and
+//! decouple flips. Each configuration runs under all five kernel
+//! schedules; stream fusion may only trade host time, so the sink's
+//! `(cycle, beat)` log, the mid-flight channel snapshot, the lifetime
+//! FIFO totals and leftovers, the sanitizer verdicts (including the
+//! gated-channel decouple rule), and the per-component tick accounting
+//! must be identical to per-cycle scheduling.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use rvcap_axi::sanitizer::{watch_stream, watch_stream_gated};
+use rvcap_axi::{AxisBeat, AxisChannel, Narrower, StreamIsolator, Widener};
+use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::sanitizer::Sanitizer;
+use rvcap_sim::{Cycle, Fifo, Freq, Scheduler, Signal, Simulator, WakePolicy, Waker};
+
+/// The five kernel configurations the host-perf harness measures.
+const MODES: [&str; 5] = ["naive", "scan", "active_set", "active_set_batched", "fused"];
+
+fn apply_mode(sim: &mut Simulator, mode: &str) {
+    match mode {
+        "naive" => sim.set_scheduler(Scheduler::Naive),
+        "scan" => sim.set_scheduler(Scheduler::Scan),
+        "active_set" => {
+            sim.set_scheduler(Scheduler::ActiveSet);
+            sim.set_batching(false);
+            sim.set_fusion(false);
+        }
+        "active_set_batched" => {
+            sim.set_scheduler(Scheduler::ActiveSet);
+            sim.set_batching(true);
+            sim.set_fusion(false);
+        }
+        "fused" => {
+            sim.set_scheduler(Scheduler::ActiveSet);
+            sim.set_batching(true);
+            sim.set_fusion(true);
+        }
+        _ => unreachable!("unknown mode {mode}"),
+    }
+}
+
+/// Gapless DMA-shaped source: one prepared beat per cycle.
+struct BeatSource {
+    out: AxisChannel,
+    beats: Vec<AxisBeat>,
+    next: usize,
+}
+
+impl Component for BeatSource {
+    fn name(&self) -> &str {
+        "source"
+    }
+
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        if self.next < self.beats.len()
+            && self.out.try_push(ctx.cycle, self.beats[self.next]).is_ok()
+        {
+            self.next += 1;
+        }
+    }
+
+    fn busy(&self) -> bool {
+        self.next < self.beats.len()
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.next < self.beats.len() {
+            Some(now)
+        } else {
+            Some(Cycle::MAX)
+        }
+    }
+
+    fn wake_sources(&self, _waker: &Waker) -> WakePolicy {
+        WakePolicy::Wired
+    }
+
+    fn max_batch(&self, _now: Cycle) -> Option<Cycle> {
+        // Pushes (or retries against a full channel — still due) every
+        // cycle until the prepared beats run out.
+        let left = (self.beats.len() - self.next) as Cycle;
+        (left > 0).then_some(left)
+    }
+}
+
+/// Flips the decouple signal at each scheduled cycle. Its pending
+/// deadline sits in the kernel's heap, so every negotiated window is
+/// truncated before a flip — the flip itself always runs through the
+/// per-cycle sweep.
+struct Toggler {
+    decouple: Signal<bool>,
+    at: Vec<Cycle>,
+    next: usize,
+}
+
+impl Component for Toggler {
+    fn name(&self) -> &str {
+        "toggler"
+    }
+
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        if self.next < self.at.len() && ctx.cycle >= self.at[self.next] {
+            self.decouple.set(!self.decouple.get());
+            self.next += 1;
+        }
+    }
+
+    fn busy(&self) -> bool {
+        self.next < self.at.len()
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        match self.at.get(self.next) {
+            Some(&at) => Some(at.max(now)),
+            None => Some(Cycle::MAX),
+        }
+    }
+
+    fn wake_sources(&self, _waker: &Waker) -> WakePolicy {
+        WakePolicy::Wired
+    }
+}
+
+/// Pops beats in runs of `pattern[i].0` cycles separated by
+/// `pattern[i].1` stall cycles (cyclic), logging `(cycle, beat)`.
+struct BpSink {
+    input: AxisChannel,
+    log: Rc<RefCell<Vec<(Cycle, AxisBeat)>>>,
+    pattern: Vec<(u32, u32)>,
+    pi: usize,
+    run_left: u32,
+    resume_at: Cycle,
+}
+
+impl Component for BpSink {
+    fn name(&self) -> &str {
+        "sink"
+    }
+
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        if ctx.cycle < self.resume_at {
+            return;
+        }
+        if let Some(beat) = self.input.try_pop(ctx.cycle) {
+            self.log.borrow_mut().push((ctx.cycle, beat));
+            self.run_left -= 1;
+            if self.run_left == 0 {
+                let stall = self.pattern[self.pi].1;
+                self.pi = (self.pi + 1) % self.pattern.len();
+                self.run_left = self.pattern[self.pi].0;
+                self.resume_at = ctx.cycle + 1 + stall as Cycle;
+            }
+        }
+    }
+
+    fn busy(&self) -> bool {
+        !self.input.is_empty()
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.input.is_empty() {
+            Some(Cycle::MAX)
+        } else {
+            Some(self.resume_at.max(now))
+        }
+    }
+
+    fn wake_sources(&self, waker: &Waker) -> WakePolicy {
+        self.input.subscribe_wake(waker.clone());
+        WakePolicy::Wired
+    }
+
+    fn max_batch(&self, now: Cycle) -> Option<Cycle> {
+        // Due while the current run continues and beats are queued:
+        // one pop per cycle, so the smaller of the two bounds the
+        // promise regardless of what arrives upstream.
+        if now < self.resume_at {
+            return None;
+        }
+        let w = (self.run_left as Cycle).min(self.input.len() as Cycle);
+        (w > 0).then_some(w)
+    }
+}
+
+/// Captures `(occupancy, head)` of every channel at one exact cycle —
+/// a mid-flight FIFO-content observation that must not depend on how
+/// the kernel grouped the surrounding cycles.
+type Snapshot = Vec<(usize, Option<AxisBeat>)>;
+
+struct Probe {
+    channels: Vec<AxisChannel>,
+    at: Cycle,
+    snap: Rc<RefCell<Option<Snapshot>>>,
+}
+
+impl Component for Probe {
+    fn name(&self) -> &str {
+        "probe"
+    }
+
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        if ctx.cycle == self.at && self.snap.borrow().is_none() {
+            let snap = self.channels.iter().map(|c| (c.len(), c.peek())).collect();
+            *self.snap.borrow_mut() = Some(snap);
+        }
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.snap.borrow().is_some() || now > self.at {
+            Some(Cycle::MAX)
+        } else {
+            Some(self.at)
+        }
+    }
+
+    fn wake_sources(&self, _waker: &Waker) -> WakePolicy {
+        WakePolicy::Wired
+    }
+}
+
+/// One randomized datapath configuration.
+#[derive(Debug, Clone)]
+struct Config {
+    /// TLAST flag per source beat (the count of beats is the length).
+    lasts: Vec<bool>,
+    /// 64-bit beats force-pushed into the first channel before cycle 0.
+    preload: usize,
+    /// Decouple flip cycles (sorted, deduped, even count so the path
+    /// ends coupled and the stream can finish).
+    toggles: Vec<Cycle>,
+    /// Sink `(run, stall)` backpressure pattern.
+    pattern: Vec<(u32, u32)>,
+    /// Capacities of the isolator/narrower/widener output channels.
+    caps: (usize, usize, usize),
+    /// Cycle at which the probe snapshots every channel.
+    snap: Cycle,
+}
+
+fn config_strategy() -> impl Strategy<Value = Config> {
+    (
+        proptest::collection::vec(any::<bool>(), 8..160),
+        0usize..48,
+        proptest::collection::vec(20u64..2500, 0..6),
+        proptest::collection::vec((1u32..16, 0u32..5), 1..4),
+        (2usize..8, 2usize..8, 2usize..8),
+        1u64..2000,
+    )
+        .prop_map(|(mut lasts, preload, mut toggles, pattern, caps, snap)| {
+            // The stream must end a packet.
+            *lasts.last_mut().expect("non-empty") = true;
+            toggles.sort_unstable();
+            toggles.dedup();
+            // An odd flip count would leave the path decoupled forever.
+            if toggles.len() % 2 == 1 {
+                toggles.pop();
+            }
+            Config {
+                lasts,
+                preload,
+                toggles,
+                pattern,
+                caps,
+                snap,
+            }
+        })
+}
+
+/// Everything one run observes; the cross-scheduler comparison key.
+#[derive(Debug, Clone, PartialEq)]
+struct Observed {
+    final_cycle: Cycle,
+    log: Vec<(Cycle, AxisBeat)>,
+    violations: u64,
+    snapshot: Option<Snapshot>,
+    /// Lifetime `(total_pushed, total_popped)` per channel.
+    totals: Vec<(u64, u64)>,
+    /// Occupancy per channel after the stream drained.
+    leftovers: Vec<usize>,
+}
+
+/// `(ticks_executed, cycles_skipped)` per component, registration
+/// order — identical between the hint-driven schedules only.
+type TickCounts = Vec<(u64, u64)>;
+
+fn run(cfg: &Config, mode: &str) -> (Observed, TickCounts, u64) {
+    const HORIZON: Cycle = 50_000;
+    let mut sim = Simulator::new(Freq::FABRIC_100MHZ);
+    apply_mode(&mut sim, mode);
+    let sanitizer = Sanitizer::new();
+    sim.attach_sanitizer(sanitizer.clone());
+
+    let ch0: AxisChannel = Fifo::new("ch0.dma", 64);
+    let ch1: AxisChannel = Fifo::new("ch1.iso", cfg.caps.0);
+    let ch2: AxisChannel = Fifo::new("ch2.narrow", cfg.caps.1);
+    let ch3: AxisChannel = Fifo::new("ch3.wide", cfg.caps.2);
+    for i in 0..cfg.preload {
+        ch0.force_push(AxisBeat::wide(0x5000_0000 + i as u64, i % 7 == 6));
+    }
+
+    let decouple = Signal::new(false);
+    // Watch after the preload so the initial occupancy is the watch
+    // baseline; ch1 additionally carries the decouple-gate rule.
+    watch_stream(&sanitizer, &ch0);
+    watch_stream_gated(&sanitizer, &ch1, decouple.clone());
+    watch_stream(&sanitizer, &ch2);
+    watch_stream(&sanitizer, &ch3);
+
+    let beats: Vec<AxisBeat> = cfg
+        .lasts
+        .iter()
+        .enumerate()
+        .map(|(i, &last)| AxisBeat::wide(0x6000_0000 + i as u64, last))
+        .collect();
+    let expected = cfg.preload + beats.len();
+
+    sim.register(Box::new(BeatSource {
+        out: ch0.clone(),
+        beats,
+        next: 0,
+    }));
+    sim.register(Box::new(Toggler {
+        decouple: decouple.clone(),
+        at: cfg.toggles.clone(),
+        next: 0,
+    }));
+    sim.register(Box::new(StreamIsolator::new(
+        "iso",
+        ch0.clone(),
+        ch1.clone(),
+        decouple.clone(),
+    )));
+    sim.register(Box::new(Narrower::new("narrow", ch1.clone(), ch2.clone())));
+    sim.register(Box::new(Widener::new("widen", ch2.clone(), ch3.clone())));
+    let log = Rc::new(RefCell::new(Vec::new()));
+    sim.register(Box::new(BpSink {
+        input: ch3.clone(),
+        log: log.clone(),
+        pattern: cfg.pattern.clone(),
+        pi: 0,
+        run_left: cfg.pattern[0].0,
+        resume_at: 0,
+    }));
+    let snap = Rc::new(RefCell::new(None));
+    sim.register(Box::new(Probe {
+        channels: vec![ch0.clone(), ch1.clone(), ch2.clone(), ch3.clone()],
+        at: cfg.snap,
+        snap: snap.clone(),
+    }));
+
+    sim.run_until(HORIZON, || log.borrow().len() == expected)
+        .expect("the re-coupled stream always drains");
+
+    let stats = sim.kernel_stats();
+    let channels = [&ch0, &ch1, &ch2, &ch3];
+    let snapshot = snap.borrow().clone();
+    let log = log.borrow().clone();
+    (
+        Observed {
+            final_cycle: sim.now(),
+            log,
+            violations: sanitizer.violation_count(),
+            snapshot,
+            totals: channels
+                .iter()
+                .map(|c| (c.total_pushed(), c.total_popped()))
+                .collect(),
+            leftovers: channels.iter().map(|c| c.len()).collect(),
+        },
+        stats
+            .components
+            .iter()
+            .map(|c| (c.ticks_executed, c.cycles_skipped))
+            .collect(),
+        stats.fused_windows,
+    )
+}
+
+/// A deep pre-cycle-0 backlog with an idle sink makes the very first
+/// negotiation succeed: source and isolator fuse over the preload.
+/// This pins the test's subject — if fusion never engaged, the parity
+/// assertions below would be comparing five identical per-cycle runs.
+#[test]
+fn fused_windows_engage_on_deep_backlog() {
+    let mut lasts = vec![false; 320];
+    for (i, l) in lasts.iter_mut().enumerate() {
+        *l = i % 32 == 31 || i == 319;
+    }
+    let cfg = Config {
+        lasts,
+        preload: 48,
+        toggles: vec![],
+        pattern: vec![(64, 0)],
+        caps: (8, 8, 8),
+        snap: 400,
+    };
+    let (active, active_ticks, _) = run(&cfg, "active_set");
+    let (fused, fused_ticks, windows) = run(&cfg, "fused");
+    assert!(
+        windows > 0,
+        "fusion never engaged — the test lost its subject"
+    );
+    assert_eq!(active, fused);
+    assert_eq!(active_ticks, fused_ticks);
+    assert_eq!(fused.violations, 0, "{:?}", fused.log.len());
+    assert_eq!(fused.leftovers, vec![0; 4], "stream fully drained");
+}
+
+proptest! {
+    #[test]
+    fn fused_matches_per_cycle_across_the_datapath(cfg in config_strategy()) {
+        let (naive, naive_ticks, _) = run(&cfg, MODES[0]);
+        let (scan, scan_ticks, _) = run(&cfg, MODES[1]);
+        let (active, active_ticks, _) = run(&cfg, MODES[2]);
+        let (batched, batched_ticks, _) = run(&cfg, MODES[3]);
+        let (fused, fused_ticks, _) = run(&cfg, MODES[4]);
+
+        // Observations: identical across all five schedules.
+        prop_assert_eq!(&naive, &scan);
+        prop_assert_eq!(&naive, &active);
+        prop_assert_eq!(&naive, &batched);
+        prop_assert_eq!(&naive, &fused);
+        prop_assert_eq!(naive.violations, 0, "clean datapaths must stay clean");
+
+        // TLAST framing survives end to end: the sink sees exactly the
+        // source packet boundaries (preload included).
+        let tlasts = naive.log.iter().filter(|(_, b)| b.last).count();
+        let expected_tlasts = cfg.lasts.iter().filter(|&&l| l).count()
+            + (0..cfg.preload).filter(|i| i % 7 == 6).count();
+        prop_assert_eq!(tlasts, expected_tlasts);
+
+        // Tick accounting: the hint-driven schedules execute identical
+        // tick sets; naive additionally runs every no-op, so only its
+        // per-component totals line up.
+        prop_assert_eq!(&scan_ticks, &active_ticks);
+        prop_assert_eq!(&scan_ticks, &batched_ticks);
+        prop_assert_eq!(&scan_ticks, &fused_ticks);
+        for (i, (&(nt, ns), &(ht, hs))) in
+            naive_ticks.iter().zip(&fused_ticks).enumerate()
+        {
+            prop_assert_eq!(nt + ns, ht + hs, "component {} total cycles diverged", i);
+            prop_assert!(ht <= nt, "component {} executed extra ticks", i);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Diagnostic: kernel-stats dump (fused windows, per-component vetoes)
+//! for the stream-fusion-relevant rigs. Not a timed benchmark — run it
+//! when tuning `max_batch` hints to see where windows engage and which
+//! component kills a negotiation:
+//!
+//! ```text
+//! cargo run --release -p rvcap-bench --example fusion_probe
+//! ```
+
+use rvcap_bench::hostbench::SchedulerMode;
+use rvcap_bench::{paper_soc, runner};
+use rvcap_core::drivers::DmaMode;
+use rvcap_core::system::SocBuilder;
+use rvcap_fabric::bitstream::BitstreamBuilder;
+use rvcap_fabric::resources::Resources;
+use rvcap_fabric::rm::{RmImage, RmLibrary};
+use rvcap_fabric::rp::RpGeometry;
+
+fn main() {
+    for deep in [false, true] {
+        let rig = if deep {
+            paper_soc::rig_with_builder(
+                SocBuilder::new().with_stream_depth(64),
+                RpGeometry::paper_rp(),
+            )
+        } else {
+            paper_soc::rvcap_rig()
+        };
+        let run = runner::reconfigure_rvcap_sched(rig, DmaMode::NonBlocking, SchedulerMode::Fused);
+        println!("=== rvcap deep={deep} ===");
+        println!("{}", run.soc.core.sim.kernel_stats().render());
+    }
+
+    // SD staging rig.
+    let geometry = RpGeometry::scaled(2, 0, 0);
+    let img = RmImage::synthesize("Module0", geometry.frames(), Resources::new(901, 773, 4, 0));
+    let bytes = BitstreamBuilder::kintex7()
+        .partial(0, &img.payload)
+        .to_bytes();
+    let mut lib = RmLibrary::new();
+    lib.register_image(img);
+    let mut soc = SocBuilder::new()
+        .with_rps(vec![geometry])
+        .with_library(lib)
+        .with_sd_file("MODULE0.PBI", bytes)
+        .build();
+    SchedulerMode::Fused.apply(&mut soc.core.sim);
+    let _ = rvcap_core::drivers::init_rmodules(
+        &mut soc.core,
+        &soc.handles.ddr,
+        paper_soc::STAGE_ADDR,
+        &["MODULE0.PBI"],
+    );
+    println!("=== sd_staging ===");
+    println!("{}", soc.core.sim.kernel_stats().render());
+}

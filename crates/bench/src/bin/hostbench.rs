@@ -6,19 +6,33 @@
 //! campaigns the harness can afford. This binary makes that number
 //! visible and regression-proof:
 //!
-//! * each rig runs under all four [`SchedulerMode`]s (naive reference,
-//!   the PR 1 full-scan fast-forward, the active-set scheduler, and
-//!   active-set + batched streaming ticks);
+//! * each rig runs under all five [`SchedulerMode`]s (naive reference,
+//!   the PR 1 full-scan fast-forward, the active-set scheduler,
+//!   active-set + batched streaming ticks, and full stream fusion —
+//!   the default kernel configuration);
 //! * simulated cycle counts are asserted identical across modes (the
 //!   schedulers may only trade host time, never timing);
-//! * the active-set-batched rows are checked against a generous pinned
-//!   cycles/sec floor, so a >5x host-performance regression fails CI
-//!   while ordinary machine-to-machine variance does not.
+//! * the fused rows are checked against a generous pinned cycles/sec
+//!   floor, so a >5x host-performance regression fails CI while
+//!   ordinary machine-to-machine variance does not;
+//! * when a committed `BENCH_hostbench.json` baseline is present, each
+//!   fused row is additionally gated against it with host-speed
+//!   normalization: the baseline's fused row is rescaled by this
+//!   machine's active_set/baseline-active_set ratio, and a >20% drop
+//!   fails. Absolute floors catch catastrophic breakage on any
+//!   machine; the normalized gate catches the slow bleed a generous
+//!   floor misses.
 //!
 //! `--smoke` runs one timed sample per row (CI); the default is a
 //! median of three. The JSON lands in `BENCH_hostbench.json` in the
 //! current directory (override with `--out <path>`), and additionally
 //! in `$RVCAP_RESULTS_DIR/hostbench.json` when that variable is set.
+//! A full-grid run also renders `BENCH_hostbench_summary.md`, a
+//! markdown speedup table CI appends to the job summary. Runs
+//! filtered by `--rig`/`--mode` measure an incomplete grid, so they
+//! default `--out` to `BENCH_hostbench.partial.json` instead — a
+//! triage run must not overwrite the committed full-grid record with
+//! a one-row report.
 
 use rvcap_bench::hostbench::{measure_rig, RigPerf, SchedulerMode};
 use rvcap_bench::{paper_soc, report, runner};
@@ -29,17 +43,23 @@ use rvcap_fabric::resources::Resources;
 use rvcap_fabric::rm::{RmImage, RmLibrary};
 use rvcap_fabric::rp::RpGeometry;
 
-/// Generous pinned cycles/sec floors for the `active_set_batched`
-/// rows, ~5x below what a modest 2020s laptop core measures (see
-/// EXPERIMENTS.md for reference numbers). A violation means the
-/// scheduler lost most of its advantage, not that the host is slow.
+/// Generous pinned cycles/sec floors for the `fused` rows (the
+/// default kernel configuration), ~5x below what a modest 2020s
+/// laptop core measures (see EXPERIMENTS.md for reference numbers).
+/// A violation means the scheduler lost most of its advantage, not
+/// that the host is slow.
 const FLOORS: &[(&str, f64)] = &[
     ("rvcap_paper", 900_000.0),
+    ("rvcap_deep", 900_000.0),
     ("hwicap_paper", 10_000_000.0),
     ("hwicap_small", 8_000_000.0),
     ("sd_staging", 3_000_000.0),
     ("hwicap_multi_rp", 8_000_000.0),
 ];
+
+/// Maximum tolerated drop of a fused row against the committed
+/// baseline after host-speed normalization.
+const BASELINE_TOLERANCE: f64 = 0.8;
 
 /// One rig: a paper measurement the harness times end to end
 /// (setup excluded), returning the simulated cycles covered.
@@ -53,6 +73,10 @@ const RIGS: &[Rig] = &[
     Rig {
         name: "rvcap_paper",
         what: "RV-CAP reconfiguration, paper RP (650 892 B)",
+    },
+    Rig {
+        name: "rvcap_deep",
+        what: "RV-CAP reconfiguration, paper RP, 64-deep stream FIFOs",
     },
     Rig {
         name: "hwicap_paper",
@@ -84,6 +108,19 @@ fn multi_rp_rig() -> paper_soc::PaperRig {
     paper_soc::rig_with_rps(SocBuilder::new(), rps)
 }
 
+/// The deep-elasticity ablation: the paper transfer with 64-deep
+/// stream FIFOs on the DMA→ICAP datapath. With the default shallow
+/// skid buffers the steady state caps fused windows at the FIFO
+/// occupancy (a handful of cycles); 64-deep buffers let the fused
+/// scheduler retire whole bursts per window, which is where bulk-beat
+/// execution shows its full separation from solo batching.
+fn deep_rig() -> paper_soc::PaperRig {
+    paper_soc::rig_with_builder(
+        SocBuilder::new().with_stream_depth(64),
+        RpGeometry::paper_rp(),
+    )
+}
+
 /// Build the staging rig: the scaled(2,0,0) partial bitstream sits on
 /// the SD card's FAT32 volume, not yet in DDR. The timed run is the
 /// paper's `init_RModules` step — every byte crosses the simulated SPI
@@ -108,6 +145,12 @@ fn staging_soc() -> RvCapSoc {
 fn measure(name: &'static str, mode: SchedulerMode, samples: usize) -> RigPerf {
     match name {
         "rvcap_paper" => measure_rig(name, mode, samples, paper_soc::rvcap_rig, |rig| {
+            runner::reconfigure_rvcap_sched(rig, DmaMode::NonBlocking, mode)
+                .soc
+                .core
+                .now()
+        }),
+        "rvcap_deep" => measure_rig(name, mode, samples, deep_rig, |rig| {
             runner::reconfigure_rvcap_sched(rig, DmaMode::NonBlocking, mode)
                 .soc
                 .core
@@ -153,17 +196,23 @@ fn measure(name: &'static str, mode: SchedulerMode, samples: usize) -> RigPerf {
     }
 }
 
-/// Per-rig speedup summary derived from the measured rows.
+/// Per-rig speedup summary derived from the measured rows. The
+/// headline ratios compare the fused configuration (the kernel
+/// default) against the reference schedulers.
 struct Summary {
     rig: String,
     naive_cps: f64,
     scan_cps: f64,
     active_set_cps: f64,
     active_set_batched_cps: f64,
-    /// Active-set+batching over the PR 1 fast-forward baseline.
+    fused_cps: f64,
+    /// Stream fusion over the PR 1 fast-forward baseline.
     speedup_vs_scan: f64,
-    /// Active-set+batching over the naive reference.
+    /// Stream fusion over the naive reference.
     speedup_vs_naive: f64,
+    /// Stream fusion over solo batching (the PR 4 configuration) —
+    /// what multi-component windows buy on top of solo bulk ticks.
+    fused_vs_batched: f64,
 }
 rvcap_bench::impl_json_struct!(Summary {
     rig,
@@ -171,8 +220,10 @@ rvcap_bench::impl_json_struct!(Summary {
     scan_cps,
     active_set_cps,
     active_set_batched_cps,
+    fused_cps,
     speedup_vs_scan,
-    speedup_vs_naive
+    speedup_vs_naive,
+    fused_vs_batched
 });
 
 struct HostbenchReport {
@@ -186,15 +237,63 @@ rvcap_bench::impl_json_struct!(HostbenchReport {
     summary
 });
 
+/// Extract `(rig, scheduler, cycles_per_sec)` rows from a previously
+/// written `BENCH_hostbench.json`. Hand-rolled like the encoder (no
+/// serde in the build environment): every result row is a flat object
+/// carrying exactly these fields, so scanning object-by-object is
+/// reliable for the format this binary itself produces. Summary
+/// objects lack a `scheduler` field and are skipped.
+fn parse_baseline(json: &str) -> Vec<(String, String, f64)> {
+    fn str_field(obj: &str, key: &str) -> Option<String> {
+        let pat = format!("\"{key}\":\"");
+        let start = obj.find(&pat)? + pat.len();
+        let end = obj[start..].find('"')?;
+        Some(obj[start..start + end].to_string())
+    }
+    fn num_field(obj: &str, key: &str) -> Option<f64> {
+        let pat = format!("\"{key}\":");
+        let start = obj.find(&pat)? + pat.len();
+        let rest = &obj[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].trim().parse().ok()
+    }
+    json.split('{')
+        .filter_map(|obj| {
+            Some((
+                str_field(obj, "rig")?,
+                str_field(obj, "scheduler")?,
+                num_field(obj, "cycles_per_sec")?,
+            ))
+        })
+        .collect()
+}
+
+/// Render the markdown speedup table CI appends to the job summary.
+fn render_markdown(summary: &[Summary]) -> String {
+    let mut md = String::from(
+        "## Host performance (simulated cycles/sec)\n\n\
+         | rig | naive | scan | active_set | +batching | fused | fused vs batched | fused vs scan |\n\
+         |---|---:|---:|---:|---:|---:|---:|---:|\n",
+    );
+    for s in summary {
+        md.push_str(&format!(
+            "| {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.2}x | {:.1}x |\n",
+            s.rig,
+            s.naive_cps,
+            s.scan_cps,
+            s.active_set_cps,
+            s.active_set_batched_cps,
+            s.fused_cps,
+            s.fused_vs_batched,
+            s.speedup_vs_scan
+        ));
+    }
+    md
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_hostbench.json".into());
     // `--rig <name>` restricts the run to one rig (repeatable) —
     // for profiling a single row or triaging a floor failure.
     let only: Vec<&str> = args
@@ -222,7 +321,27 @@ fn main() {
         .filter(|m| only_modes.is_empty() || only_modes.contains(&m.name()))
         .collect();
     assert!(!modes.is_empty(), "no scheduler matches {only_modes:?}");
+    let filtered = !only.is_empty() || !only_modes.is_empty();
+    // A filtered run writes a partial grid; keep it away from the
+    // committed full-grid record unless the caller says otherwise.
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            if filtered {
+                "BENCH_hostbench.partial.json".into()
+            } else {
+                "BENCH_hostbench.json".into()
+            }
+        });
     let full_grid = modes.len() == SchedulerMode::ALL.len();
+    // Snapshot the committed baseline before this run overwrites it.
+    let baseline = std::fs::read_to_string("BENCH_hostbench.json")
+        .ok()
+        .map(|s| parse_baseline(&s))
+        .filter(|rows| !rows.is_empty());
     let samples = if smoke { 1 } else { 3 };
 
     // Sequential on purpose: these rows are *timed*; concurrent
@@ -261,14 +380,17 @@ fn main() {
         .filter(|_| full_grid)
         .map(|rig| {
             let batched = cps(rig.name, SchedulerMode::ActiveSetBatched);
+            let fused = cps(rig.name, SchedulerMode::Fused);
             Summary {
                 rig: rig.name.into(),
                 naive_cps: cps(rig.name, SchedulerMode::Naive),
                 scan_cps: cps(rig.name, SchedulerMode::Scan),
                 active_set_cps: cps(rig.name, SchedulerMode::ActiveSet),
                 active_set_batched_cps: batched,
-                speedup_vs_scan: batched / cps(rig.name, SchedulerMode::Scan),
-                speedup_vs_naive: batched / cps(rig.name, SchedulerMode::Naive),
+                fused_cps: fused,
+                speedup_vs_scan: fused / cps(rig.name, SchedulerMode::Scan),
+                speedup_vs_naive: fused / cps(rig.name, SchedulerMode::Naive),
+                fused_vs_batched: fused / batched,
             }
         })
         .collect();
@@ -276,25 +398,71 @@ fn main() {
     println!();
     for s in &summary {
         println!(
-            "{:<16} active-set+batching: {:>12.0} cyc/s = {:.1}x vs scan (PR 1), {:.1}x vs naive",
-            s.rig, s.active_set_batched_cps, s.speedup_vs_scan, s.speedup_vs_naive
+            "{:<16} fused: {:>12.0} cyc/s = {:.2}x vs batched (PR 4), {:.1}x vs scan (PR 1), {:.1}x vs naive",
+            s.rig, s.fused_cps, s.fused_vs_batched, s.speedup_vs_scan, s.speedup_vs_naive
         );
     }
 
-    // Regression gate: every batched row must clear its pinned floor.
+    // Regression gate 1: every fused row must clear its pinned floor.
     let mut failed = false;
     for (rig, floor) in FLOORS {
         if !full_grid || !rigs.iter().any(|r| r.name == *rig) {
             continue;
         }
-        let got = cps(rig, SchedulerMode::ActiveSetBatched);
+        let got = cps(rig, SchedulerMode::Fused);
         if got < *floor {
             eprintln!(
-                "FAIL: {rig} active_set_batched measured {got:.0} cyc/s, \
+                "FAIL: {rig} fused measured {got:.0} cyc/s, \
                  below the pinned floor of {floor:.0}"
             );
             failed = true;
         }
+    }
+
+    // Regression gate 2: fused rows against the committed baseline,
+    // normalized for host speed. The active_set row is the common
+    // yardstick (no batching, no fusion — pure per-cycle execution),
+    // so `new.active_set / old.active_set` estimates how much faster
+    // or slower this machine is than the one that recorded the
+    // baseline; the fused row must keep within 20% of the baseline
+    // rescaled by that factor.
+    if let (true, Some(rows)) = (full_grid, &baseline) {
+        let old = |rig: &str, mode: SchedulerMode| {
+            rows.iter()
+                .find(|(r, s, _)| r == rig && s == mode.name())
+                .map(|&(_, _, v)| v)
+        };
+        for rig in &rigs {
+            let (Some(old_active), Some(old_fused)) = (
+                old(rig.name, SchedulerMode::ActiveSet),
+                old(rig.name, SchedulerMode::Fused),
+            ) else {
+                // New rig, or a pre-fusion baseline: nothing to hold
+                // this row against yet.
+                continue;
+            };
+            if old_active <= 0.0 {
+                continue;
+            }
+            let norm = cps(rig.name, SchedulerMode::ActiveSet) / old_active;
+            let want = BASELINE_TOLERANCE * old_fused * norm;
+            let got = cps(rig.name, SchedulerMode::Fused);
+            if got < want {
+                eprintln!(
+                    "FAIL: {} fused measured {:.0} cyc/s, below {:.0} \
+                     (baseline {:.0} x host-speed ratio {:.2} x {:.0}% tolerance)",
+                    rig.name,
+                    got,
+                    want,
+                    old_fused,
+                    norm,
+                    BASELINE_TOLERANCE * 100.0
+                );
+                failed = true;
+            }
+        }
+    } else if full_grid {
+        println!("no committed baseline to gate against (BENCH_hostbench.json absent)");
     }
 
     let rep = HostbenchReport {
@@ -311,8 +479,17 @@ fn main() {
     }
     report::dump_json("hostbench", &rep);
 
+    if full_grid {
+        let md = render_markdown(&rep.summary);
+        if let Err(e) = std::fs::write("BENCH_hostbench_summary.md", md.as_bytes()) {
+            eprintln!("warning: could not write BENCH_hostbench_summary.md: {e}");
+        } else {
+            println!("wrote BENCH_hostbench_summary.md");
+        }
+    }
+
     if failed {
         std::process::exit(1);
     }
-    println!("all rigs clear their pinned cycles/sec floors");
+    println!("all rigs clear their host-performance gates");
 }

@@ -21,8 +21,9 @@ use rvcap_sim::{Scheduler, Simulator};
 ///
 /// `Naive` is the reference tick-everything loop; `Scan` is the PR 1
 /// idle-fast-forward baseline (hint scan over every component each
-/// step); the two active-set variants differ only in whether dense
-/// streaming components may execute batched ticks.
+/// step); the active-set variants differ in whether dense streaming
+/// components may execute batched ticks and whether whole due chains
+/// may fuse into multi-cycle windows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerMode {
     /// Tick every component every cycle.
@@ -31,17 +32,21 @@ pub enum SchedulerMode {
     Scan,
     /// Wake-queue scheduling, one tick per component per cycle.
     ActiveSet,
-    /// Wake-queue scheduling plus batched streaming ticks.
+    /// Wake-queue scheduling plus solo batched streaming ticks.
     ActiveSetBatched,
+    /// Batching plus multi-component stream fusion (the default
+    /// kernel configuration).
+    Fused,
 }
 
 impl SchedulerMode {
     /// All modes, slowest first.
-    pub const ALL: [SchedulerMode; 4] = [
+    pub const ALL: [SchedulerMode; 5] = [
         SchedulerMode::Naive,
         SchedulerMode::Scan,
         SchedulerMode::ActiveSet,
         SchedulerMode::ActiveSetBatched,
+        SchedulerMode::Fused,
     ];
 
     /// Stable label used in reports and JSON records.
@@ -51,6 +56,7 @@ impl SchedulerMode {
             SchedulerMode::Scan => "scan",
             SchedulerMode::ActiveSet => "active_set",
             SchedulerMode::ActiveSetBatched => "active_set_batched",
+            SchedulerMode::Fused => "fused",
         }
     }
 
@@ -62,10 +68,17 @@ impl SchedulerMode {
             SchedulerMode::ActiveSet => {
                 sim.set_scheduler(Scheduler::ActiveSet);
                 sim.set_batching(false);
+                sim.set_fusion(false);
             }
             SchedulerMode::ActiveSetBatched => {
                 sim.set_scheduler(Scheduler::ActiveSet);
                 sim.set_batching(true);
+                sim.set_fusion(false);
+            }
+            SchedulerMode::Fused => {
+                sim.set_scheduler(Scheduler::ActiveSet);
+                sim.set_batching(true);
+                sim.set_fusion(true);
             }
         }
     }

@@ -70,6 +70,12 @@ impl Component for Axis2Icap {
     fn wake_sources(&self, waker: &rvcap_sim::Waker) -> rvcap_sim::WakePolicy {
         self.inner.wake_sources(waker)
     }
+
+    fn max_batch(&self, now: rvcap_sim::Cycle) -> Option<rvcap_sim::Cycle> {
+        // Pure delegation: the bridge is the narrower plus counters
+        // that are only read between runs.
+        self.inner.max_batch(now)
+    }
 }
 
 #[cfg(test)]

@@ -104,6 +104,7 @@ pub struct SocBuilder {
     hwicap_fifo_depth: usize,
     dma_burst_beats: u16,
     sd_files: Vec<(String, Vec<u8>)>,
+    stream_depth: Option<usize>,
     spi_clkdiv: u32,
     tracing: Option<(TraceLevel, usize)>,
     config_frames: usize,
@@ -129,6 +130,7 @@ impl SocBuilder {
             hwicap_fifo_depth: crate::hwicap::PAPER_FIFO_DEPTH,
             dma_burst_beats: crate::dma::DMA_BURST_BEATS,
             sd_files: Vec::new(),
+            stream_depth: None,
             spi_clkdiv: 4,
             tracing: None,
             config_frames: 200_000,
@@ -173,6 +175,18 @@ impl SocBuilder {
     /// Pre-load a file onto the SD card's FAT32 volume.
     pub fn with_sd_file(mut self, name: &str, data: Vec<u8>) -> Self {
         self.sd_files.push((name.to_string(), data));
+        self
+    }
+
+    /// Override the DMA→ICAP stream FIFO depths (ablation). The
+    /// default models the RTL's registered handshakes with shallow
+    /// skid buffers (mm2s 4, switch→bridge 4, ICAP input 8); deeper
+    /// buffers trade BRAM for elasticity — and give the fused
+    /// scheduler proportionally longer bulk-beat windows, which is
+    /// what the `rvcap_deep` hostbench rig measures.
+    pub fn with_stream_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0);
+        self.stream_depth = Some(depth);
         self
     }
 
@@ -303,7 +317,7 @@ impl SocBuilder {
 
         // ---------------- fabric ----------------
         let config_mem = ConfigMem::new(self.config_frames);
-        let icap_in: AxisChannel = Fifo::new("icap.in", 8);
+        let icap_in: AxisChannel = Fifo::new("icap.in", self.stream_depth.unwrap_or(8));
         let (icap, icap_h) = Icap::new("icap", icap_in.clone(), config_mem.clone(), KINTEX7_IDCODE);
 
         // Place partitions end to end from frame 1000.
@@ -321,9 +335,9 @@ impl SocBuilder {
         // fires only a handful of cycles before the ICAP consumes the
         // final word — matching the paper's "interrupt … indicates
         // completion of the reconfiguration process".
-        let mm2s: AxisChannel = Fifo::new("dma.mm2s", 4);
+        let mm2s: AxisChannel = Fifo::new("dma.mm2s", self.stream_depth.unwrap_or(4));
         let s2mm: AxisChannel = Fifo::new("dma.s2mm", 8);
-        let icap_raw: AxisChannel = Fifo::new("switch.icap", 4);
+        let icap_raw: AxisChannel = Fifo::new("switch.icap", self.stream_depth.unwrap_or(4));
         let select = Signal::new(0u8);
         let n_rps = rps.len();
         if let Some(s) = &sanitizer {
@@ -384,7 +398,7 @@ impl SocBuilder {
         // With the compressed loader, the bridge feeds the
         // decompressor, which expands into the ICAP channel.
         let (bridge, decompressor) = if self.compressed_loader {
-            let expanded: AxisChannel = Fifo::new("rle.in", 8);
+            let expanded: AxisChannel = Fifo::new("rle.in", self.stream_depth.unwrap_or(8));
             if let Some(s) = &sanitizer {
                 watch_stream(s, &expanded);
             }

@@ -127,6 +127,9 @@ pub struct Icap {
     frame_buf: Vec<u32>,
     crc_ok: bool,
     shared: Rc<RefCell<Shared>>,
+    /// Scratch for bulk pops in [`Component::tick_batch`]; kept on the
+    /// struct so the allocation is reused across batches.
+    batch_buf: Vec<rvcap_axi::AxisBeat>,
 }
 
 impl Icap {
@@ -162,6 +165,7 @@ impl Icap {
                 frame_buf: Vec::with_capacity(FRAME_WORDS),
                 crc_ok: false,
                 shared,
+                batch_buf: Vec::new(),
             },
             handle,
         )
@@ -346,40 +350,47 @@ impl Component for Icap {
         true
     }
 
-    fn tick_batch(&mut self, ctx: &mut TickCtx<'_>, max_cycles: Cycle) -> Cycle {
-        let start = ctx.cycle;
-        let mut executed: Cycle = 0;
-        while executed < max_cycles {
-            let cur = start + executed;
-            let Some(beat) = self.input.try_pop_batched(cur) else {
-                // Starved tick: a no-op cycle, and nothing can arrive
-                // mid-batch (the kernel runs us solo) — stop here.
-                executed += 1;
-                break;
-            };
-            debug_assert!(beat.bytes == 4, "ICAP port is 32 bits wide");
-            let was_desynced = matches!(self.state, State::Desynced);
-            let frames_before = self.frames_committed;
-            self.shared.borrow_mut().words_consumed += 1;
-            self.process_word(cur, ctx, beat.low_word());
-            executed += 1;
-            // Truncate at every effect observable outside the pure
-            // word drain, so it lands on the batch's last executed
-            // cycle: a SYNC or a finish/abort (busy flip, record
-            // push), a frame commit (ConfigMem write), or the input
-            // running dry (the post-batch hint must see the empty
-            // channel). The per-word `words_consumed` counter does
-            // advance inside a batch, but every run predicate in the
-            // tree gates on `busy`/records/ConfigMem state, all of
-            // which truncate.
-            if was_desynced != matches!(self.state, State::Desynced)
-                || self.frames_committed != frames_before
-                || self.input.is_empty()
-            {
-                break;
-            }
+    fn max_batch(&self, _now: Cycle) -> Option<Cycle> {
+        // Fusible only mid-FDRI-payload: header words can flip
+        // externally observable state (sync, finish/abort, CRC check)
+        // on any cycle, so they stay per-cycle. The window is bounded
+        // by the queued input, the FDRI run, and the space left in the
+        // current frame, so a frame commit (a ConfigMem write that host
+        // predicates can hash) and the FDRI→Synced flip both land on a
+        // window boundary.
+        let occ = self.input.len();
+        if occ == 0 {
+            return None;
         }
-        executed.max(1)
+        match self.state {
+            State::FdriData { remaining } => {
+                let frame_space = FRAME_WORDS - self.frame_buf.len();
+                Some(
+                    (occ as Cycle)
+                        .min(remaining as Cycle)
+                        .min(frame_space as Cycle),
+                )
+            }
+            _ => None,
+        }
+    }
+
+    fn tick_batch(&mut self, ctx: &mut TickCtx<'_>, max_cycles: Cycle) -> Cycle {
+        // The kernel caps `max_cycles` at our `max_batch` window, so
+        // the whole batch is a pure FDRI payload drain: the only state
+        // flips possible — a frame commit, the FDRI→Synced transition —
+        // land on the final word by construction of the window.
+        let start = ctx.cycle;
+        let mut buf = std::mem::take(&mut self.batch_buf);
+        buf.clear();
+        let n = self.input.pop_n(start, max_cycles as usize, &mut buf);
+        self.shared.borrow_mut().words_consumed += n as u64;
+        for (i, beat) in buf.iter().enumerate() {
+            debug_assert!(beat.bytes == 4, "ICAP port is 32 bits wide");
+            self.process_word(start + i as Cycle, ctx, beat.low_word());
+        }
+        self.batch_buf = buf;
+        (n as Cycle).max(1)
     }
 }
 

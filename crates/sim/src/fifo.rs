@@ -216,6 +216,36 @@ impl<T> Fifo<T> {
         item
     }
 
+    /// Bulk consumer primitive for fused/batched execution: pop up to
+    /// `max` elements with consecutive per-cycle stamps `start`,
+    /// `start + 1`, …, appending them to `out`. Returns the number
+    /// popped.
+    ///
+    /// Equivalent to `max` successive [`Fifo::try_pop_batched`] calls
+    /// at ascending cycles, stopping at the first refusal: the first
+    /// pop honors the one-pop-per-cycle mark (a pop already stamped at
+    /// `start` stops the bulk immediately), later pops see strictly
+    /// newer cycles and can only stop on an empty queue.
+    pub fn pop_n(&self, start: Cycle, max: usize, out: &mut Vec<T>) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        let mut popped = 0usize;
+        while popped < max {
+            let cycle = start + popped as Cycle;
+            if inner.queue.is_empty() || inner.last_pop == Some(cycle) {
+                break;
+            }
+            let item = inner.queue.pop_front().expect("checked non-empty");
+            inner.last_pop = Some(cycle);
+            inner.total_popped += 1;
+            if let Some(monitor) = &inner.monitor {
+                monitor.record_pop_at(inner.queue.len(), cycle);
+            }
+            out.push(item);
+            popped += 1;
+        }
+        popped
+    }
+
     /// Push without rate limiting — used only by *initialization* code
     /// (e.g. preloading a DDR model) and test fixtures, never by ticked
     /// components.
@@ -305,6 +335,39 @@ impl<T: Clone> Fifo<T> {
     /// Peek at the head element without consuming it.
     pub fn peek(&self) -> Option<T> {
         self.inner.borrow().queue.front().cloned()
+    }
+
+    /// Bulk producer primitive for fused/batched execution: push
+    /// elements from `items` with consecutive per-cycle stamps `start`,
+    /// `start + 1`, …, stopping at capacity. Returns the number pushed.
+    ///
+    /// Equivalent to successive [`Fifo::try_push_batched`] calls at
+    /// ascending cycles: the first push honors the one-push-per-cycle
+    /// mark, later pushes see strictly newer cycles and can only stop
+    /// on a full queue. Wakers fire once if anything was pushed — the
+    /// kernel's wake bits are idempotent, so one firing is equivalent
+    /// to one per push.
+    pub fn push_n(&self, start: Cycle, items: &[T]) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        let mut pushed = 0usize;
+        for item in items {
+            let cycle = start + pushed as Cycle;
+            if inner.queue.len() >= inner.capacity || inner.last_push == Some(cycle) {
+                break;
+            }
+            let meta = inner.monitor.as_ref().map(|m| m.meta_of(item));
+            inner.queue.push_back(item.clone());
+            inner.last_push = Some(cycle);
+            inner.total_pushed += 1;
+            if let (Some(monitor), Some(meta)) = (&inner.monitor, meta) {
+                monitor.record_push_at(meta, inner.queue.len(), cycle);
+            }
+            pushed += 1;
+        }
+        if pushed > 0 {
+            inner.fire_wakers();
+        }
+        pushed
     }
 }
 
@@ -399,6 +462,39 @@ mod tests {
             f.total_pushed() - f.total_popped() - f.total_cleared(),
             f.len() as u64
         );
+    }
+
+    #[test]
+    fn pop_n_stamps_consecutive_cycles() {
+        let f: Fifo<u32> = Fifo::new("t", 8);
+        for v in 0..5 {
+            f.force_push(v);
+        }
+        let mut out = Vec::new();
+        assert_eq!(f.pop_n(10, 3, &mut out), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        // The bulk left the mark at cycle 12: a pop at 12 is refused,
+        // one at 13 succeeds.
+        assert_eq!(f.try_pop(12), None);
+        assert_eq!(f.try_pop(13), Some(3));
+        // A bulk starting at an already-stamped cycle pops nothing.
+        assert_eq!(f.pop_n(13, 4, &mut out), 0);
+        assert_eq!(f.pop_n(14, 4, &mut out), 1);
+        assert_eq!(out.last(), Some(&4));
+    }
+
+    #[test]
+    fn push_n_respects_capacity_and_rate_marks() {
+        let f: Fifo<u32> = Fifo::new("t", 4);
+        f.try_push(20, 9).unwrap();
+        // First slot of the bulk collides with the cycle-20 mark.
+        assert_eq!(f.push_n(20, &[1, 2, 3]), 0);
+        assert_eq!(f.push_n(21, &[1, 2, 3, 4]), 3, "capacity 4, one queued");
+        assert!(f.is_full());
+        assert_eq!(f.try_pop(30), Some(9));
+        // The bulk's final stamp was cycle 23.
+        assert!(!f.can_push(23));
+        assert!(f.can_push(24));
     }
 
     #[test]

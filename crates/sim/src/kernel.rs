@@ -168,6 +168,17 @@ pub enum Scheduler {
 /// [`Simulator::step`] never jumps and never batches: external drivers
 /// (the CPU model mutates FIFOs between steps) rely on observing every
 /// cycle boundary, so single-step mode only gates individual ticks.
+/// Smallest multi-member fused window worth entering. Below this, the
+/// negotiation and interior setup cost more host time than the elided
+/// hint queries save; the attempt falls back to the ordered sweep.
+const MIN_FUSED_WINDOW: Cycle = 6;
+
+/// Cycles to suppress multi-member negotiation after a failed or
+/// under-sized attempt. A saturated lock-step chain sits in the same
+/// equilibrium for long stretches; retrying every cycle would pay the
+/// full `max_batch` query fan-out each time for the same verdict.
+const FUSION_BACKOFF: Cycle = 64;
+
 pub struct Simulator {
     freq: Freq,
     cycle: Cycle,
@@ -175,6 +186,8 @@ pub struct Simulator {
     tracer: Tracer,
     scheduler: Scheduler,
     batching: bool,
+    /// Multi-component stream fusion (see [`Simulator::set_fusion`]).
+    fusion: bool,
     /// Per-component executed-tick counts (parallel to `components`).
     /// Skipped-cycle counts are not tracked eagerly: a component has
     /// been skipped for every cycle since registration it was not
@@ -205,6 +218,26 @@ pub struct Simulator {
     /// carrying it in a bitset instead of the heap keeps the dense
     /// phases free of per-cycle heap traffic.
     carry: BitSet,
+    /// Reusable member list of the current fused window, ascending
+    /// registration order (scratch; empty between windows).
+    fused: Vec<u32>,
+    /// Reusable member mask matching `fused` (scratch).
+    fused_mask: BitSet,
+    /// Multi-member fused windows entered.
+    fused_windows: u64,
+    /// Cycles advanced inside multi-member fused windows (interior
+    /// cycles plus the final sweep cycle of each window).
+    fused_cycles: Cycle,
+    /// Per-component count of fused-window negotiations this
+    /// component vetoed by declaring no usable window while due.
+    fusion_vetoes: Vec<u64>,
+    /// Multi-member negotiation suppressed until this cycle. Set after
+    /// a failed or under-sized attempt so a phase whose members cannot
+    /// sustain useful windows (a zero-slack lock-step equilibrium) does
+    /// not pay the negotiation query cost every cycle. Purely a host-
+    /// perf policy: whether a window fires never changes simulated
+    /// behavior, only how the same cycles are driven.
+    fusion_backoff_until: Cycle,
     jumps: u64,
     jumped_cycles: Cycle,
     sanitizer: Option<Sanitizer>,
@@ -220,6 +253,7 @@ impl Simulator {
             tracer: Tracer::off(),
             scheduler: Scheduler::ActiveSet,
             batching: true,
+            fusion: true,
             ticks: Vec::new(),
             registered_at: Vec::new(),
             policies: Vec::new(),
@@ -230,6 +264,12 @@ impl Simulator {
             scheduled: Vec::new(),
             due: BitSet::default(),
             carry: BitSet::default(),
+            fused: Vec::new(),
+            fused_mask: BitSet::default(),
+            fused_windows: 0,
+            fused_cycles: 0,
+            fusion_vetoes: Vec::new(),
+            fusion_backoff_until: 0,
             jumps: 0,
             jumped_cycles: 0,
             sanitizer: None,
@@ -268,6 +308,7 @@ impl Simulator {
         self.batchable.push(component.batch_capable());
         self.components.push(component);
         self.ticks.push(0);
+        self.fusion_vetoes.push(0);
         self.registered_at.push(self.cycle);
         self.policies.push(policy);
         self.scheduled.push(Cycle::MAX);
@@ -347,6 +388,25 @@ impl Simulator {
     /// Whether batched streaming ticks are enabled.
     pub fn batching(&self) -> bool {
         self.batching
+    }
+
+    /// Enable or disable multi-component stream fusion (enabled by
+    /// default; only takes effect under [`Scheduler::ActiveSet`] with
+    /// batching on). When every due component negotiates a batch
+    /// window via [`Component::max_batch`], the kernel advances the
+    /// whole fused set cycle by cycle without re-querying hints or
+    /// re-building the due set, falling back to fine-grained stepping
+    /// the moment a wake escapes the set. Cycle counts and per-
+    /// component tick counts are identical either way — the toggle
+    /// exists so the host-perf harness can attribute speedup between
+    /// solo batching and fusion.
+    pub fn set_fusion(&mut self, enabled: bool) {
+        self.fusion = enabled;
+    }
+
+    /// Whether multi-component stream fusion is enabled.
+    pub fn fusion(&self) -> bool {
+        self.fusion
     }
 
     /// Attach a bus sanitizer (see [`crate::sanitizer`]). The kernel
@@ -624,47 +684,240 @@ impl Simulator {
         let mut cur = now;
         let mut from = 0;
 
-        // Solo batch: in an all-wired system with exactly one due
-        // component and no other deadline inside the window, offer the
-        // whole quiet stretch as one `tick_batch` call.
-        if window > 1 && self.batching && self.polled.is_empty() && self.due.count() == 1 {
-            let idx = self.due.next_at_or_after(0).expect("one bit is set");
-            let max = if self.batchable[idx] {
-                self.heap_next_live().saturating_sub(now).min(window)
-            } else {
-                0
-            };
-            if max > 1 {
+        // Fused window: in an all-wired system where every due
+        // component negotiates a batch window ([`Component::max_batch`])
+        // and no self-scheduled deadline falls inside it, execute the
+        // quiet stretch in bulk. A single batch-capable member gets the
+        // window as one `tick_batch` call (PR 4's solo path,
+        // generalized); several members — a steady-state stream chain —
+        // are ticked cycle by cycle in registration order without
+        // rebuilding the due set, until the window ends or a wake
+        // escapes the member set.
+        'fusion: {
+            if window < 2 || !self.batching || !self.polled.is_empty() || self.due.is_empty() {
+                break 'fusion;
+            }
+            // With fusion off, only the solo-batch shape is allowed:
+            // skip the negotiation unless exactly one component is due
+            // (this also preserves that mode's per-cycle cost profile).
+            let multi = self.due.count() != 1;
+            if multi && (!self.fusion || now < self.fusion_backoff_until) {
+                break 'fusion;
+            }
+            // The window must end before the next self-scheduled
+            // deadline, so a sleeping component (a CLINT timer edge, a
+            // DDR refresh, a DMA start-up pipeline) re-joins exactly on
+            // time.
+            let horizon = self.heap_next_live().saturating_sub(now).min(window);
+            if horizon < 2 {
+                break 'fusion;
+            }
+            // Negotiate k = min over the due members' windows; any due
+            // component without a usable window vetoes the attempt (the
+            // ordered sweep below handles the cycle as usual).
+            self.fused.clear();
+            let mut k = horizon;
+            let mut scan = 0;
+            while let Some(idx) = self.due.next_at_or_after(scan) {
+                scan = idx + 1;
+                match self.components[idx].max_batch(now) {
+                    Some(w) if w >= 2 => k = k.min(w),
+                    _ => {
+                        // Only a killed multi-member attempt counts as
+                        // a veto: a solo component declining a window
+                        // just means "no batch this cycle".
+                        if multi {
+                            self.fusion_vetoes[idx] += 1;
+                            self.fusion_backoff_until = now + FUSION_BACKOFF;
+                        }
+                        self.fused.clear();
+                        break 'fusion;
+                    }
+                }
+                self.fused.push(idx as u32);
+            }
+
+            // Solo member: offer the whole window as one bulk call.
+            if self.fused.len() == 1 && self.batchable[self.fused[0] as usize] {
+                let idx = self.fused[0] as usize;
+                self.fused.clear();
+                self.due.clear(idx);
                 let c = &mut self.components[idx];
-                if !matches!(c.next_activity(now), Some(at) if at > now) {
-                    self.due.clear(idx);
-                    let mut ctx = TickCtx {
-                        cycle: now,
-                        tracer: &self.tracer,
-                    };
-                    let executed = c.tick_batch(&mut ctx, max).clamp(1, max);
-                    self.ticks[idx] += executed;
-                    cur = now + executed - 1;
-                    // Reschedule from the batch's final cycle.
-                    let next = match c.next_activity(cur) {
-                        Some(at) => at.max(cur + 1),
-                        None => cur + 1,
-                    };
-                    if next == cur + 1 {
-                        self.carry.set(idx);
-                    } else {
-                        self.schedule(idx, next);
+                debug_assert!(
+                    !matches!(c.next_activity(now), Some(at) if at > now),
+                    "{}: max_batch promised a window while not due",
+                    c.name()
+                );
+                let mut ctx = TickCtx {
+                    cycle: now,
+                    tracer: &self.tracer,
+                };
+                let executed = c.tick_batch(&mut ctx, k).clamp(1, k);
+                self.ticks[idx] += executed;
+                cur = now + executed - 1;
+                // Reschedule from the batch's final cycle.
+                let next = match c.next_activity(cur) {
+                    Some(at) => at.max(cur + 1),
+                    None => cur + 1,
+                };
+                if next == cur + 1 {
+                    self.carry.set(idx);
+                } else {
+                    self.schedule(idx, next);
+                }
+                if let Some(s) = &self.sanitizer {
+                    s.set_now(cur);
+                }
+                // Effects of the final batched cycle may have woken
+                // later-registered components: finish cycle `cur` for
+                // them below, exactly as after a plain tick.
+                self.hub.drain_above_into(idx, &mut self.due);
+                from = idx + 1;
+                break 'fusion;
+            }
+            if !self.fusion {
+                self.fused.clear();
+                break 'fusion;
+            }
+            // A short multi-member window saves fewer hint queries than
+            // the negotiation and interior setup cost; fall back to the
+            // ordered sweep and back off so a zero-slack equilibrium
+            // (every FIFO in the chain pinned full or empty) does not
+            // re-negotiate every cycle.
+            if k < MIN_FUSED_WINDOW {
+                self.fusion_backoff_until = now + FUSION_BACKOFF;
+                self.fused.clear();
+                break 'fusion;
+            }
+
+            // Multi-member fusion: run the interior cycles of the
+            // window here. Members tick every cycle in ascending
+            // registration order without hint queries (their window
+            // promise stands in for the per-cycle due checks; the debug
+            // assert verifies it). A component *outside* the member set
+            // that a member's push wakes mid-window — typically the
+            // consumer at the end of a lock-step chain, whose input
+            // runs empty at every cycle boundary — is *recruited*: it
+            // runs through exactly the hint-checked path the ordered
+            // sweep uses, at its correct position in registration
+            // order, so same-cycle forwarding and tick counts are
+            // identical to per-cycle scheduling. Wakes to earlier-
+            // registered components stay in the hub and are drained at
+            // the next cycle boundary (pipeline latency), just like
+            // the per-cycle schedule. The only thing that ends a
+            // window early is a deadline a recruit self-schedules
+            // *inside* it. The *final* window cycle always runs
+            // through the normal sweep below, so boundary effects —
+            // post-tick hints, completion records, milestone wakes —
+            // are handled by unmodified machinery. The due bits of the
+            // members stay set throughout and feed that final sweep.
+            self.fused_mask.clear_all();
+            for &m in &self.fused {
+                self.fused_mask.set(m as usize);
+            }
+            let members = std::mem::take(&mut self.fused);
+            self.fused_windows += 1;
+            let mut at = now;
+            loop {
+                if at > now {
+                    // A recruit may have scheduled a deadline inside
+                    // the window (the negotiation only saw deadlines
+                    // live at `now`). End the stepped advance *before*
+                    // the deadline cycle: the next `step_active` call
+                    // re-runs the full cycle-start bookkeeping and
+                    // makes the deadline's owner due on time. All
+                    // current due bits (members and carried recruits)
+                    // are due again at `at`, which is exactly what the
+                    // carry set expresses.
+                    if self.heap_next_live() <= at {
+                        debug_assert!(self.carry.is_empty());
+                        std::mem::swap(&mut self.carry, &mut self.due);
+                        self.fused = members;
+                        self.fused_cycles += at - now;
+                        self.cycle = at;
+                        return at - now;
                     }
                     if let Some(s) = &self.sanitizer {
-                        s.set_now(cur);
+                        s.begin_cycle(at);
                     }
-                    // Effects of the final batched cycle may have woken
-                    // later-registered components: finish cycle `cur`
-                    // for them below, exactly as after a plain tick.
-                    self.hub.drain_above_into(idx, &mut self.due);
-                    from = idx + 1;
+                    // Wakes from the previous cycle aimed at earlier-
+                    // registered components (and any wake to a sleeping
+                    // recruit) become due this cycle.
+                    self.hub.drain_all_into(&mut self.due);
                 }
+                if at + 1 == now + k {
+                    break;
+                }
+                // One interior cycle: the sweep loop's shape, with the
+                // hint queries elided for members.
+                let mut i = 0;
+                while let Some(idx) = self.due.next_at_or_after(i) {
+                    i = idx + 1;
+                    if self.fused_mask.get(idx) {
+                        let c = &mut self.components[idx];
+                        debug_assert!(
+                            !matches!(c.next_activity(at), Some(h) if h > at),
+                            "{}: max_batch overcommitted — idle at {at} inside its window",
+                            c.name()
+                        );
+                        let mut ctx = TickCtx {
+                            cycle: at,
+                            tracer: &self.tracer,
+                        };
+                        c.tick(&mut ctx);
+                        self.ticks[idx] += 1;
+                        // The due bit stays set: the member is due for
+                        // every remaining window cycle.
+                    } else {
+                        // Recruit: hint-check, tick, re-arm — the
+                        // ordered sweep's exact per-component path.
+                        self.due.clear(idx);
+                        let c = &mut self.components[idx];
+                        if let Some(h) = c.next_activity(at) {
+                            if h > at {
+                                if self.policies[idx] == WakePolicy::Wired {
+                                    self.schedule(idx, h);
+                                }
+                                continue;
+                            }
+                        }
+                        let mut ctx = TickCtx {
+                            cycle: at,
+                            tracer: &self.tracer,
+                        };
+                        c.tick(&mut ctx);
+                        self.ticks[idx] += 1;
+                        if self.policies[idx] == WakePolicy::Wired {
+                            let next = match c.next_activity(at) {
+                                Some(h) => h.max(at + 1),
+                                None => at + 1,
+                            };
+                            if next == at + 1 {
+                                // Due again next cycle: keep the bit in
+                                // `due` (the window's carry set).
+                                self.due.set(idx);
+                            } else {
+                                self.schedule(idx, next);
+                            }
+                        }
+                    }
+                    // A push during this tick wakes subscribers: later
+                    // components join this very cycle, exactly as in
+                    // the sweep.
+                    self.hub.drain_above_into(idx, &mut self.due);
+                }
+                if let Some(s) = &self.sanitizer {
+                    s.end_cycle();
+                }
+                at += 1;
             }
+            self.fused = members;
+            // The final window cycle `at` is executed by the sweep
+            // below (members are still due, recruits carried in `due`);
+            // it still belongs to the window's advance.
+            self.fused_cycles += at - now + 1;
+            cur = at;
+            from = 0;
         }
 
         // Ordered sweep over the due set: ascending index is
@@ -846,15 +1099,19 @@ impl Simulator {
             fast_forward: self.fast_forward(),
             jumps: self.jumps,
             jumped_cycles: self.jumped_cycles,
+            fused_windows: self.fused_windows,
+            fused_cycles: self.fused_cycles,
             protocol_violations: self.sanitizer.as_ref().map_or(0, |s| s.violation_count()),
             components: self
                 .components
                 .iter()
+                .enumerate()
                 .zip(self.ticks.iter().zip(&self.registered_at))
-                .map(|(c, (&ticks, &registered))| ComponentStats {
+                .map(|((idx, c), (&ticks, &registered))| ComponentStats {
                     name: c.name().to_string(),
                     ticks_executed: ticks,
                     cycles_skipped: (self.cycle - registered) - ticks,
+                    fusion_vetoes: self.fusion_vetoes[idx],
                     audit: c.mmio_audit(),
                 })
                 .collect(),

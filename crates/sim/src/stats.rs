@@ -137,6 +137,11 @@ pub struct ComponentStats {
     pub ticks_executed: u64,
     /// Cycles skipped as guaranteed no-ops (gating + jumps).
     pub cycles_skipped: u64,
+    /// Fused-window negotiations this component vetoed by declaring
+    /// no usable [`crate::Component::max_batch`] window while due. A
+    /// hot component with a high veto count is the reason fused
+    /// windows stay short on a rig.
+    pub fusion_vetoes: u64,
     /// MMIO access audit, for components that decode a register map.
     pub audit: Option<MmioAudit>,
 }
@@ -166,6 +171,10 @@ pub struct KernelStats {
     pub jumps: u64,
     /// Total cycles covered by those jumps.
     pub jumped_cycles: Cycle,
+    /// Multi-component fused windows the kernel entered.
+    pub fused_windows: u64,
+    /// Cycles advanced inside those windows.
+    pub fused_cycles: Cycle,
     /// Bus/stream protocol violations recorded by the attached
     /// sanitizer (zero when no sanitizer is attached).
     pub protocol_violations: u64,
@@ -227,6 +236,14 @@ impl KernelStats {
             self.total_skipped(),
             self.skipped_pct(),
         ));
+        if self.fused_windows > 0 {
+            out.push_str(&format!(
+                "  fusion: {} windows covering {} cycles ({:.1} cycles/window)\n",
+                self.fused_windows,
+                self.fused_cycles,
+                self.fused_cycles as f64 / self.fused_windows as f64,
+            ));
+        }
         let name_w = self
             .components
             .iter()
@@ -236,12 +253,16 @@ impl KernelStats {
             .max(4);
         for c in &self.components {
             out.push_str(&format!(
-                "  {:<name_w$}  {:>12} ticks  {:>12} skipped  {:>6.1} % util\n",
+                "  {:<name_w$}  {:>12} ticks  {:>12} skipped  {:>6.1} % util",
                 c.name,
                 c.ticks_executed,
                 c.cycles_skipped,
                 c.utilization_pct(),
             ));
+            if c.fusion_vetoes > 0 {
+                out.push_str(&format!("  {:>8} vetoes", c.fusion_vetoes));
+            }
+            out.push('\n');
         }
         let audit = self.mmio_audit();
         if audit != MmioAudit::default() {
@@ -383,12 +404,15 @@ mod tests {
             fast_forward: true,
             jumps: 0,
             jumped_cycles: 0,
+            fused_windows: 0,
+            fused_cycles: 0,
             protocol_violations: 0,
             components: vec![
                 ComponentStats {
                     name: "a".into(),
                     ticks_executed: 100,
                     cycles_skipped: 0,
+                    fusion_vetoes: 0,
                     audit: Some(MmioAudit {
                         reads: 4,
                         unmapped: 2,
@@ -399,12 +423,14 @@ mod tests {
                     name: "b".into(),
                     ticks_executed: 100,
                     cycles_skipped: 0,
+                    fusion_vetoes: 0,
                     audit: None,
                 },
                 ComponentStats {
                     name: "c".into(),
                     ticks_executed: 100,
                     cycles_skipped: 0,
+                    fusion_vetoes: 0,
                     audit: Some(MmioAudit {
                         writes: 7,
                         ro_writes: 1,

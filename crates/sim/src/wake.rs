@@ -201,6 +201,13 @@ impl BitSet {
         }
     }
 
+    /// True when `index` is set.
+    pub(crate) fn get(&self, index: usize) -> bool {
+        self.words
+            .get(index / 64)
+            .is_some_and(|w| w & (1 << (index % 64)) != 0)
+    }
+
     /// Smallest set index `>= from`, if any.
     pub(crate) fn next_at_or_after(&self, from: usize) -> Option<usize> {
         let mut word = from / 64;

@@ -14,11 +14,24 @@ cargo build --release
 echo "== RVCAP_STRICT=1 cargo test -q =="
 RVCAP_STRICT=1 cargo test -q
 
+# Fused parity sweep: the suites that pin all five schedules (naive,
+# scan, active_set, +batching, fused) to bit-identical cycle counts,
+# FIFO contents, sanitizer verdicts and tick accounting — including
+# randomized backpressure / TLAST / decouple-gate toggles over the
+# DMA→ICAP datapath and a CLINT timer firing mid-window.
+echo "== fused parity sweep (five schedules, bit-identical) =="
+RVCAP_STRICT=1 cargo test -q -p rvcap-sim --test scheduler_equivalence
+RVCAP_STRICT=1 cargo test -q -p rvcap-axi --test fused_parity
+RVCAP_STRICT=1 cargo test -q -p rvcap-soc --test clint_fusion
+
 # Host-performance gate: one timed sample per rig × scheduler, written
-# to BENCH_hostbench.json. Fails only when an active_set_batched row
-# drops below its generous pinned cycles/sec floor (>5x regression —
-# a broken scheduler, not a slow host).
-echo "== hostbench --smoke (host-perf floors) =="
+# to BENCH_hostbench.json (plus BENCH_hostbench_summary.md with the
+# fused-vs-unfused deltas). Two gates, both on the fused rows: a
+# generous pinned cycles/sec floor per rig (~5x under measured — a
+# broken scheduler, not a slow host), and a relative gate against the
+# committed BENCH_hostbench.json baseline (>20% drop after normalizing
+# by the active_set ratio to cancel host-speed differences).
+echo "== hostbench --smoke (host-perf floors + baseline) =="
 cargo run --release -q -p rvcap-bench --bin hostbench -- --smoke
 
 echo "== cargo clippy (deny warnings) =="
