@@ -15,6 +15,7 @@
 //! that reconfiguration with traffic in flight corrupts nothing.
 
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError};
 use rvcap_sim::Signal;
 
 use crate::mm::{MasterPort, MmResp, SlavePort};
@@ -115,6 +116,22 @@ impl Component for StreamIsolator {
         let o = self.input.len();
         (o > 0).then_some(o as rvcap_sim::Cycle)
     }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        // The decouple signal is saved by its driver (RP_CTRL or the
+        // test harness), not by the isolator that merely reads it.
+        let mut b = StateBlob::new("axi.stream_isolator", 1);
+        b.put("input", self.input.save_state());
+        b.put_u64("blocked_cycles", self.blocked_cycles);
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("axi.stream_isolator", 1)?;
+        self.input.restore_state(state.get("input")?)?;
+        self.blocked_cycles = state.get_u64("blocked_cycles")?;
+        Ok(())
+    }
 }
 
 /// Gates a memory-mapped path with a decouple signal.
@@ -205,6 +222,26 @@ impl Component for MmIsolator {
         self.upstream.req.subscribe_wake(waker.clone());
         self.downstream.resp.subscribe_wake(waker.clone());
         rvcap_sim::WakePolicy::Wired
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        let mut b = StateBlob::new("axi.mm_isolator", 1);
+        b.put("upstream_req", self.upstream.req.save_state());
+        b.put("downstream_resp", self.downstream.resp.save_state());
+        b.put_u64("rejected", self.rejected);
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("axi.mm_isolator", 1)?;
+        self.upstream
+            .req
+            .restore_state(state.get("upstream_req")?)?;
+        self.downstream
+            .resp
+            .restore_state(state.get("downstream_resp")?)?;
+        self.rejected = state.get_u64("rejected")?;
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@
 //! — which is exactly the effect that throttles the AXI_HWICAP
 //! baseline in the paper.
 
+use rvcap_sim::state::{StateBlob, StateError, StateItem, StateValue};
 use rvcap_sim::{Cycle, Fifo};
 
 /// The operation carried by a request.
@@ -120,6 +121,72 @@ impl MmReq {
     }
 }
 
+impl StateItem for MmReq {
+    fn to_state(&self) -> StateValue {
+        let mut b = StateBlob::new("mm.req", 1);
+        b.put_u64("addr", self.addr);
+        match self.op {
+            MmOp::Read { bytes } => {
+                b.put_str("op", "read");
+                b.put_u64("bytes", u64::from(bytes));
+            }
+            MmOp::ReadBurst { beats, beat_bytes } => {
+                b.put_str("op", "read_burst");
+                b.put_u64("beats", u64::from(beats));
+                b.put_u64("beat_bytes", u64::from(beat_bytes));
+            }
+            MmOp::Write {
+                data,
+                bytes,
+                posted,
+            } => {
+                b.put_str("op", "write");
+                b.put_u64("data", data);
+                b.put_u64("bytes", u64::from(bytes));
+                b.put_bool("posted", posted);
+            }
+        }
+        StateValue::Blob(Box::new(b))
+    }
+
+    fn from_state(v: &StateValue, ctx: &str) -> Result<Self, StateError> {
+        let b = match v {
+            StateValue::Blob(b) => b,
+            other => {
+                return Err(StateError::Structure {
+                    tag: ctx.into(),
+                    detail: format!("request element is {}, expected blob", other.kind()),
+                })
+            }
+        };
+        b.expect("mm.req", 1)?;
+        let narrow = |field: &str| -> Result<u8, StateError> {
+            u8::try_from(b.get_u64(field)?)
+                .map_err(|_| b.structure_error(format!("{field} does not fit u8")))
+        };
+        let op = match b.get_str("op")? {
+            "read" => MmOp::Read {
+                bytes: narrow("bytes")?,
+            },
+            "read_burst" => MmOp::ReadBurst {
+                beats: u16::try_from(b.get_u64("beats")?)
+                    .map_err(|_| b.structure_error("beats does not fit u16"))?,
+                beat_bytes: narrow("beat_bytes")?,
+            },
+            "write" => MmOp::Write {
+                data: b.get_u64("data")?,
+                bytes: narrow("bytes")?,
+                posted: b.get_bool("posted")?,
+            },
+            other => return Err(b.structure_error(format!("unknown mm op {other}"))),
+        };
+        Ok(MmReq {
+            addr: b.get_u64("addr")?,
+            op,
+        })
+    }
+}
+
 /// A memory-mapped response beat.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MmResp {
@@ -164,6 +231,37 @@ impl MmResp {
             last: true,
             error: true,
         }
+    }
+}
+
+impl StateItem for MmResp {
+    fn to_state(&self) -> StateValue {
+        let mut b = StateBlob::new("mm.resp", 1);
+        b.put_u64("data", self.data);
+        b.put_u64("bytes", u64::from(self.bytes));
+        b.put_bool("last", self.last);
+        b.put_bool("error", self.error);
+        StateValue::Blob(Box::new(b))
+    }
+
+    fn from_state(v: &StateValue, ctx: &str) -> Result<Self, StateError> {
+        let b = match v {
+            StateValue::Blob(b) => b,
+            other => {
+                return Err(StateError::Structure {
+                    tag: ctx.into(),
+                    detail: format!("response element is {}, expected blob", other.kind()),
+                })
+            }
+        };
+        b.expect("mm.resp", 1)?;
+        Ok(MmResp {
+            data: b.get_u64("data")?,
+            bytes: u8::try_from(b.get_u64("bytes")?)
+                .map_err(|_| b.structure_error("response byte count does not fit u8"))?,
+            last: b.get_bool("last")?,
+            error: b.get_bool("error")?,
+        })
     }
 }
 

@@ -18,6 +18,7 @@
 //!   configurable number of cycles (stall detection).
 
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError};
 use rvcap_sim::Cycle;
 
 use crate::stream::AxisChannel;
@@ -143,6 +144,38 @@ impl Component for StreamMonitor {
         }
         self.last_pushed = pushed;
         self.last_popped = popped;
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        // The tapped channel is owned (saved) by its consumer; the
+        // monitor checkpoints only its observation counters.
+        let mut b = StateBlob::new("axi.stream_monitor", 1);
+        b.put_u64("last_popped", self.last_popped);
+        b.put_u64("last_pushed", self.last_pushed);
+        b.put_u64("stalled_for", self.stalled_for);
+        b.put_opt_u64("stall_limit", self.stall_limit);
+        b.put_bool("mid_packet", self.mid_packet);
+        b.put_u64("packets", self.packets);
+        b.put_u64("beats", self.beats);
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("axi.stream_monitor", 1)?;
+        let limit = state.get_opt_u64("stall_limit")?;
+        if limit != self.stall_limit {
+            return Err(state.structure_error(format!(
+                "stall_limit mismatch: instance {:?}, state {:?}",
+                self.stall_limit, limit
+            )));
+        }
+        self.last_popped = state.get_u64("last_popped")?;
+        self.last_pushed = state.get_u64("last_pushed")?;
+        self.stalled_for = state.get_u64("stalled_for")?;
+        self.mid_packet = state.get_bool("mid_packet")?;
+        self.packets = state.get_u64("packets")?;
+        self.beats = state.get_u64("beats")?;
+        Ok(())
     }
 }
 

@@ -11,9 +11,48 @@
 use std::collections::VecDeque;
 
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError, StateItem, StateValue};
 use rvcap_sim::Cycle;
 
 use crate::mm::{MasterPort, MmOp, MmReq, MmResp, SlavePort};
+
+/// Encode a `(ready_at, item)` pipeline for a checkpoint.
+fn pipe_to_state<T: StateItem>(pipe: &VecDeque<(Cycle, T)>) -> StateValue {
+    StateValue::List(
+        pipe.iter()
+            .map(|(ready, item)| {
+                let mut b = StateBlob::new("axi.delayed", 1);
+                b.put_u64("ready_at", *ready);
+                b.put("item", item.to_state());
+                StateValue::Blob(Box::new(b))
+            })
+            .collect(),
+    )
+}
+
+/// Inverse of [`pipe_to_state`].
+fn pipe_from_state<T: StateItem>(
+    v: &StateValue,
+    ctx: &str,
+) -> Result<VecDeque<(Cycle, T)>, StateError> {
+    let values = match v {
+        StateValue::List(values) => values,
+        other => {
+            return Err(StateError::Structure {
+                tag: ctx.into(),
+                detail: format!("pipeline is {}, expected list", other.kind()),
+            })
+        }
+    };
+    values
+        .iter()
+        .map(|v| {
+            let b = v.as_blob(ctx)?;
+            b.expect("axi.delayed", 1)?;
+            Ok((b.get_u64("ready_at")?, T::from_state(b.get("item")?, ctx)?))
+        })
+        .collect()
+}
 
 /// A pipelined adapter on a memory-mapped path.
 ///
@@ -151,6 +190,30 @@ impl Component for MmAdapter {
         self.upstream.req.subscribe_wake(waker.clone());
         self.downstream.resp.subscribe_wake(waker.clone());
         rvcap_sim::WakePolicy::Wired
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        // Consumed channels: the upstream request FIFO and the
+        // downstream response FIFO both drain into this adapter.
+        let mut b = StateBlob::new("axi.mm_adapter", 1);
+        b.put("upstream_req", self.upstream.req.save_state());
+        b.put("downstream_resp", self.downstream.resp.save_state());
+        b.put("req_pipe", pipe_to_state(&self.req_pipe));
+        b.put("resp_pipe", pipe_to_state(&self.resp_pipe));
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("axi.mm_adapter", 1)?;
+        self.upstream
+            .req
+            .restore_state(state.get("upstream_req")?)?;
+        self.downstream
+            .resp
+            .restore_state(state.get("downstream_resp")?)?;
+        self.req_pipe = pipe_from_state(state.get("req_pipe")?, "axi.mm_adapter")?;
+        self.resp_pipe = pipe_from_state(state.get("resp_pipe")?, "axi.mm_adapter")?;
+        Ok(())
     }
 }
 

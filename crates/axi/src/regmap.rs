@@ -37,6 +37,7 @@
 //! [`MmResp::err`] and must leave its state untouched (the regmap
 //! proptests pin this for every registered map).
 
+use rvcap_sim::state::{StateBlob, StateError, StateValue};
 use rvcap_sim::MmioAudit;
 
 use crate::mm::{MmOp, MmReq};
@@ -367,6 +368,82 @@ impl RegisterFile {
         } else {
             self.audit.unmapped += 1;
         }
+    }
+
+    /// Checkpoint the decode counters (devices embed this in their own
+    /// state blob — the register *values* live in the device).
+    pub fn save_state(&self) -> StateValue {
+        let mut b = StateBlob::new("axi.regfile", 1);
+        b.put_str("device", self.map.device);
+        b.put_list(
+            "reads",
+            self.reads.iter().map(|n| StateValue::U64(*n)).collect(),
+        );
+        b.put_list(
+            "writes",
+            self.writes.iter().map(|n| StateValue::U64(*n)).collect(),
+        );
+        let a = &self.audit;
+        for (field, v) in [
+            ("audit_reads", a.reads),
+            ("audit_writes", a.writes),
+            ("audit_unmapped", a.unmapped),
+            ("audit_misaligned", a.misaligned),
+            ("audit_ro_writes", a.ro_writes),
+            ("audit_wo_reads", a.wo_reads),
+            ("audit_overwide", a.overwide),
+            ("audit_bursts", a.bursts),
+            ("audit_protocol", a.protocol),
+        ] {
+            b.put_u64(field, v);
+        }
+        StateValue::Blob(Box::new(b))
+    }
+
+    /// Inverse of [`RegisterFile::save_state`]; verifies the state was
+    /// written by the same device map.
+    pub fn restore_state(&mut self, v: &StateValue) -> Result<(), StateError> {
+        let b = v.as_blob("axi.regfile")?;
+        b.expect("axi.regfile", 1)?;
+        let device = b.get_str("device")?;
+        if device != self.map.device {
+            return Err(b.structure_error(format!(
+                "state written by device {device}, this file decodes {}",
+                self.map.device
+            )));
+        }
+        let counters = |field: &str, len: usize| -> Result<Vec<u64>, StateError> {
+            let vals = b.get_list(field)?;
+            if vals.len() != len {
+                return Err(b.structure_error(format!(
+                    "{field} has {} counters, map declares {len} registers",
+                    vals.len()
+                )));
+            }
+            vals.iter()
+                .map(|v| match v {
+                    StateValue::U64(n) => Ok(*n),
+                    other => Err(b.structure_error(format!(
+                        "{field} counter is {}, expected u64",
+                        other.kind()
+                    ))),
+                })
+                .collect()
+        };
+        self.reads = counters("reads", self.map.regs.len())?;
+        self.writes = counters("writes", self.map.regs.len())?;
+        self.audit = MmioAudit {
+            reads: b.get_u64("audit_reads")?,
+            writes: b.get_u64("audit_writes")?,
+            unmapped: b.get_u64("audit_unmapped")?,
+            misaligned: b.get_u64("audit_misaligned")?,
+            ro_writes: b.get_u64("audit_ro_writes")?,
+            wo_reads: b.get_u64("audit_wo_reads")?,
+            overwide: b.get_u64("audit_overwide")?,
+            bursts: b.get_u64("audit_bursts")?,
+            protocol: b.get_u64("audit_protocol")?,
+        };
+        Ok(())
     }
 }
 

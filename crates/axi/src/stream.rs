@@ -5,6 +5,7 @@
 //! beat carries up to 8 data bytes, a byte count (TKEEP, always a dense
 //! prefix here), and TLAST.
 
+use rvcap_sim::state::{StateBlob, StateError, StateItem, StateValue};
 use rvcap_sim::Fifo;
 
 /// One AXI-Stream transfer (beat).
@@ -70,6 +71,35 @@ impl AxisBeat {
     /// The high 32 bits.
     pub fn high_word(&self) -> u32 {
         (self.data >> 32) as u32
+    }
+}
+
+impl StateItem for AxisBeat {
+    fn to_state(&self) -> StateValue {
+        let mut b = StateBlob::new("axis.beat", 1);
+        b.put_u64("data", self.data);
+        b.put_u64("bytes", u64::from(self.bytes));
+        b.put_bool("last", self.last);
+        StateValue::Blob(Box::new(b))
+    }
+
+    fn from_state(v: &StateValue, ctx: &str) -> Result<Self, StateError> {
+        let b = match v {
+            StateValue::Blob(b) => b,
+            other => {
+                return Err(StateError::Structure {
+                    tag: ctx.into(),
+                    detail: format!("beat element is {}, expected blob", other.kind()),
+                })
+            }
+        };
+        b.expect("axis.beat", 1)?;
+        Ok(AxisBeat {
+            data: b.get_u64("data")?,
+            bytes: u8::try_from(b.get_u64("bytes")?)
+                .map_err(|_| b.structure_error("beat byte count does not fit u8"))?,
+            last: b.get_bool("last")?,
+        })
     }
 }
 

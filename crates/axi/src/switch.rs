@@ -13,6 +13,7 @@
 //! `decision time` T_d covers reprogramming it between packets).
 
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError, StateValue};
 use rvcap_sim::Signal;
 
 use crate::stream::AxisChannel;
@@ -120,6 +121,48 @@ impl Component for StreamSwitch {
         // full output) keeps the queue — and the due stretch — intact.
         let occ = self.input.len();
         (occ > 0).then_some(occ as rvcap_sim::Cycle)
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        // The select signal is driven (and saved) by its writer — the
+        // switch controller or the test harness — not by the switch.
+        let mut b = StateBlob::new("axi.switch", 1);
+        b.put("input", self.input.save_state());
+        b.put_bool("mid_packet", self.mid_packet);
+        b.put_u64("active_route", u64::from(self.active_route));
+        b.put_list(
+            "forwarded",
+            self.forwarded.iter().map(|n| StateValue::U64(*n)).collect(),
+        );
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("axi.switch", 1)?;
+        let forwarded = state.get_list("forwarded")?;
+        if forwarded.len() != self.outputs.len() {
+            return Err(state.structure_error(format!(
+                "{} forwarded counters in state, this switch has {} outputs",
+                forwarded.len(),
+                self.outputs.len()
+            )));
+        }
+        self.input.restore_state(state.get("input")?)?;
+        self.mid_packet = state.get_bool("mid_packet")?;
+        self.active_route = u8::try_from(state.get_u64("active_route")?)
+            .map_err(|_| state.structure_error("active route does not fit u8"))?;
+        for (dst, v) in self.forwarded.iter_mut().zip(forwarded) {
+            *dst = match v {
+                StateValue::U64(n) => *n,
+                other => {
+                    return Err(state.structure_error(format!(
+                        "forwarded counter is {}, expected u64",
+                        other.kind()
+                    )))
+                }
+            };
+        }
+        Ok(())
     }
 }
 

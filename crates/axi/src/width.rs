@@ -8,8 +8,26 @@
 //! beats for the write-back direction.
 
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError, StateItem};
 
 use crate::stream::{AxisBeat, AxisChannel};
+
+/// Save an optional buffered beat (the narrower's carry, the widener's
+/// half) as a presence flag plus an encoded beat.
+fn put_opt_beat(b: &mut StateBlob, field: &str, beat: &Option<AxisBeat>) {
+    match beat {
+        Some(x) => b.put(field, x.to_state()),
+        None => b.put_opt_u64(field, None),
+    }
+}
+
+/// Inverse of [`put_opt_beat`].
+fn get_opt_beat(b: &StateBlob, field: &str) -> Result<Option<AxisBeat>, StateError> {
+    match b.get(field)? {
+        rvcap_sim::state::StateValue::OptU64(None) => Ok(None),
+        v => AxisBeat::from_state(v, b.tag()).map(Some),
+    }
+}
 
 /// 64-bit → 32-bit stream width converter.
 ///
@@ -107,6 +125,20 @@ impl Component for Narrower {
         let w = usize::from(self.carry.is_some()) + self.input.len();
         (w > 0).then_some(w as rvcap_sim::Cycle)
     }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        let mut b = StateBlob::new("axi.narrower", 1);
+        b.put("input", self.input.save_state());
+        put_opt_beat(&mut b, "carry", &self.carry);
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("axi.narrower", 1)?;
+        self.input.restore_state(state.get("input")?)?;
+        self.carry = get_opt_beat(state, "carry")?;
+        Ok(())
+    }
 }
 
 /// 32-bit → 64-bit stream width converter.
@@ -200,6 +232,20 @@ impl Component for Widener {
         // partner beat arrives.
         let occ = self.input.len();
         (occ > 0).then_some(occ as rvcap_sim::Cycle)
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        let mut b = StateBlob::new("axi.widener", 1);
+        b.put("input", self.input.save_state());
+        put_opt_beat(&mut b, "half", &self.half);
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("axi.widener", 1)?;
+        self.input.restore_state(state.get("input")?)?;
+        self.half = get_opt_beat(state, "half")?;
+        Ok(())
     }
 }
 

@@ -23,8 +23,18 @@
 //!   machine; the normalized gate catches the slow bleed a generous
 //!   floor misses.
 //!
-//! `--smoke` runs one timed sample per row (CI); the default is a
-//! median of three. The JSON lands in `BENCH_hostbench.json` in the
+//! Each rig builds its SoC **once**: the prototype is checkpointed
+//! post-boot and every mode × sample measurement is a warm-boot fork
+//! from that snapshot (restore + stats reset) rather than a fresh
+//! build-and-boot — the replay-parity suite proves forked runs are
+//! bit-identical to cold boots, and the harness re-asserts the
+//! simulated cycle counts across repetitions and modes.
+//!
+//! The default is a median of three samples per row — cheap enough
+//! for CI now that samples fork instead of rebooting, and robust
+//! against the single-sample jitter that used to flake the baseline
+//! gate. `--smoke` still runs one timed sample per row for quick
+//! local triage. The JSON lands in `BENCH_hostbench.json` in the
 //! current directory (override with `--out <path>`), and additionally
 //! in `$RVCAP_RESULTS_DIR/hostbench.json` when that variable is set.
 //! A full-grid run also renders `BENCH_hostbench_summary.md`, a
@@ -34,7 +44,7 @@
 //! triage run must not overwrite the committed full-grid record with
 //! a one-row report.
 
-use rvcap_bench::hostbench::{measure_rig, RigPerf, SchedulerMode};
+use rvcap_bench::hostbench::{measure_rig_forked, RigPerf, SchedulerMode};
 use rvcap_bench::{paper_soc, report, runner};
 use rvcap_core::drivers::DmaMode;
 use rvcap_core::system::{RvCapSoc, SocBuilder};
@@ -142,46 +152,101 @@ fn staging_soc() -> RvCapSoc {
         .build()
 }
 
-fn measure(name: &'static str, mode: SchedulerMode, samples: usize) -> RigPerf {
+/// Measure one rig under every requested scheduler from a single
+/// warm-boot prototype: the SoC is built, booted, and staged **once**,
+/// checkpointed, and every mode × sample measurement forks from that
+/// snapshot — a restore into the same structure plus
+/// [`reset_stats`](rvcap_sim::Simulator::reset_stats), so per-run tick
+/// accounting covers only the measured phase. Checkpoints are
+/// scheduler-portable (`checkpoint_is_scheduler_portable` in
+/// `tests/replay_parity.rs`), so one snapshot serves all five modes,
+/// and the replay-parity suite proves each forked run is bit-identical
+/// to a cold boot — the numbers stay comparable with older cold-boot
+/// records.
+fn warm_grid<S>(
+    name: &'static str,
+    modes: &[SchedulerMode],
+    samples: usize,
+    mut proto: S,
+    soc_of: impl Fn(&mut S) -> &mut RvCapSoc,
+    mut run: impl FnMut(&mut S) -> u64,
+) -> Vec<RigPerf> {
+    let base = soc_of(&mut proto)
+        .core
+        .checkpoint()
+        .expect("post-boot checkpoint");
+    modes
+        .iter()
+        .map(|&mode| {
+            mode.apply(&mut soc_of(&mut proto).core.sim);
+            measure_rig_forked(
+                name,
+                mode,
+                samples,
+                &mut proto,
+                |p| {
+                    let core = &mut soc_of(p).core;
+                    core.restore(&base).expect("warm-boot fork");
+                    core.sim.reset_stats();
+                },
+                &mut run,
+            )
+        })
+        .collect()
+}
+
+fn rig_soc(rig: &mut paper_soc::PaperRig) -> &mut RvCapSoc {
+    &mut rig.soc
+}
+
+fn soc_ident(soc: &mut RvCapSoc) -> &mut RvCapSoc {
+    soc
+}
+
+fn measure_all(name: &'static str, modes: &[SchedulerMode], samples: usize) -> Vec<RigPerf> {
     match name {
-        "rvcap_paper" => measure_rig(name, mode, samples, paper_soc::rvcap_rig, |rig| {
-            runner::reconfigure_rvcap_sched(rig, DmaMode::NonBlocking, mode)
-                .soc
-                .core
-                .now()
-        }),
-        "rvcap_deep" => measure_rig(name, mode, samples, deep_rig, |rig| {
-            runner::reconfigure_rvcap_sched(rig, DmaMode::NonBlocking, mode)
-                .soc
-                .core
-                .now()
-        }),
-        "hwicap_paper" => measure_rig(name, mode, samples, paper_soc::rvcap_rig, |rig| {
-            runner::reconfigure_hwicap_sched(rig, 16, mode)
-                .soc
-                .core
-                .now()
-        }),
-        "hwicap_small" => measure_rig(
+        "rvcap_paper" => warm_grid(
             name,
-            mode,
+            modes,
             samples,
-            || paper_soc::rig_with_geometry(RpGeometry::scaled(2, 0, 0)),
+            paper_soc::rvcap_rig(),
+            rig_soc,
             |rig| {
-                runner::reconfigure_hwicap_sched(rig, 16, mode)
-                    .soc
-                    .core
-                    .now()
+                runner::reconfigure_rvcap_in_place(rig, DmaMode::NonBlocking);
+                rig.soc.core.now()
             },
         ),
-        "hwicap_multi_rp" => measure_rig(name, mode, samples, multi_rp_rig, |rig| {
-            runner::reconfigure_hwicap_sched(rig, 16, mode)
-                .soc
-                .core
-                .now()
+        "rvcap_deep" => warm_grid(name, modes, samples, deep_rig(), rig_soc, |rig| {
+            runner::reconfigure_rvcap_in_place(rig, DmaMode::NonBlocking);
+            rig.soc.core.now()
         }),
-        "sd_staging" => measure_rig(name, mode, samples, staging_soc, |mut soc| {
-            mode.apply(&mut soc.core.sim);
+        "hwicap_paper" => warm_grid(
+            name,
+            modes,
+            samples,
+            paper_soc::rvcap_rig(),
+            rig_soc,
+            |rig| {
+                runner::reconfigure_hwicap_in_place(rig, 16);
+                rig.soc.core.now()
+            },
+        ),
+        "hwicap_small" => warm_grid(
+            name,
+            modes,
+            samples,
+            paper_soc::rig_with_geometry(RpGeometry::scaled(2, 0, 0)),
+            rig_soc,
+            |rig| {
+                runner::reconfigure_hwicap_in_place(rig, 16);
+                rig.soc.core.now()
+            },
+        ),
+        "hwicap_multi_rp" => warm_grid(name, modes, samples, multi_rp_rig(), rig_soc, |rig| {
+            runner::reconfigure_hwicap_in_place(rig, 16);
+            rig.soc.core.now()
+        }),
+        "sd_staging" => warm_grid(name, modes, samples, staging_soc(), soc_ident, |soc| {
             let modules = rvcap_core::drivers::init_rmodules(
                 &mut soc.core,
                 &soc.handles.ddr,
@@ -189,7 +254,7 @@ fn measure(name: &'static str, mode: SchedulerMode, samples: usize) -> RigPerf {
                 &["MODULE0.PBI"],
             );
             assert_eq!(modules.len(), 1, "one file staged");
-            runner::assert_clean_mmio(&soc);
+            runner::assert_clean_mmio(soc);
             soc.core.now()
         }),
         _ => unreachable!("unknown rig {name}"),
@@ -351,11 +416,12 @@ fn main() {
     for rig in &rigs {
         println!("{} — {}", rig.name, rig.what);
         let mut cycles = None;
-        for &mode in &modes {
-            let perf = measure(rig.name, mode, samples);
+        for perf in measure_all(rig.name, &modes, samples) {
             println!("  {}", perf.render());
             // Schedulers trade host time only; simulated timing is
-            // pinned by the parity tests and re-asserted here.
+            // pinned by the parity tests and re-asserted here. Every
+            // row forked from the same post-boot snapshot, so this
+            // also re-checks that warm-boot forking left no residue.
             match cycles {
                 None => cycles = Some(perf.sim_cycles),
                 Some(c) => assert_eq!(

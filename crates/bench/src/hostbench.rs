@@ -120,33 +120,47 @@ impl RigPerf {
     }
 }
 
-/// Measure simulated-cycles-per-second for one rig run.
+/// Measure simulated-cycles-per-second for one rig run, forking every
+/// sample from a shared warm-boot prototype.
 ///
-/// `setup` builds the rig (untimed — bitstream synthesis and DDR
-/// staging cost the same under every scheduler and would dilute the
-/// ratio between them); `run` executes the simulation and returns the
+/// `proto` is the prototype the caller built **once** (bitstream
+/// synthesis, SoC boot, and DDR/SD staging are paid a single time, not
+/// per sample); `fork` rewinds it to the post-boot snapshot between
+/// samples (untimed — a checkpoint restore plus a stats reset costs
+/// the same under every scheduler and would dilute the ratio between
+/// them); `run` executes the measured phase in place and returns the
 /// simulated cycles covered. `samples` runs are timed and the median
-/// reported (robust to host scheduler noise; the cycle count itself
-/// is deterministic and asserted identical across samples).
-pub fn measure_rig<S>(
+/// reported (robust to host scheduler noise).
+///
+/// The replay-parity suite (`tests/replay_parity.rs`) proves a forked
+/// run is bit-identical to a cold-booted one, so these numbers are
+/// directly comparable with a cold-boot harness; the simulated cycle
+/// count is re-asserted identical across samples here — a forked
+/// repetition that drifts from the first by even one cycle means the
+/// fork leaked state and the measurement is invalid.
+pub fn measure_rig_forked<S>(
     rig: &str,
     scheduler: SchedulerMode,
     samples: usize,
-    mut setup: impl FnMut() -> S,
-    mut run: impl FnMut(S) -> u64,
+    proto: &mut S,
+    mut fork: impl FnMut(&mut S),
+    mut run: impl FnMut(&mut S) -> u64,
 ) -> RigPerf {
     let samples = samples.max(1);
     let mut runs: Vec<(Duration, u64)> = (0..samples)
         .map(|_| {
-            let input = setup();
+            fork(proto);
             let t0 = Instant::now();
-            let cycles = run(input);
+            let cycles = run(proto);
             (t0.elapsed(), cycles)
         })
         .collect();
     let cycles = runs[0].1;
     for (_, c) in &runs {
-        assert_eq!(*c, cycles, "rig {rig} is not deterministic across runs");
+        assert_eq!(
+            *c, cycles,
+            "rig {rig}: warm-boot forked repetitions disagree on simulated cycles"
+        );
     }
     runs.sort_unstable();
     let wall = runs[runs.len() / 2].0.as_secs_f64();

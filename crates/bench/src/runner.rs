@@ -143,6 +143,19 @@ pub fn reconfigure_rvcap_sched(rig: PaperRig, mode: DmaMode, sched: SchedulerMod
     run
 }
 
+/// In-place variant of [`reconfigure_rvcap_sched`] for warm-boot
+/// forked measurement: the caller keeps rig ownership (it rewinds the
+/// rig from a checkpoint between repetitions) and has already applied
+/// the scheduler mode, so only the driver run and the MMIO audit
+/// remain.
+pub fn reconfigure_rvcap_in_place(rig: &mut PaperRig, mode: DmaMode) -> ReconfigTiming {
+    let driver = RvCapDriver::new(0, rig.soc.handles.plic.clone());
+    let module = rig.module.clone();
+    let timing = driver.init_reconfig_process(&mut rig.soc.core, &module, mode);
+    assert_clean_mmio(&rig.soc);
+    timing
+}
+
 /// Run the HWICAP Listing-2 transfer (no decoupling) on a rig.
 pub fn reconfigure_hwicap(rig: PaperRig, unroll: usize) -> HwIcapRun {
     reconfigure_hwicap_ff(rig, unroll, true)
@@ -169,6 +182,16 @@ pub fn reconfigure_hwicap_sched(rig: PaperRig, unroll: usize, sched: SchedulerMo
     let run = HwIcapRun { soc, module, ticks };
     assert_clean_mmio(&run.soc);
     run
+}
+
+/// In-place variant of [`reconfigure_hwicap_sched`] for warm-boot
+/// forked measurement (see [`reconfigure_rvcap_in_place`]).
+pub fn reconfigure_hwicap_in_place(rig: &mut PaperRig, unroll: usize) -> u64 {
+    let ddr = rig.soc.handles.ddr.clone();
+    let module = rig.module.clone();
+    let ticks = HwIcapDriver::with_unroll(unroll).reconfigure_rp(&mut rig.soc.core, &ddr, &module);
+    assert_clean_mmio(&rig.soc);
+    ticks
 }
 
 /// The merged MMIO audit of a run (crossbar decode errors fold into

@@ -19,6 +19,7 @@
 use rvcap_axi::stream::AxisBeat;
 use rvcap_axi::AxisChannel;
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
@@ -173,6 +174,61 @@ impl Component for RleDecompressor {
         };
         let w = run + self.input.len() as rvcap_sim::Cycle;
         (w > 0).then_some(w)
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        let mut b = StateBlob::new("core.rle", 1);
+        b.put("input", self.input.save_state());
+        let (state, count, word, input_last) = match self.state {
+            State::Count => ("count", None, None, false),
+            State::Word { count, input_last } => ("word", Some(count as u64), None, input_last),
+            State::Emit {
+                word,
+                remaining,
+                input_last,
+            } => (
+                "emit",
+                Some(remaining as u64),
+                Some(word as u64),
+                input_last,
+            ),
+        };
+        b.put_str("state", state);
+        b.put_opt_u64("count", count);
+        b.put_opt_u64("word", word);
+        b.put_bool("input_last", input_last);
+        b.put_u64("words_in", self.words_in);
+        b.put_u64("words_out", self.words_out);
+        b.put_u64("format_errors", self.format_errors);
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("core.rle", 1)?;
+        let missing = |field: &str| state.structure_error(format!("state lacks {field}"));
+        let input_last = state.get_bool("input_last")?;
+        self.state = match state.get_str("state")? {
+            "count" => State::Count,
+            "word" => State::Word {
+                count: state
+                    .get_opt_u64("count")?
+                    .ok_or_else(|| missing("count"))? as u32,
+                input_last,
+            },
+            "emit" => State::Emit {
+                word: state.get_opt_u64("word")?.ok_or_else(|| missing("word"))? as u32,
+                remaining: state
+                    .get_opt_u64("count")?
+                    .ok_or_else(|| missing("count"))? as u32,
+                input_last,
+            },
+            other => return Err(state.structure_error(format!("unknown state {other:?}"))),
+        };
+        self.input.restore_state(state.get("input")?)?;
+        self.words_in = state.get_u64("words_in")?;
+        self.words_out = state.get_u64("words_out")?;
+        self.format_errors = state.get_u64("format_errors")?;
+        Ok(())
     }
 }
 

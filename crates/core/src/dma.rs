@@ -26,6 +26,7 @@ use rvcap_axi::regmap::{Decoded, RegisterFile};
 use rvcap_axi::stream::AxisBeat;
 use rvcap_axi::AxisChannel;
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError};
 use rvcap_sim::{Cycle, MmioAudit, Signal};
 
 /// Burst length in 64-bit beats (the paper's setting).
@@ -449,6 +450,87 @@ impl Component for XilinxDma {
 
     fn mmio_audit(&self) -> Option<MmioAudit> {
         Some(self.regs.audit())
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        let mut b = StateBlob::new("core.dma", 1);
+        // Channels this component consumes (ownership convention), and
+        // the IRQ levels it drives.
+        b.put("ctrl_req", self.ctrl.req.save_state());
+        b.put("mem_resp", self.mem.resp.save_state());
+        b.put("s2mm", self.s2mm.save_state());
+        b.put("regs", self.regs.save_state());
+        b.put_bool("mm2s_irq", self.mm2s_irq.get());
+        b.put_bool("s2mm_irq", self.s2mm_irq.get());
+        b.put_u64("mm2s_cr", self.mm2s_cr as u64);
+        b.put_u64("mm2s_sr", self.mm2s_sr as u64);
+        b.put_u64("mm2s_sa", self.mm2s_sa);
+        let (state, until) = match self.mm2s_state {
+            Mm2sState::Halted => ("halted", None),
+            Mm2sState::Idle => ("idle", None),
+            Mm2sState::Starting { until } => ("starting", Some(until)),
+            Mm2sState::Running => ("running", None),
+        };
+        b.put_str("mm2s_state", state);
+        b.put_opt_u64("mm2s_until", until);
+        b.put_u64("fetch_addr", self.fetch_addr);
+        b.put_u64("fetch_remaining", self.fetch_remaining);
+        b.put_u64("emit_remaining", self.emit_remaining);
+        b.put_u64("bursts_in_flight", self.bursts_in_flight as u64);
+        b.put_u64("burst_beats", self.burst_beats as u64);
+        b.put_u64("s2mm_cr", self.s2mm_cr as u64);
+        b.put_u64("s2mm_sr", self.s2mm_sr as u64);
+        b.put_u64("s2mm_da", self.s2mm_da);
+        b.put_u64("s2mm_addr", self.s2mm_addr);
+        b.put_u64("s2mm_remaining", self.s2mm_remaining);
+        b.put_u64("beats_streamed", self.beats_streamed);
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("core.dma", 1)?;
+        if state.get_u64("burst_beats")? != self.burst_beats as u64 {
+            return Err(state.structure_error(format!(
+                "burst_beats mismatch: instance {}, state {}",
+                self.burst_beats,
+                state.get_u64("burst_beats")?
+            )));
+        }
+        self.ctrl.req.restore_state(state.get("ctrl_req")?)?;
+        self.mem.resp.restore_state(state.get("mem_resp")?)?;
+        self.s2mm.restore_state(state.get("s2mm")?)?;
+        self.regs.restore_state(state.get("regs")?)?;
+        self.mm2s_irq.set(state.get_bool("mm2s_irq")?);
+        self.s2mm_irq.set(state.get_bool("s2mm_irq")?);
+        self.mm2s_cr = state.get_u32("mm2s_cr")?;
+        self.mm2s_sr = state.get_u32("mm2s_sr")?;
+        self.mm2s_sa = state.get_u64("mm2s_sa")?;
+        self.mm2s_state = match state.get_str("mm2s_state")? {
+            "halted" => Mm2sState::Halted,
+            "idle" => Mm2sState::Idle,
+            "starting" => Mm2sState::Starting {
+                until: state
+                    .get_opt_u64("mm2s_until")?
+                    .ok_or_else(|| state.structure_error("starting state without mm2s_until"))?,
+            },
+            "running" => Mm2sState::Running,
+            other => {
+                return Err(state.structure_error(format!("unknown mm2s_state {other:?}")));
+            }
+        };
+        self.fetch_addr = state.get_u64("fetch_addr")?;
+        self.fetch_remaining = state.get_u64("fetch_remaining")?;
+        self.emit_remaining = state.get_u64("emit_remaining")?;
+        let bif = state.get_u64("bursts_in_flight")?;
+        self.bursts_in_flight = u8::try_from(bif)
+            .map_err(|_| state.structure_error(format!("bursts_in_flight {bif} exceeds u8")))?;
+        self.s2mm_cr = state.get_u32("s2mm_cr")?;
+        self.s2mm_sr = state.get_u32("s2mm_sr")?;
+        self.s2mm_da = state.get_u64("s2mm_da")?;
+        self.s2mm_addr = state.get_u64("s2mm_addr")?;
+        self.s2mm_remaining = state.get_u64("s2mm_remaining")?;
+        self.beats_streamed = state.get_u64("beats_streamed")?;
+        Ok(())
     }
 }
 

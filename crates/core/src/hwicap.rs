@@ -31,6 +31,7 @@ use rvcap_axi::stream::AxisBeat;
 use rvcap_axi::AxisChannel;
 use rvcap_fabric::config_mem::{ConfigMem, FRAME_WORDS};
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError};
 use rvcap_sim::MmioAudit;
 use std::collections::VecDeque;
 
@@ -285,6 +286,63 @@ impl Component for AxiHwicap {
 
     fn mmio_audit(&self) -> Option<MmioAudit> {
         Some(self.regs.audit())
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        let mut b = StateBlob::new("core.hwicap", 1);
+        b.put("port_req", self.port.req.save_state());
+        b.put("regs", self.regs.save_state());
+        b.put_u64("depth", self.depth as u64);
+        b.put_words("fifo", self.fifo.iter().copied().collect());
+        b.put_bool("writing", self.writing);
+        b.put_u64("words_written", self.words_written);
+        b.put_u64("flushes", self.flushes);
+        b.put_words("rf", self.rf.iter().copied().collect());
+        b.put_u64("sz", self.sz as u64);
+        b.put_u64("read_far", self.read_far as u64);
+        b.put_u64("reading_remaining", self.reading_remaining as u64);
+        b.put_u64("read_offset", self.read_offset as u64);
+        // The shared configuration memory is owned (saved/restored) by
+        // the ICAP primitive, the sole frame writer.
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("core.hwicap", 1)?;
+        if state.get_u64("depth")? != self.depth as u64 {
+            return Err(state.structure_error(format!(
+                "FIFO depth mismatch: instance {}, state {}",
+                self.depth,
+                state.get_u64("depth")?
+            )));
+        }
+        let fifo = state.get_words("fifo")?;
+        if fifo.len() > self.depth {
+            return Err(state.structure_error(format!(
+                "write FIFO fill {} exceeds depth {}",
+                fifo.len(),
+                self.depth
+            )));
+        }
+        let rf = state.get_words("rf")?;
+        if rf.len() > READ_FIFO_DEPTH {
+            return Err(state.structure_error(format!(
+                "read FIFO fill {} exceeds depth {READ_FIFO_DEPTH}",
+                rf.len()
+            )));
+        }
+        self.port.req.restore_state(state.get("port_req")?)?;
+        self.regs.restore_state(state.get("regs")?)?;
+        self.fifo = fifo.iter().copied().collect();
+        self.writing = state.get_bool("writing")?;
+        self.words_written = state.get_u64("words_written")?;
+        self.flushes = state.get_u64("flushes")?;
+        self.rf = rf.iter().copied().collect();
+        self.sz = state.get_u32("sz")?;
+        self.read_far = state.get_u32("read_far")?;
+        self.reading_remaining = state.get_u32("reading_remaining")?;
+        self.read_offset = state.get_u32("read_offset")?;
+        Ok(())
     }
 }
 

@@ -16,6 +16,7 @@
 use rvcap_axi::width::Narrower;
 use rvcap_axi::AxisChannel;
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError};
 
 /// The ICAP RDWRB level driven by the bridge: permanently write mode.
 pub const RDWRB_LEVEL: bool = false;
@@ -75,6 +76,20 @@ impl Component for Axis2Icap {
         // Pure delegation: the bridge is the narrower plus counters
         // that are only read between runs.
         self.inner.max_batch(now)
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        let mut b = StateBlob::new("core.axis2icap", 1);
+        b.put_blob("narrower", self.inner.save_state()?);
+        b.put_u64("last_count", self.last_count);
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("core.axis2icap", 1)?;
+        self.inner.restore_state(state.get_blob("narrower")?)?;
+        self.last_count = state.get_u64("last_count")?;
+        Ok(())
     }
 }
 

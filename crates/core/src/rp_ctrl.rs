@@ -13,6 +13,7 @@ use rvcap_axi::regmap::{Decoded, RegisterFile};
 use rvcap_fabric::host::RmHostHandle;
 use rvcap_fabric::rm::RmLibrary;
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError};
 use rvcap_sim::{MmioAudit, Signal};
 
 rvcap_axi::register_map! {
@@ -172,6 +173,43 @@ impl Component for RpController {
 
     fn mmio_audit(&self) -> Option<MmioAudit> {
         Some(self.regs.audit())
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        let mut b = StateBlob::new("core.rp_ctrl", 1);
+        b.put("port_req", self.port.req.save_state());
+        b.put("regs", self.regs.save_state());
+        b.put_u64("decouple_reg", self.decouple_reg as u64);
+        // Decouple line levels (this component is their sole driver).
+        let mut lines = 0u64;
+        for (i, l) in self.decouple.iter().enumerate() {
+            if l.get() {
+                lines |= 1 << i;
+            }
+        }
+        b.put_u64("decouple_lines", lines);
+        b.put_u64("partitions", self.decouple.len() as u64);
+        // Per-partition host state is owned by the RmHost components.
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("core.rp_ctrl", 1)?;
+        if state.get_u64("partitions")? != self.decouple.len() as u64 {
+            return Err(state.structure_error(format!(
+                "partition count mismatch: instance {}, state {}",
+                self.decouple.len(),
+                state.get_u64("partitions")?
+            )));
+        }
+        self.port.req.restore_state(state.get("port_req")?)?;
+        self.regs.restore_state(state.get("regs")?)?;
+        self.decouple_reg = state.get_u32("decouple_reg")?;
+        let lines = state.get_u64("decouple_lines")?;
+        for (i, l) in self.decouple.iter().enumerate() {
+            l.set(lines & (1 << i) != 0);
+        }
+        Ok(())
     }
 }
 

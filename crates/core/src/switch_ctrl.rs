@@ -16,6 +16,7 @@ use rvcap_axi::mm::{MmResp, SlavePort};
 use rvcap_axi::regmap::{Decoded, RegisterFile};
 use rvcap_axi::switch::SwitchSelect;
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError};
 use rvcap_sim::MmioAudit;
 
 rvcap_axi::register_map! {
@@ -130,6 +131,36 @@ impl Component for SwitchCtrl {
 
     fn mmio_audit(&self) -> Option<MmioAudit> {
         Some(self.regs.audit())
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        let mut b = StateBlob::new("core.switch_ctrl", 1);
+        b.put("port_req", self.port.req.save_state());
+        b.put("regs", self.regs.save_state());
+        b.put_u64("icap_route", self.icap_route as u64);
+        b.put_bool("icap_mode", self.icap_mode);
+        b.put_u64("rm_sel", self.rm_sel as u64);
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("core.switch_ctrl", 1)?;
+        if state.get_u64("icap_route")? != self.icap_route as u64 {
+            return Err(state.structure_error(format!(
+                "icap_route mismatch: instance {}, state {}",
+                self.icap_route,
+                state.get_u64("icap_route")?
+            )));
+        }
+        self.port.req.restore_state(state.get("port_req")?)?;
+        self.regs.restore_state(state.get("regs")?)?;
+        self.icap_mode = state.get_bool("icap_mode")?;
+        let sel = state.get_u64("rm_sel")?;
+        self.rm_sel = u8::try_from(sel)
+            .map_err(|_| state.structure_error(format!("rm_sel {sel} exceeds u8")))?;
+        // Re-drive the select line (this component is its sole driver).
+        self.apply();
+        Ok(())
     }
 }
 

@@ -10,6 +10,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use rvcap_sim::state::{StateBlob, StateError, StateValue};
+
 /// Words per configuration frame (UG470: 101 for 7-series).
 pub const FRAME_WORDS: usize = 101;
 
@@ -98,6 +100,66 @@ impl ConfigMem {
     /// Lifetime count of frame writes.
     pub fn total_writes(&self) -> u64 {
         self.inner.borrow().writes
+    }
+
+    /// Checkpoint the frame store. Saved by the ICAP (the sole frame
+    /// writer); configured frames are stored sparsely, so an almost
+    /// empty device costs almost nothing.
+    pub fn save_state(&self) -> StateValue {
+        let inner = self.inner.borrow();
+        let mut b = StateBlob::new("fabric.config_mem", 1);
+        b.put_u64("total_frames", inner.frames.len() as u64);
+        b.put_u64("writes", inner.writes);
+        b.put_list(
+            "frames",
+            inner
+                .frames
+                .iter()
+                .enumerate()
+                .filter_map(|(far, slot)| {
+                    slot.as_deref().map(|words| {
+                        let mut f = StateBlob::new("fabric.frame", 1);
+                        f.put_u64("far", far as u64);
+                        f.put_words("words", words.to_vec());
+                        StateValue::Blob(Box::new(f))
+                    })
+                })
+                .collect(),
+        );
+        StateValue::Blob(Box::new(b))
+    }
+
+    /// Inverse of [`ConfigMem::save_state`]: unconfigured frames go
+    /// back to "never written".
+    pub fn restore_state(&self, v: &StateValue) -> Result<(), StateError> {
+        let b = v.as_blob("fabric.config_mem")?;
+        b.expect("fabric.config_mem", 1)?;
+        let mut inner = self.inner.borrow_mut();
+        if b.get_u64("total_frames")? as usize != inner.frames.len() {
+            return Err(b.structure_error(format!(
+                "device has {} frames, state was captured with {}",
+                inner.frames.len(),
+                b.get_u64("total_frames")?
+            )));
+        }
+        let mut frames: Vec<Option<Box<[u32; FRAME_WORDS]>>> =
+            (0..inner.frames.len()).map(|_| None).collect();
+        for entry in b.get_list("frames")? {
+            let f = entry.as_blob("fabric.config_mem")?;
+            f.expect("fabric.frame", 1)?;
+            let far = f.get_u64("far")? as usize;
+            let words = f.get_words("words")?;
+            let slot = frames
+                .get_mut(far)
+                .ok_or_else(|| f.structure_error(format!("FAR {far} out of range")))?;
+            let arr: [u32; FRAME_WORDS] = words.try_into().map_err(|_| {
+                f.structure_error(format!("frame {far} is not {FRAME_WORDS} words"))
+            })?;
+            *slot = Some(Box::new(arr));
+        }
+        inner.frames = frames;
+        inner.writes = b.get_u64("writes")?;
+        Ok(())
     }
 }
 

@@ -58,6 +58,16 @@ impl Crc32 {
     pub fn value(&self) -> u32 {
         !self.state
     }
+
+    /// The raw accumulator, for checkpointing an in-progress CRC.
+    pub fn raw(&self) -> u32 {
+        self.state
+    }
+
+    /// Rebuild an in-progress CRC from [`Crc32::raw`].
+    pub fn from_raw(state: u32) -> Self {
+        Crc32 { state }
+    }
 }
 
 impl Default for Crc32 {

@@ -16,6 +16,7 @@ use std::rc::Rc;
 
 use rvcap_axi::AxisChannel;
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError, StateValue};
 
 use crate::config_mem::ConfigMem;
 use crate::icap::IcapHandle;
@@ -179,6 +180,57 @@ impl Component for RmHost {
         // ignores them, an occupied one is always-now anyway.
         self.icap.subscribe_wake(waker.clone());
         rvcap_sim::WakePolicy::Wired
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        // The hosted behaviour is not serialized as code — only its
+        // name and its (usually empty) pipeline state. Restore
+        // re-instantiates it from the library, exactly like a load.
+        let mut b = StateBlob::new("fabric.rm_host", 1);
+        b.put("input", self.input.save_state());
+        b.put_u64("seen_loads", self.seen_loads as u64);
+        b.put_u64("reconfig_count", *self.handle.reconfig_count.borrow());
+        match &*self.handle.active.borrow() {
+            Some(name) => b.put_str("active", name.clone()),
+            None => b.put_opt_u64("active", None),
+        }
+        b.put(
+            "behavior",
+            self.active
+                .as_ref()
+                .map_or(StateValue::OptU64(None), |beh| beh.save_state()),
+        );
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("fabric.rm_host", 1)?;
+        self.input.restore_state(state.get("input")?)?;
+        self.seen_loads = state.get_u64("seen_loads")? as usize;
+        *self.handle.reconfig_count.borrow_mut() = state.get_u64("reconfig_count")?;
+        let active_name = match state.get("active")? {
+            StateValue::Str(name) => Some(name.clone()),
+            StateValue::OptU64(None) => None,
+            other => {
+                return Err(state.structure_error(format!(
+                    "active module is {}, expected str or none",
+                    other.kind()
+                )))
+            }
+        };
+        *self.handle.active.borrow_mut() = active_name.clone();
+        self.active = None;
+        if let Some(name) = active_name {
+            let image = self.library.by_name(&name).ok_or_else(|| {
+                state.structure_error(format!("active module {name} is not in the library"))
+            })?;
+            if let Some(mut behavior) = self.library.behavior_for_hash(image.hash()) {
+                behavior.reset();
+                behavior.restore_state(state.get("behavior")?)?;
+                self.active = Some(behavior);
+            }
+        }
+        Ok(())
     }
 }
 

@@ -20,6 +20,7 @@ use std::rc::Rc;
 
 use rvcap_axi::AxisChannel;
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError, StateValue};
 use rvcap_sim::Cycle;
 
 use crate::bitstream::{cmd, decode_header, ConfigReg, Packet, SYNC_WORD};
@@ -373,6 +374,99 @@ impl Component for Icap {
             }
             _ => None,
         }
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        // The ICAP is the sole frame writer, so it owns the shared
+        // configuration memory in a checkpoint.
+        let mut b = StateBlob::new("fabric.icap", 1);
+        b.put("input", self.input.save_state());
+        b.put("config_mem", self.config_mem.save_state());
+        match self.state {
+            State::Desynced => b.put_str("fsm", "desynced"),
+            State::Synced => b.put_str("fsm", "synced"),
+            State::Type1Data { reg, remaining } => {
+                b.put_str("fsm", "type1");
+                b.put_u64("fsm_reg", reg as u64);
+                b.put_u64("fsm_remaining", u64::from(remaining));
+            }
+            State::FdriData { remaining } => {
+                b.put_str("fsm", "fdri");
+                b.put_u64("fsm_remaining", u64::from(remaining));
+            }
+        }
+        b.put_u64("crc", u64::from(self.crc.raw()));
+        b.put_u64("far", u64::from(self.far));
+        b.put_u64("far_start", u64::from(self.far_start));
+        b.put_u64("frames_committed", self.frames_committed as u64);
+        b.put_words("frame_buf", self.frame_buf.clone());
+        b.put_bool("crc_ok", self.crc_ok);
+        let sh = self.shared.borrow();
+        b.put_u64("words_consumed", sh.words_consumed);
+        b.put_u64("sync_count", sh.sync_count);
+        b.put_u64("abort_count", sh.abort_count);
+        b.put_bool("busy", sh.busy);
+        b.put_list(
+            "records",
+            sh.records
+                .iter()
+                .map(|r| {
+                    let mut rec = StateBlob::new("fabric.load_record", 1);
+                    rec.put_u64("far_start", u64::from(r.far_start));
+                    rec.put_u64("frames", r.frames as u64);
+                    rec.put_bool("crc_ok", r.crc_ok);
+                    rec.put_u64("finished_at", r.finished_at);
+                    StateValue::Blob(Box::new(rec))
+                })
+                .collect(),
+        );
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("fabric.icap", 1)?;
+        self.input.restore_state(state.get("input")?)?;
+        self.config_mem.restore_state(state.get("config_mem")?)?;
+        self.state = match state.get_str("fsm")? {
+            "desynced" => State::Desynced,
+            "synced" => State::Synced,
+            "type1" => State::Type1Data {
+                reg: ConfigReg::from_addr(state.get_u32("fsm_reg")?)
+                    .ok_or_else(|| state.structure_error("unknown config register in FSM state"))?,
+                remaining: state.get_u32("fsm_remaining")?,
+            },
+            "fdri" => State::FdriData {
+                remaining: state.get_u32("fsm_remaining")?,
+            },
+            other => return Err(state.structure_error(format!("unknown FSM state {other}"))),
+        };
+        self.crc = Crc32::from_raw(state.get_u32("crc")?);
+        self.far = state.get_u32("far")?;
+        self.far_start = state.get_u32("far_start")?;
+        self.frames_committed = state.get_u64("frames_committed")? as usize;
+        self.frame_buf = state.get_words("frame_buf")?.to_vec();
+        if self.frame_buf.len() >= FRAME_WORDS {
+            return Err(state.structure_error("frame buffer holds a whole frame or more"));
+        }
+        self.crc_ok = state.get_bool("crc_ok")?;
+        let mut records = Vec::new();
+        for v in state.get_list("records")? {
+            let rec = v.as_blob("fabric.icap")?;
+            rec.expect("fabric.load_record", 1)?;
+            records.push(LoadRecord {
+                far_start: rec.get_u32("far_start")?,
+                frames: rec.get_u64("frames")? as usize,
+                crc_ok: rec.get_bool("crc_ok")?,
+                finished_at: rec.get_u64("finished_at")?,
+            });
+        }
+        let mut sh = self.shared.borrow_mut();
+        sh.records = records;
+        sh.words_consumed = state.get_u64("words_consumed")?;
+        sh.sync_count = state.get_u64("sync_count")?;
+        sh.abort_count = state.get_u64("abort_count")?;
+        sh.busy = state.get_bool("busy")?;
+        Ok(())
     }
 
     fn tick_batch(&mut self, ctx: &mut TickCtx<'_>, max_cycles: Cycle) -> Cycle {

@@ -21,6 +21,7 @@
 
 use crate::config_mem::{payload_hash, FRAME_WORDS};
 use crate::resources::Resources;
+use rvcap_sim::state::{StateError, StateValue};
 use rvcap_sim::Cycle;
 
 /// A synthesized reconfigurable module image.
@@ -111,6 +112,20 @@ pub trait RmBehavior {
     /// Reset to post-configuration state (called when the module is
     /// (re)loaded — a freshly configured RM has empty pipelines).
     fn reset(&mut self);
+
+    /// Checkpoint the behaviour's internal pipeline state. The default
+    /// declares the behaviour stateless (combinational or reset-fresh
+    /// each tick); stateful behaviours override both hooks so a
+    /// restored partition resumes mid-pipeline.
+    fn save_state(&self) -> StateValue {
+        StateValue::OptU64(None)
+    }
+
+    /// Inverse of [`RmBehavior::save_state`]; called on a freshly
+    /// reset instance during simulator restore.
+    fn restore_state(&mut self, _v: &StateValue) -> Result<(), StateError> {
+        Ok(())
+    }
 }
 
 /// Factory producing a fresh behaviour instance for an image.

@@ -1,5 +1,6 @@
 //! The component trait ticked by the simulation kernel.
 
+use crate::state::{StateBlob, StateError};
 use crate::time::Cycle;
 use crate::trace::Tracer;
 use crate::wake::{WakePolicy, Waker};
@@ -180,6 +181,41 @@ pub trait Component {
     /// (`None`) marks components with no register interface.
     fn mmio_audit(&self) -> Option<crate::stats::MmioAudit> {
         None
+    }
+
+    /// Externalize every piece of mutable state as a tagged, versioned
+    /// [`StateBlob`] — the checkpoint half of checkpoint/restore.
+    ///
+    /// Ownership convention for shared plumbing: each [`crate::Fifo`]
+    /// is saved by its unique *consumer*, each [`crate::Signal`] level
+    /// by its unique *driver*, so a whole-system checkpoint covers
+    /// every channel exactly once. Wiring (wakers, monitors, the
+    /// channel handles themselves) is **not** state — restore happens
+    /// into a structurally identical system built by the same
+    /// construction code.
+    ///
+    /// The default returns `None`, meaning "not checkpointable".
+    /// [`crate::Simulator::checkpoint`] treats that as a hard error:
+    /// a checkpoint missing one component's state would restore into a
+    /// subtly wrong system, which is worse than no checkpoint at all.
+    fn save_state(&self) -> Option<StateBlob> {
+        None
+    }
+
+    /// Overwrite this component's mutable state from a blob previously
+    /// produced by [`Component::save_state`] on a structurally
+    /// identical instance.
+    ///
+    /// Implementations must first verify tag and version
+    /// ([`StateBlob::expect`]) and must restore *completely* — every
+    /// field `save_state` writes — or fail with a [`StateError`]
+    /// without claiming success. The kernel turns any error into a
+    /// panic at the restore site: a half-restored simulator is not a
+    /// recoverable condition.
+    fn restore_state(&mut self, _state: &StateBlob) -> Result<(), StateError> {
+        Err(StateError::Unsupported {
+            component: self.name().into(),
+        })
     }
 }
 

@@ -18,6 +18,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use crate::sanitizer::ChannelMonitor;
+use crate::state::{StateBlob, StateError, StateItem, StateValue};
 use crate::time::Cycle;
 use crate::wake::Waker;
 
@@ -331,6 +332,78 @@ impl<T> Fifo<T> {
     }
 }
 
+impl<T: StateItem> Fifo<T> {
+    /// Capture the FIFO's mutable state — queue contents, per-cycle
+    /// rate-limit marks, lifetime counters — as a nested blob for the
+    /// owning component's [`crate::Component::save_state`].
+    ///
+    /// By the workspace ownership convention, the FIFO's unique
+    /// *consumer* saves it, so every channel appears in exactly one
+    /// component's checkpoint. The monitor and waker wiring is not
+    /// state: restore targets a structurally identical FIFO wired by
+    /// the same construction code.
+    pub fn save_state(&self) -> StateValue {
+        let inner = self.inner.borrow();
+        let mut blob = StateBlob::new("fifo", 1);
+        blob.put_str("name", inner.name.clone());
+        blob.put_list("queue", inner.queue.iter().map(|e| e.to_state()).collect());
+        blob.put_opt_u64("last_push", inner.last_push);
+        blob.put_opt_u64("last_pop", inner.last_pop);
+        blob.put_u64("pushed", inner.total_pushed);
+        blob.put_u64("popped", inner.total_popped);
+        blob.put_u64("cleared", inner.total_cleared);
+        StateValue::Blob(Box::new(blob))
+    }
+
+    /// Overwrite the FIFO's mutable state from a [`Fifo::save_state`]
+    /// value taken from a structurally identical channel (same name,
+    /// same capacity — both are verified).
+    ///
+    /// Deliberately bypasses the sanitizer monitor and the wakers:
+    /// restoring occupancy is not traffic, and the sanitizer's own
+    /// observation state is restored separately by the kernel.
+    pub fn restore_state(&self, v: &StateValue) -> Result<(), StateError> {
+        let blob = match v {
+            StateValue::Blob(b) => b,
+            other => {
+                return Err(StateError::Structure {
+                    tag: "fifo".into(),
+                    detail: format!("expected a fifo blob, found {}", other.kind()),
+                })
+            }
+        };
+        blob.expect("fifo", 1)?;
+        let name = blob.get_str("name")?;
+        let queue_vals = blob.get_list("queue")?;
+        let mut inner = self.inner.borrow_mut();
+        if name != inner.name {
+            return Err(blob.structure_error(format!(
+                "blob is for channel {name}, restoring into {}",
+                inner.name
+            )));
+        }
+        if queue_vals.len() > inner.capacity {
+            return Err(blob.structure_error(format!(
+                "{} queued elements exceed capacity {} of {}",
+                queue_vals.len(),
+                inner.capacity,
+                inner.name
+            )));
+        }
+        let mut queue = VecDeque::with_capacity(inner.capacity);
+        for v in queue_vals {
+            queue.push_back(T::from_state(v, name)?);
+        }
+        inner.queue = queue;
+        inner.last_push = blob.get_opt_u64("last_push")?;
+        inner.last_pop = blob.get_opt_u64("last_pop")?;
+        inner.total_pushed = blob.get_u64("pushed")?;
+        inner.total_popped = blob.get_u64("popped")?;
+        inner.total_cleared = blob.get_u64("cleared")?;
+        Ok(())
+    }
+}
+
 impl<T: Clone> Fifo<T> {
     /// Peek at the head element without consuming it.
     pub fn peek(&self) -> Option<T> {
@@ -509,5 +582,56 @@ mod tests {
     #[should_panic(expected = "capacity must be >= 1")]
     fn zero_capacity_rejected() {
         let _ = Fifo::<u8>::new("bad", 0);
+    }
+
+    #[test]
+    fn save_restore_round_trips_queue_marks_and_counters() {
+        let f: Fifo<u32> = Fifo::new("t", 4);
+        f.try_push(0, 1).unwrap();
+        f.try_push(1, 2).unwrap();
+        f.try_push(2, 3).unwrap();
+        assert_eq!(f.try_pop(2), Some(1));
+        let saved = f.save_state();
+
+        let g: Fifo<u32> = Fifo::new("t", 4);
+        g.restore_state(&saved).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.total_pushed(), 3);
+        assert_eq!(g.total_popped(), 1);
+        // Rate-limit marks are state: a pop at the saved last_pop
+        // cycle must still be refused after restore.
+        assert_eq!(g.try_pop(2), None);
+        assert_eq!(g.try_pop(3), Some(2));
+        assert_eq!(g.try_pop(4), Some(3));
+    }
+
+    #[test]
+    fn restored_fifo_saves_an_identical_blob() {
+        let f: Fifo<u32> = Fifo::new("t", 4);
+        f.try_push(0, 7).unwrap();
+        assert_eq!(f.try_pop(0), Some(7));
+        f.try_push(1, 8).unwrap();
+        let saved = f.save_state();
+        let g: Fifo<u32> = Fifo::new("t", 4);
+        g.restore_state(&saved).unwrap();
+        assert_eq!(g.save_state(), saved);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_channel_and_overflow() {
+        let f: Fifo<u32> = Fifo::new("a", 4);
+        let saved = f.save_state();
+        let other: Fifo<u32> = Fifo::new("b", 4);
+        assert!(other.restore_state(&saved).is_err(), "name mismatch");
+
+        let big: Fifo<u32> = Fifo::new("a", 8);
+        for c in 0..6 {
+            big.try_push(c, c as u32).unwrap();
+        }
+        let small: Fifo<u32> = Fifo::new("a", 4);
+        assert!(
+            small.restore_state(&big.save_state()).is_err(),
+            "queue exceeds capacity"
+        );
     }
 }

@@ -5,6 +5,7 @@ use std::collections::BinaryHeap;
 
 use crate::component::{Component, TickCtx};
 use crate::sanitizer::{Sanitizer, StuckChannel};
+use crate::state::{ComponentState, KernelCounters, SimState, StateError};
 use crate::stats::{ComponentStats, KernelStats, MmioAudit};
 use crate::time::{Cycle, Freq};
 use crate::trace::{TraceEvent, TraceLevel, Tracer};
@@ -423,6 +424,159 @@ impl Simulator {
     /// The attached sanitizer, if any.
     pub fn sanitizer(&self) -> Option<&Sanitizer> {
         self.sanitizer.as_ref()
+    }
+
+    /// Capture a whole-simulator checkpoint: every component's state
+    /// blob plus the kernel's cycle, tick accounting, policy counters,
+    /// and the sanitizer's observation state.
+    ///
+    /// **Strict completeness**: a component whose
+    /// [`Component::save_state`] returns `None` is a hard error — a
+    /// checkpoint silently missing one component's state would restore
+    /// into a subtly wrong system. Scheduler internals (heap, due set,
+    /// pending wakes, fusion scratch) are deliberately *not* captured:
+    /// they are re-derivable from component hints, and
+    /// [`Simulator::restore`] rebuilds them with fresh queries, exactly
+    /// like [`Simulator::set_scheduler`] does mid-run.
+    pub fn checkpoint(&self) -> Result<SimState, StateError> {
+        let mut components = Vec::with_capacity(self.components.len());
+        for (i, c) in self.components.iter().enumerate() {
+            let blob = c.save_state().ok_or_else(|| StateError::Unsupported {
+                component: c.name().to_string(),
+            })?;
+            components.push(ComponentState {
+                name: c.name().to_string(),
+                registered_at: self.registered_at[i],
+                ticks: self.ticks[i],
+                blob,
+            });
+        }
+        Ok(SimState {
+            cycle: self.cycle,
+            components,
+            sanitizer: self.sanitizer.as_ref().map(|s| s.save_state()),
+            counters: KernelCounters {
+                jumps: self.jumps,
+                jumped_cycles: self.jumped_cycles,
+                fused_windows: self.fused_windows,
+                fused_cycles: self.fused_cycles,
+                fusion_vetoes: self.fusion_vetoes.clone(),
+            },
+        })
+    }
+
+    /// Restore a checkpoint previously captured — by this simulator or
+    /// by a structurally identical one built by the same construction
+    /// code (the warm-boot fork path).
+    ///
+    /// The component roster must match the checkpoint exactly (same
+    /// count, same names, same order) and every component must restore
+    /// successfully; any failure returns the error with the simulator
+    /// in an unspecified half-restored state — callers treat that as
+    /// fatal. Afterwards the scheduler is cold: all deadlines are
+    /// dropped and every component is marked pending for a fresh hint
+    /// query, which is behavior-identical to a warm scheduler because
+    /// hints are pure functions of the component state just restored.
+    /// (Jump/fusion *policy counters* may subsequently evolve
+    /// differently than in an uninterrupted run — that is why
+    /// [`KernelCounters`] are excluded from replay parity.)
+    pub fn restore(&mut self, state: &SimState) -> Result<(), StateError> {
+        let structure = |detail: String| StateError::Structure {
+            tag: "simulator".into(),
+            detail,
+        };
+        if state.components.len() != self.components.len() {
+            return Err(structure(format!(
+                "checkpoint has {} components, simulator has {}",
+                state.components.len(),
+                self.components.len()
+            )));
+        }
+        for (cs, c) in state.components.iter().zip(&self.components) {
+            if cs.name != c.name() {
+                return Err(structure(format!(
+                    "component roster mismatch: checkpoint has {}, simulator has {}",
+                    cs.name,
+                    c.name()
+                )));
+            }
+        }
+        if state.counters.fusion_vetoes.len() != self.components.len() {
+            return Err(structure(format!(
+                "checkpoint has {} fusion-veto counters, simulator has {} components",
+                state.counters.fusion_vetoes.len(),
+                self.components.len()
+            )));
+        }
+        match (&self.sanitizer, &state.sanitizer) {
+            (Some(_), None) => {
+                return Err(structure(
+                    "simulator has a sanitizer attached, checkpoint has none".into(),
+                ))
+            }
+            (None, Some(_)) => {
+                return Err(structure(
+                    "checkpoint carries sanitizer state, simulator has none attached".into(),
+                ))
+            }
+            _ => {}
+        }
+        for (cs, c) in state.components.iter().zip(self.components.iter_mut()) {
+            c.restore_state(&cs.blob)?;
+        }
+        if let (Some(s), Some(blob)) = (&self.sanitizer, &state.sanitizer) {
+            s.restore_state(blob)?;
+            s.set_now(state.cycle);
+        }
+        self.cycle = state.cycle;
+        for (i, cs) in state.components.iter().enumerate() {
+            self.ticks[i] = cs.ticks;
+            self.registered_at[i] = cs.registered_at;
+            self.fusion_vetoes[i] = state.counters.fusion_vetoes[i];
+        }
+        self.jumps = state.counters.jumps;
+        self.jumped_cycles = state.counters.jumped_cycles;
+        self.fused_windows = state.counters.fused_windows;
+        self.fused_cycles = state.counters.fused_cycles;
+        // Cold-start the scheduler: drop every deadline and mark all
+        // components pending, exactly like a mid-run scheduler switch.
+        // Stale pre-restore wakes in the hub are subsumed by wake-all.
+        self.heap.clear();
+        self.carry.clear_all();
+        self.due.clear_all();
+        for s in &mut self.scheduled {
+            *s = Cycle::MAX;
+        }
+        self.fused.clear();
+        self.fused_mask.clear_all();
+        self.fusion_backoff_until = 0;
+        for i in 0..self.components.len() {
+            self.hub.wake(i);
+        }
+        Ok(())
+    }
+
+    /// Zero the kernel's measurement counters — executed ticks, jump
+    /// and fusion accounting — and rebase skipped-cycle accounting at
+    /// the current cycle, so a subsequent [`Simulator::kernel_stats`]
+    /// describes only the phase from this call onward (steady-state
+    /// numbers unpolluted by boot ticks). Component-owned counters
+    /// (MMIO audits, FIFO lifetime totals) are component state, not
+    /// kernel measurement, and are untouched.
+    pub fn reset_stats(&mut self) {
+        for t in &mut self.ticks {
+            *t = 0;
+        }
+        for r in &mut self.registered_at {
+            *r = self.cycle;
+        }
+        for v in &mut self.fusion_vetoes {
+            *v = 0;
+        }
+        self.jumps = 0;
+        self.jumped_cycles = 0;
+        self.fused_windows = 0;
+        self.fused_cycles = 0;
     }
 
     /// Advance the simulation by one cycle.
@@ -1124,6 +1278,7 @@ mod tests {
     use super::*;
     use crate::component::TickCtx;
     use crate::fifo::Fifo;
+    use crate::state::StateBlob;
 
     /// Emits `count` items, one per cycle.
     struct Producer {
@@ -1148,6 +1303,17 @@ mod tests {
             } else {
                 Some(Cycle::MAX)
             }
+        }
+        fn save_state(&self) -> Option<StateBlob> {
+            // The out channel is saved by its consumer.
+            let mut b = StateBlob::new("test.producer", 1);
+            b.put_u64("remaining", self.remaining);
+            Some(b)
+        }
+        fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+            state.expect("test.producer", 1)?;
+            self.remaining = state.get_u64("remaining")?;
+            Ok(())
         }
     }
 
@@ -1175,6 +1341,18 @@ mod tests {
                 Some(now)
             }
         }
+        fn save_state(&self) -> Option<StateBlob> {
+            let mut b = StateBlob::new("test.consumer", 1);
+            b.put("input", self.input.save_state());
+            b.put_u64("seen", self.seen.get());
+            Some(b)
+        }
+        fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+            state.expect("test.consumer", 1)?;
+            self.input.restore_state(state.get("input")?)?;
+            self.seen.set(state.get_u64("seen")?);
+            Ok(())
+        }
     }
 
     /// Wakes itself every `period` cycles and counts the wakes.
@@ -1193,6 +1371,16 @@ mod tests {
         }
         fn next_activity(&self, now: Cycle) -> Option<Cycle> {
             Some(now.next_multiple_of(self.period))
+        }
+        fn save_state(&self) -> Option<StateBlob> {
+            let mut b = StateBlob::new("test.timer", 1);
+            b.put_u64("fired", self.fired);
+            Some(b)
+        }
+        fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+            state.expect("test.timer", 1)?;
+            self.fired = state.get_u64("fired")?;
+            Ok(())
         }
     }
 
@@ -1441,5 +1629,111 @@ mod tests {
         let rendered = stats.render();
         assert!(rendered.contains("producer"));
         assert!(rendered.contains("consumer"));
+    }
+
+    #[test]
+    fn checkpoint_restore_continue_matches_straight_run() {
+        // Straight run: 30 cycles in, checkpoint, then run to the end.
+        let (mut straight, seen_s) = pipeline(100);
+        straight.step_n(30);
+        let mid = straight.checkpoint().unwrap();
+        assert_eq!(mid.cycle, 30);
+        straight.run_until_quiescent(10_000).unwrap();
+        let end_straight = straight.checkpoint().unwrap();
+
+        // Replay: fresh structurally identical rig, restore mid-stream,
+        // run the identical remainder.
+        let (mut replay, seen_r) = pipeline(100);
+        replay.restore(&mid).unwrap();
+        assert_eq!(replay.now(), 30);
+        replay.run_until_quiescent(10_000).unwrap();
+        let end_replay = replay.checkpoint().unwrap();
+
+        assert_eq!(end_straight.parity_diff(&end_replay), None);
+        assert_eq!(seen_s.get(), 100);
+        assert_eq!(seen_r.get(), 100);
+        assert_eq!(straight.now(), replay.now());
+    }
+
+    #[test]
+    fn restore_works_across_scheduler_modes() {
+        // Checkpoint under the naive schedule, restore into an
+        // active-set rig: end state must be parity-identical.
+        let (mut a, _) = pipeline(50);
+        a.set_scheduler(Scheduler::Naive);
+        a.step_n(20);
+        let mid = a.checkpoint().unwrap();
+        a.run_until_quiescent(10_000).unwrap();
+
+        let (mut b, _) = pipeline(50);
+        b.set_scheduler(Scheduler::ActiveSet);
+        b.restore(&mid).unwrap();
+        b.run_until_quiescent(10_000).unwrap();
+
+        assert_eq!(
+            a.checkpoint()
+                .unwrap()
+                .parity_diff(&b.checkpoint().unwrap()),
+            None
+        );
+    }
+
+    #[test]
+    fn checkpoint_is_strict_about_completeness() {
+        struct Opaque;
+        impl Component for Opaque {
+            fn name(&self) -> &str {
+                "opaque"
+            }
+            fn tick(&mut self, _ctx: &mut TickCtx<'_>) {}
+        }
+        let mut sim = Simulator::new(Freq::FABRIC_100MHZ);
+        sim.register(Box::new(Opaque));
+        assert_eq!(
+            sim.checkpoint().unwrap_err(),
+            StateError::Unsupported {
+                component: "opaque".into()
+            }
+        );
+    }
+
+    #[test]
+    fn restore_rejects_roster_mismatch() {
+        let (sim, _) = pipeline(10);
+        let state = sim.checkpoint().unwrap();
+
+        let mut other = Simulator::new(Freq::FABRIC_100MHZ);
+        other.register(Box::new(Timer {
+            period: 8,
+            fired: 0,
+        }));
+        assert!(other.restore(&state).is_err(), "component count differs");
+
+        let mut two = Simulator::new(Freq::FABRIC_100MHZ);
+        two.register(Box::new(Timer {
+            period: 8,
+            fired: 0,
+        }));
+        two.register(Box::new(Timer {
+            period: 9,
+            fired: 0,
+        }));
+        assert!(two.restore(&state).is_err(), "component names differ");
+    }
+
+    #[test]
+    fn reset_stats_rebases_the_measurement_phase() {
+        let (mut sim, _) = pipeline(5);
+        sim.run_until_quiescent(1000).unwrap();
+        sim.step_n(200);
+        sim.reset_stats();
+        sim.step_n(300);
+        let stats = sim.kernel_stats();
+        // Only the post-reset phase is accounted: the pipeline is idle
+        // there, so every tick was skipped and none executed.
+        for c in &stats.components {
+            assert_eq!(c.ticks_executed, 0, "{}", c.name);
+            assert_eq!(c.cycles_skipped, 300, "{}", c.name);
+        }
     }
 }

@@ -21,6 +21,12 @@
 //! * [`sanitizer`] — the bus sanitizer: a passive invariant-checking
 //!   layer hooked into watched FIFOs (stream framing, MM transaction
 //!   pairing, decouple gating, rate rules, stuck-channel watchdog).
+//! * [`state`] — typed, versioned checkpoint state: the
+//!   [`state::StateBlob`] every component externalizes its mutable
+//!   state into, and the whole-simulator [`state::SimState`] produced
+//!   by [`kernel::Simulator::checkpoint`].
+//! * [`replay`] — divergence bisection between two runs forked from a
+//!   shared checkpoint ([`replay::bisect_divergence`]).
 //! * [`trace`] — a lightweight bounded event trace for debugging and
 //!   for the waveform-style dumps used in the examples.
 //! * [`vcd`] — value-change-dump recording: real waveforms (GTKWave-
@@ -64,8 +70,10 @@
 pub mod component;
 pub mod fifo;
 pub mod kernel;
+pub mod replay;
 pub mod sanitizer;
 pub mod signal;
+pub mod state;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -75,11 +83,15 @@ pub mod wake;
 pub use component::Component;
 pub use fifo::Fifo;
 pub use kernel::{Scheduler, Simulator, StallReport};
+pub use replay::{bisect_divergence, DivergenceReport};
 pub use sanitizer::{
     ChannelKind, LinkId, Payload, PayloadMeta, ProtocolViolation, Sanitizer, StuckChannel,
     ViolationKind,
 };
 pub use signal::Signal;
+pub use state::{
+    ComponentState, KernelCounters, SimState, StateBlob, StateError, StateItem, StateValue,
+};
 pub use stats::{ComponentStats, KernelStats, MmioAudit};
 pub use time::{Cycle, Freq};
 pub use trace::{TraceEvent, TraceLevel, Tracer};

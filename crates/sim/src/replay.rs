@@ -1,0 +1,202 @@
+//! Divergence bisection between two runs forked from a shared
+//! checkpoint.
+//!
+//! When two supposedly equivalent runs — two scheduler modes, two
+//! builds, a straight run versus a restored one — end in different
+//! states, the interesting question is *the first cycle at which they
+//! differ*, not the wreckage at the end. Checkpointing makes that
+//! question cheap: both runs can be re-executed from the shared
+//! [`SimState`] to any intermediate cycle and compared there, so the
+//! first divergent cycle is found by binary search in
+//! `O(log horizon)` re-executions instead of a cycle-by-cycle diff.
+//!
+//! The caller supplies the two *probe* functions; each builds a fresh
+//! rig, restores the base checkpoint into it, advances the requested
+//! number of cycles under its own configuration, and checkpoints. The
+//! probes own all configuration differences (scheduler mode, code
+//! version); this module only drives the search.
+
+use crate::state::SimState;
+use crate::time::Cycle;
+
+/// The result of a [`bisect_divergence`] search: the first cycle
+/// offset (from the base checkpoint) at which the two runs' states
+/// stop being parity-equal, plus the evidence.
+#[derive(Debug, Clone)]
+pub struct DivergenceReport {
+    /// Cycle the shared base checkpoint was taken at.
+    pub base_cycle: Cycle,
+    /// Offset from the base at which the runs first diverge (the
+    /// states are parity-equal at `first_divergent - 1` cycles after
+    /// the base, and differ at `first_divergent`).
+    pub first_divergent: Cycle,
+    /// The first differing field at the divergence point, as reported
+    /// by [`SimState::parity_diff`].
+    pub detail: String,
+    /// How many probe re-executions the search used (both sides
+    /// combined).
+    pub probes: u32,
+}
+
+impl DivergenceReport {
+    /// Render the report as the human-readable artifact the CI job
+    /// uploads when a parity test fails.
+    pub fn render(&self) -> String {
+        format!(
+            "divergence bisect report\n\
+             ========================\n\
+             base checkpoint cycle : {}\n\
+             first divergent offset: +{} (absolute cycle {})\n\
+             last agreeing offset  : +{}\n\
+             probe re-executions   : {}\n\
+             first differing field : {}\n",
+            self.base_cycle,
+            self.first_divergent,
+            self.base_cycle + self.first_divergent,
+            self.first_divergent.saturating_sub(1),
+            self.probes,
+            self.detail,
+        )
+    }
+}
+
+/// Binary-search the first divergent cycle between two runs forked
+/// from `base`.
+///
+/// `probe_a` / `probe_b` are called as `probe(base, t)` and must:
+/// build a fresh rig structurally identical to the one `base` was
+/// captured from, restore `base` into it, advance exactly `t` cycles,
+/// and return a checkpoint. Each probe re-executes from the base every
+/// time, so the two runs never share mutable state and any `t` can be
+/// probed in any order.
+///
+/// Returns `None` when the runs are still parity-equal at `horizon`
+/// cycles past the base — no divergence to report. Otherwise returns
+/// the least offset `t ∈ 1..=horizon` where the probes' states differ
+/// (offset 0 is the restored base itself and is by construction
+/// identical on both sides; a difference there means the probes are
+/// not restoring the same checkpoint, which the search reports as
+/// divergence at offset 0 rather than masking).
+pub fn bisect_divergence(
+    base: &SimState,
+    horizon: Cycle,
+    mut probe_a: impl FnMut(&SimState, Cycle) -> SimState,
+    mut probe_b: impl FnMut(&SimState, Cycle) -> SimState,
+) -> Option<DivergenceReport> {
+    let mut probes = 0;
+    let mut diff_at = |t: Cycle, probes: &mut u32| {
+        *probes += 2;
+        probe_a(base, t).parity_diff(&probe_b(base, t))
+    };
+
+    // No divergence within the horizon → nothing to report.
+    let at_horizon = diff_at(horizon, &mut probes)?;
+
+    // Degenerate probe mismatch: the two sides don't even restore the
+    // base identically. Report offset 0 with that evidence.
+    if let Some(detail) = diff_at(0, &mut probes) {
+        return Some(DivergenceReport {
+            base_cycle: base.cycle,
+            first_divergent: 0,
+            detail,
+            probes,
+        });
+    }
+
+    // Invariant: parity-equal at `lo`, divergent at `hi`.
+    let mut lo: Cycle = 0;
+    let mut hi: Cycle = horizon;
+    let mut detail = at_horizon;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        match diff_at(mid, &mut probes) {
+            Some(d) => {
+                hi = mid;
+                detail = d;
+            }
+            None => lo = mid,
+        }
+    }
+    Some(DivergenceReport {
+        base_cycle: base.cycle,
+        first_divergent: hi,
+        detail,
+        probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{ComponentState, KernelCounters, StateBlob};
+
+    /// A synthetic probe pair: a counter that increments every cycle,
+    /// where run B skips the increment from `bug_at` onward.
+    fn probe(bug_at: Option<Cycle>) -> impl FnMut(&SimState, Cycle) -> SimState {
+        move |base: &SimState, t: Cycle| {
+            let mut blob = StateBlob::new("counter", 1);
+            let healthy = base.cycle + t;
+            let value = match bug_at {
+                Some(b) if t >= b => base.cycle + b.saturating_sub(1),
+                _ => healthy,
+            };
+            blob.put_u64("value", value);
+            SimState {
+                cycle: base.cycle + t,
+                components: vec![ComponentState {
+                    name: "ctr".into(),
+                    registered_at: 0,
+                    ticks: base.cycle + t,
+                    blob,
+                }],
+                sanitizer: None,
+                counters: KernelCounters::default(),
+            }
+        }
+    }
+
+    fn base_at(cycle: Cycle) -> SimState {
+        let mut blob = StateBlob::new("counter", 1);
+        blob.put_u64("value", cycle);
+        SimState {
+            cycle,
+            components: vec![ComponentState {
+                name: "ctr".into(),
+                registered_at: 0,
+                ticks: cycle,
+                blob,
+            }],
+            sanitizer: None,
+            counters: KernelCounters::default(),
+        }
+    }
+
+    #[test]
+    fn equal_runs_report_nothing() {
+        let base = base_at(100);
+        assert!(bisect_divergence(&base, 1000, probe(None), probe(None)).is_none());
+    }
+
+    #[test]
+    fn finds_the_exact_first_divergent_cycle() {
+        let base = base_at(100);
+        for bug_at in [1, 2, 37, 512, 999, 1000] {
+            let report = bisect_divergence(&base, 1000, probe(None), probe(Some(bug_at))).unwrap();
+            assert_eq!(report.first_divergent, bug_at, "bug at +{bug_at}");
+            assert_eq!(report.base_cycle, 100);
+            assert!(report.detail.contains("ctr"), "detail: {}", report.detail);
+            // log2(1000) ≈ 10 rounds, 2 probes each, plus the horizon
+            // and offset-0 checks.
+            assert!(report.probes <= 26, "probes: {}", report.probes);
+        }
+    }
+
+    #[test]
+    fn render_names_the_absolute_cycle() {
+        let base = base_at(100);
+        let report = bisect_divergence(&base, 64, probe(None), probe(Some(5))).unwrap();
+        let text = report.render();
+        assert!(text.contains("absolute cycle 105"), "{text}");
+        assert!(text.contains("last agreeing offset  : +4"), "{text}");
+    }
+}

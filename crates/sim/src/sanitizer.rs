@@ -39,6 +39,7 @@ use std::rc::Rc;
 
 use crate::fifo::Fifo;
 use crate::signal::Signal;
+use crate::state::{StateBlob, StateError, StateValue};
 use crate::time::Cycle;
 
 /// How many individual [`ProtocolViolation`] records are retained
@@ -617,6 +618,213 @@ impl Sanitizer {
         self.state.borrow().recorded.clone()
     }
 
+    /// Capture the sanitizer's full observation state — per-channel
+    /// rate/framing/progress tracking, per-link outstanding
+    /// transactions, and the violation verdict — for
+    /// [`crate::Simulator::checkpoint`].
+    ///
+    /// Channels and links are saved positionally: watch order is
+    /// deterministic (fixed by the system builder), so a structurally
+    /// identical system watches the same channels in the same order.
+    /// Channel names are saved anyway and verified on restore.
+    pub fn save_state(&self) -> StateBlob {
+        let st = self.state.borrow();
+        let mut blob = StateBlob::new("sanitizer", 1);
+        blob.put_u64("now", st.now);
+        blob.put_bool("in_tick", st.in_tick);
+        blob.put_u64("total", st.total);
+        blob.put_list(
+            "counts",
+            st.counts.iter().map(|c| StateValue::U64(*c)).collect(),
+        );
+        blob.put_list(
+            "channels",
+            st.channels
+                .iter()
+                .map(|ch| {
+                    let mut c = StateBlob::new("sanitizer.channel", 1);
+                    c.put_str("name", ch.name.clone());
+                    c.put_u64("occupancy", ch.occupancy as u64);
+                    c.put_u64("width", u64::from(ch.width));
+                    c.put_opt_u64("mark", ch.mark);
+                    c.put_u64("pushes", u64::from(ch.pushes_this_cycle));
+                    c.put_u64("pops", u64::from(ch.pops_this_cycle));
+                    c.put_u64("last_progress", ch.last_progress);
+                    StateValue::Blob(Box::new(c))
+                })
+                .collect(),
+        );
+        blob.put_list(
+            "links",
+            st.links
+                .iter()
+                .map(|l| {
+                    StateValue::List(
+                        l.outstanding
+                            .iter()
+                            .map(|b| StateValue::U64(u64::from(*b)))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        blob.put_list(
+            "recorded",
+            st.recorded
+                .iter()
+                .map(|v| {
+                    let mut r = StateBlob::new("sanitizer.violation", 1);
+                    r.put_u64("cycle", v.cycle);
+                    r.put_str("channel", v.channel.clone());
+                    r.put_u64("kind", v.kind.index() as u64);
+                    r.put_str("detail", v.detail.clone());
+                    StateValue::Blob(Box::new(r))
+                })
+                .collect(),
+        );
+        blob
+    }
+
+    /// Overwrite the observation state from a [`Sanitizer::save_state`]
+    /// blob. The watched-channel and link topology must match (same
+    /// count, same names in the same order) — topology is wiring, not
+    /// state, and a mismatch means the blob belongs to a different
+    /// system.
+    pub fn restore_state(&self, blob: &StateBlob) -> Result<(), StateError> {
+        blob.expect("sanitizer", 1)?;
+        let channels = blob.get_list("channels")?;
+        let links = blob.get_list("links")?;
+        let counts = blob.get_list("counts")?;
+        let recorded = blob.get_list("recorded")?;
+        let mut st = self.state.borrow_mut();
+        if channels.len() != st.channels.len() {
+            return Err(blob.structure_error(format!(
+                "blob watches {} channels, this sanitizer watches {}",
+                channels.len(),
+                st.channels.len()
+            )));
+        }
+        if links.len() != st.links.len() {
+            return Err(blob.structure_error(format!(
+                "blob has {} mm links, this sanitizer has {}",
+                links.len(),
+                st.links.len()
+            )));
+        }
+        if counts.len() != ViolationKind::ALL.len() {
+            return Err(blob.structure_error(format!(
+                "blob has {} violation counters, expected {}",
+                counts.len(),
+                ViolationKind::ALL.len()
+            )));
+        }
+        // Validate everything before mutating anything: restore is
+        // all-or-nothing per blob.
+        let mut new_channels = Vec::with_capacity(channels.len());
+        for (v, ch) in channels.iter().zip(&st.channels) {
+            let c = match v {
+                StateValue::Blob(b) => b,
+                other => {
+                    return Err(blob.structure_error(format!(
+                        "channel entry is {}, expected blob",
+                        other.kind()
+                    )))
+                }
+            };
+            c.expect("sanitizer.channel", 1)?;
+            let name = c.get_str("name")?;
+            if name != ch.name {
+                return Err(blob.structure_error(format!(
+                    "channel order mismatch: blob has {name}, sanitizer watches {}",
+                    ch.name
+                )));
+            }
+            new_channels.push((
+                c.get_u64("occupancy")? as usize,
+                u8::try_from(c.get_u64("width")?)
+                    .map_err(|_| c.structure_error("width does not fit u8"))?,
+                c.get_opt_u64("mark")?,
+                c.get_u32("pushes")?,
+                c.get_u32("pops")?,
+                c.get_u64("last_progress")?,
+            ));
+        }
+        let mut new_links = Vec::with_capacity(links.len());
+        for v in links {
+            let outstanding = match v {
+                StateValue::List(items) => items
+                    .iter()
+                    .map(|i| match i {
+                        StateValue::U64(b) => u32::try_from(*b).map_err(|_| {
+                            blob.structure_error("outstanding beat count does not fit u32")
+                        }),
+                        other => Err(blob.structure_error(format!(
+                            "outstanding entry is {}, expected u64",
+                            other.kind()
+                        ))),
+                    })
+                    .collect::<Result<VecDeque<u32>, _>>()?,
+                other => {
+                    return Err(blob
+                        .structure_error(format!("link entry is {}, expected list", other.kind())))
+                }
+            };
+            new_links.push(outstanding);
+        }
+        let mut new_counts = [0u64; ViolationKind::ALL.len()];
+        for (slot, v) in new_counts.iter_mut().zip(counts) {
+            *slot = match v {
+                StateValue::U64(c) => *c,
+                other => {
+                    return Err(blob
+                        .structure_error(format!("count entry is {}, expected u64", other.kind())))
+                }
+            };
+        }
+        let mut new_recorded = Vec::with_capacity(recorded.len());
+        for v in recorded {
+            let r = match v {
+                StateValue::Blob(b) => b,
+                other => {
+                    return Err(blob.structure_error(format!(
+                        "violation entry is {}, expected blob",
+                        other.kind()
+                    )))
+                }
+            };
+            r.expect("sanitizer.violation", 1)?;
+            let kind_idx = r.get_u64("kind")? as usize;
+            let kind = *ViolationKind::ALL
+                .get(kind_idx)
+                .ok_or_else(|| r.structure_error(format!("unknown violation kind {kind_idx}")))?;
+            new_recorded.push(ProtocolViolation {
+                cycle: r.get_u64("cycle")?,
+                channel: r.get_str("channel")?.to_string(),
+                kind,
+                detail: r.get_str("detail")?.to_string(),
+            });
+        }
+        st.now = blob.get_u64("now")?;
+        st.in_tick = blob.get_bool("in_tick")?;
+        st.total = blob.get_u64("total")?;
+        st.counts = new_counts;
+        st.recorded = new_recorded;
+        for (ch, (occupancy, width, mark, pushes, pops, last_progress)) in
+            st.channels.iter_mut().zip(new_channels)
+        {
+            ch.occupancy = occupancy;
+            ch.width = width;
+            ch.mark = mark;
+            ch.pushes_this_cycle = pushes;
+            ch.pops_this_cycle = pops;
+            ch.last_progress = last_progress;
+        }
+        for (l, outstanding) in st.links.iter_mut().zip(new_links) {
+            l.outstanding = outstanding;
+        }
+        Ok(())
+    }
+
     /// Watchdog sweep: non-empty channels with no event for at least
     /// `threshold` cycles as of `now`.
     pub fn stuck_channels(&self, now: Cycle, threshold: Cycle) -> Vec<StuckChannel> {
@@ -877,6 +1085,61 @@ mod tests {
         f.force_push(Beat(4, false));
         f.force_push(Beat(4, true));
         assert_eq!(san.violation_count(), 0, "{:?}", san.violations());
+    }
+
+    #[test]
+    fn save_restore_round_trips_verdict_and_link_state() {
+        let build = || {
+            let san = Sanitizer::new();
+            let req: Fifo<Req> = Fifo::new("l.req", 4);
+            let resp: Fifo<Resp> = Fifo::new("l.resp", 64);
+            let link = san.mm_link(16);
+            san.watch(&req, ChannelKind::MmReq { link });
+            san.watch(&resp, ChannelKind::MmResp { link });
+            (san, req, resp)
+        };
+        let (san, req, resp) = build();
+        san.begin_cycle(7);
+        assert!(req.try_push(7, Req(4, false)).is_ok());
+        assert!(resp.try_push(7, Resp(true, false)).is_ok()); // early TLAST
+        san.end_cycle();
+        assert_eq!(san.count_of(ViolationKind::BeatOrdering), 1);
+        let saved = san.save_state();
+
+        let (fresh, _req2, resp2) = build();
+        fresh.restore_state(&saved).unwrap();
+        assert_eq!(fresh.violation_count(), 1);
+        assert_eq!(fresh.count_of(ViolationKind::BeatOrdering), 1);
+        assert_eq!(fresh.violations(), san.violations());
+        // The restored sanitizer must save an identical blob.
+        assert_eq!(fresh.save_state(), saved);
+        // A response with nothing outstanding (the early TLAST
+        // resynchronized the link) is unsolicited on both.
+        resp2.force_push(Resp(true, false));
+        resp.force_push(Resp(true, false));
+        assert_eq!(
+            fresh.count_of(ViolationKind::UnsolicitedResponse),
+            san.count_of(ViolationKind::UnsolicitedResponse),
+        );
+    }
+
+    #[test]
+    fn restore_rejects_topology_mismatch() {
+        let san = Sanitizer::new();
+        let f: Fifo<u32> = Fifo::new("a", 4);
+        san.watch(&f, ChannelKind::Opaque);
+        let saved = san.save_state();
+
+        let other = Sanitizer::new();
+        let g: Fifo<u32> = Fifo::new("b", 4);
+        other.watch(&g, ChannelKind::Opaque);
+        assert!(other.restore_state(&saved).is_err(), "channel name differs");
+
+        let empty = Sanitizer::new();
+        assert!(
+            empty.restore_state(&saved).is_err(),
+            "channel count differs"
+        );
     }
 
     #[test]

@@ -90,6 +90,18 @@ impl EdgeDetector {
         self.last = now;
         edge
     }
+
+    /// The last sampled level — checkpoint state: whether the *next*
+    /// sample reports an edge depends on it, so the owning component
+    /// saves and restores it alongside the line level.
+    pub fn last_level(&self) -> bool {
+        self.last
+    }
+
+    /// Restore the last sampled level from a checkpoint.
+    pub fn set_last_level(&mut self, last: bool) {
+        self.last = last;
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@ use std::rc::Rc;
 use crate::component::{Component, TickCtx};
 use crate::fifo::Fifo;
 use crate::signal::Signal;
+use crate::state::{StateBlob, StateError, StateValue};
 
 /// One traced quantity.
 struct Probe {
@@ -152,6 +153,52 @@ impl Component for VcdRecorder {
             let _ = writeln!(body, "#{}", ctx.cycle);
             body.push_str(&changes);
         }
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        // Probe closures are structural (rebuilt by the rig); the
+        // checkpoint carries the rendered text and each probe's last
+        // sampled value so change detection resumes seamlessly.
+        let mut b = StateBlob::new("sim.vcd", 1);
+        b.put_bool("started", self.started);
+        b.put_str("header", self.handle.header.borrow().clone());
+        b.put_str("body", self.handle.body.borrow().clone());
+        b.put_list(
+            "last",
+            self.probes
+                .iter()
+                .map(|p| match p.last {
+                    Some(v) => StateValue::OptU64(Some(v)),
+                    None => StateValue::OptU64(None),
+                })
+                .collect(),
+        );
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("sim.vcd", 1)?;
+        let last = state.get_list("last")?;
+        if last.len() != self.probes.len() {
+            return Err(state.structure_error(format!(
+                "probe count mismatch: instance {}, state {}",
+                self.probes.len(),
+                last.len()
+            )));
+        }
+        self.started = state.get_bool("started")?;
+        *self.handle.header.borrow_mut() = state.get_str("header")?.to_string();
+        *self.handle.body.borrow_mut() = state.get_str("body")?.to_string();
+        for (p, v) in self.probes.iter_mut().zip(last) {
+            p.last = match v {
+                StateValue::OptU64(o) => *o,
+                other => {
+                    return Err(state
+                        .structure_error(format!("probe last-value has wrong kind: {other:?}")))
+                }
+            };
+        }
+        Ok(())
     }
 }
 

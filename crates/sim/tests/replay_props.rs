@@ -1,0 +1,389 @@
+//! Property test for replay parity: for **random pipeline rigs** and a
+//! **random checkpoint cycle**, `checkpoint → restore into a fresh rig
+//! → continue` is bit-identical to the uninterrupted run under every
+//! scheduler mode (naive, scan, active-set, active-set + batching,
+//! active-set + batching + fusion).
+//!
+//! The components mirror the randomized graphs of
+//! `scheduler_equivalence.rs` — paced sources, latency stages (wired
+//! or polled), paced sinks — but additionally implement the full
+//! save/restore contract, following the ownership convention: each
+//! FIFO is saved by its unique consumer.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::sanitizer::{ChannelKind, Sanitizer};
+use rvcap_sim::state::{SimState, StateBlob, StateError, StateValue};
+use rvcap_sim::wake::{WakePolicy, Waker};
+use rvcap_sim::{Cycle, Fifo, Freq, Scheduler, Simulator};
+
+struct Source {
+    name: String,
+    out: Fifo<u64>,
+    gap: Cycle,
+    remaining: u64,
+    next_val: u64,
+    next_push: Cycle,
+}
+
+impl Component for Source {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        if self.remaining == 0 || ctx.cycle < self.next_push {
+            return;
+        }
+        if self.out.try_push(ctx.cycle, self.next_val).is_ok() {
+            self.next_val += 1;
+            self.remaining -= 1;
+            self.next_push = ctx.cycle + 1 + self.gap;
+        }
+    }
+
+    fn busy(&self) -> bool {
+        self.remaining > 0
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.remaining == 0 {
+            Some(Cycle::MAX)
+        } else {
+            Some(self.next_push.max(now))
+        }
+    }
+
+    fn wake_sources(&self, _waker: &Waker) -> WakePolicy {
+        WakePolicy::Wired
+    }
+
+    fn max_batch(&self, _now: Cycle) -> Option<Cycle> {
+        (self.gap == 0 && self.remaining > 0).then_some(self.remaining)
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        // `out` is saved by its consumer.
+        let mut b = StateBlob::new("prop.source", 1);
+        b.put_u64("gap", self.gap);
+        b.put_u64("remaining", self.remaining);
+        b.put_u64("next_val", self.next_val);
+        b.put_u64("next_push", self.next_push);
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("prop.source", 1)?;
+        if state.get_u64("gap")? != self.gap {
+            return Err(state.structure_error("gap config mismatch"));
+        }
+        self.remaining = state.get_u64("remaining")?;
+        self.next_val = state.get_u64("next_val")?;
+        self.next_push = state.get_u64("next_push")?;
+        Ok(())
+    }
+}
+
+struct Stage {
+    name: String,
+    input: Fifo<u64>,
+    output: Fifo<u64>,
+    latency: Cycle,
+    holding: Option<(Cycle, u64)>,
+    polled: bool,
+}
+
+impl Component for Stage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        if let Some((ready, v)) = self.holding {
+            if ctx.cycle >= ready && self.output.try_push(ctx.cycle, v).is_ok() {
+                self.holding = None;
+            }
+        }
+        if self.holding.is_none() {
+            if let Some(v) = self.input.try_pop(ctx.cycle) {
+                self.holding = Some((ctx.cycle + self.latency, v.wrapping_mul(3) ^ 1));
+            }
+        }
+    }
+
+    fn busy(&self) -> bool {
+        self.holding.is_some() || !self.input.is_empty()
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        match self.holding {
+            Some((ready, _)) => Some(ready.max(now)),
+            None if self.input.is_empty() => Some(Cycle::MAX),
+            None => Some(now),
+        }
+    }
+
+    fn wake_sources(&self, waker: &Waker) -> WakePolicy {
+        if self.polled {
+            WakePolicy::Poll
+        } else {
+            self.input.subscribe_wake(waker.clone());
+            WakePolicy::Wired
+        }
+    }
+
+    fn max_batch(&self, _now: Cycle) -> Option<Cycle> {
+        if self.latency != 0 {
+            return None;
+        }
+        let w = usize::from(self.holding.is_some()) + self.input.len();
+        (w > 0).then_some(w as Cycle)
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        // Consumer of `input`; `output` is saved downstream.
+        let mut b = StateBlob::new("prop.stage", 1);
+        b.put("input", self.input.save_state());
+        b.put_u64("latency", self.latency);
+        b.put_bool("polled", self.polled);
+        let (ready, val) = match self.holding {
+            Some((r, v)) => (Some(r), v),
+            None => (None, 0),
+        };
+        b.put_opt_u64("holding_ready", ready);
+        b.put_u64("holding_val", val);
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("prop.stage", 1)?;
+        if state.get_u64("latency")? != self.latency || state.get_bool("polled")? != self.polled {
+            return Err(state.structure_error("stage config mismatch"));
+        }
+        self.input.restore_state(state.get("input")?)?;
+        let val = state.get_u64("holding_val")?;
+        self.holding = state.get_opt_u64("holding_ready")?.map(|r| (r, val));
+        Ok(())
+    }
+}
+
+struct Sink {
+    name: String,
+    input: Fifo<u64>,
+    period: Cycle,
+    next_pop: Cycle,
+    log: Rc<RefCell<Vec<(Cycle, u64)>>>,
+}
+
+impl Component for Sink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        if ctx.cycle >= self.next_pop {
+            if let Some(v) = self.input.try_pop(ctx.cycle) {
+                self.log.borrow_mut().push((ctx.cycle, v));
+                self.next_pop = ctx.cycle + self.period;
+            }
+        }
+    }
+
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if now < self.next_pop {
+            Some(self.next_pop)
+        } else if self.input.is_empty() {
+            Some(Cycle::MAX)
+        } else {
+            Some(now)
+        }
+    }
+
+    fn wake_sources(&self, waker: &Waker) -> WakePolicy {
+        self.input.subscribe_wake(waker.clone());
+        WakePolicy::Wired
+    }
+
+    fn max_batch(&self, now: Cycle) -> Option<Cycle> {
+        if self.period != 1 || now < self.next_pop {
+            return None;
+        }
+        let o = self.input.len() as Cycle;
+        (o > 0).then_some(o)
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        let mut b = StateBlob::new("prop.sink", 1);
+        b.put("input", self.input.save_state());
+        b.put_u64("period", self.period);
+        b.put_u64("next_pop", self.next_pop);
+        let log = self.log.borrow();
+        b.put_list(
+            "log_cycles",
+            log.iter().map(|&(c, _)| StateValue::U64(c)).collect(),
+        );
+        b.put_list(
+            "log_values",
+            log.iter().map(|&(_, v)| StateValue::U64(v)).collect(),
+        );
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("prop.sink", 1)?;
+        if state.get_u64("period")? != self.period {
+            return Err(state.structure_error("period config mismatch"));
+        }
+        self.input.restore_state(state.get("input")?)?;
+        self.next_pop = state.get_u64("next_pop")?;
+        let cycles = state.get_list("log_cycles")?;
+        let values = state.get_list("log_values")?;
+        if cycles.len() != values.len() {
+            return Err(state.structure_error("log list length mismatch"));
+        }
+        let mut log = Vec::with_capacity(cycles.len());
+        for (c, v) in cycles.iter().zip(values) {
+            match (c, v) {
+                (StateValue::U64(c), StateValue::U64(v)) => log.push((*c, *v)),
+                _ => return Err(state.structure_error("log entry has wrong kind")),
+            }
+        }
+        *self.log.borrow_mut() = log;
+        Ok(())
+    }
+}
+
+/// One randomized pipeline (see `scheduler_equivalence.rs`).
+#[derive(Debug, Clone)]
+struct ChainParams {
+    gap: Cycle,
+    count: u64,
+    period: Cycle,
+    cap: usize,
+    preload: usize,
+    stages: Vec<(Cycle, bool)>,
+}
+
+fn chain_strategy() -> impl Strategy<Value = ChainParams> {
+    (
+        0u64..6,
+        1u64..24,
+        1u64..6,
+        1usize..16,
+        0usize..16,
+        proptest::collection::vec((0u64..5, any::<bool>()), 0..4),
+    )
+        .prop_map(|(gap, count, period, cap, preload, stages)| ChainParams {
+            gap,
+            count,
+            period,
+            cap,
+            preload: preload.min(cap),
+            stages,
+        })
+}
+
+/// The five scheduler modes: (scheduler, batching, fusion).
+const MODES: [(Scheduler, bool, bool); 5] = [
+    (Scheduler::Naive, false, false),
+    (Scheduler::Scan, false, false),
+    (Scheduler::ActiveSet, false, false),
+    (Scheduler::ActiveSet, true, false),
+    (Scheduler::ActiveSet, true, true),
+];
+
+/// Build a fresh rig for `chains` under `mode` — identical structure
+/// every call, which is the precondition for restore.
+fn build(chains: &[ChainParams], mode: (Scheduler, bool, bool)) -> Simulator {
+    let mut sim = Simulator::new(Freq::FABRIC_100MHZ);
+    sim.set_scheduler(mode.0);
+    sim.set_batching(mode.1);
+    sim.set_fusion(mode.2);
+    let sanitizer = Sanitizer::new();
+    sim.attach_sanitizer(sanitizer.clone());
+    for (ci, p) in chains.iter().enumerate() {
+        let fifos: Vec<Fifo<u64>> = (0..=p.stages.len())
+            .map(|fi| Fifo::new(format!("c{ci}.f{fi}"), p.cap))
+            .collect();
+        for i in 0..p.preload {
+            fifos[0].force_push(500_000 + ci as u64 * 1000 + i as u64);
+        }
+        for f in &fifos {
+            sanitizer.watch(f, ChannelKind::Opaque);
+        }
+        sim.register(Box::new(Source {
+            name: format!("c{ci}.src"),
+            out: fifos[0].clone(),
+            gap: p.gap,
+            remaining: p.count,
+            next_val: 1 + ci as u64 * 1000,
+            next_push: 0,
+        }));
+        for (si, &(latency, polled)) in p.stages.iter().enumerate() {
+            sim.register(Box::new(Stage {
+                name: format!("c{ci}.stage{si}"),
+                input: fifos[si].clone(),
+                output: fifos[si + 1].clone(),
+                latency,
+                holding: None,
+                polled,
+            }));
+        }
+        sim.register(Box::new(Sink {
+            name: format!("c{ci}.sink"),
+            input: fifos.last().expect("last hop").clone(),
+            period: p.period,
+            next_pop: 0,
+            log: Rc::new(RefCell::new(Vec::new())),
+        }));
+    }
+    sim
+}
+
+/// Run horizon: long enough that most random rigs fully drain, short
+/// enough that the naive schedule stays cheap across proptest cases.
+const TOTAL: Cycle = 2_000;
+
+fn straight(chains: &[ChainParams], mode: (Scheduler, bool, bool)) -> SimState {
+    let mut sim = build(chains, mode);
+    sim.step_n(TOTAL);
+    sim.checkpoint().expect("straight checkpoint")
+}
+
+fn forked(chains: &[ChainParams], mode: (Scheduler, bool, bool), cp: Cycle) -> SimState {
+    let mut a = build(chains, mode);
+    a.step_n(cp);
+    let base = a.checkpoint().expect("mid-run checkpoint");
+    let mut b = build(chains, mode);
+    b.restore(&base).expect("restore into fresh rig");
+    b.step_n(TOTAL - cp);
+    b.checkpoint().expect("forked checkpoint")
+}
+
+proptest! {
+    /// For a random rig and a random checkpoint cycle, the forked run
+    /// ends parity-equal to the straight run under all five modes —
+    /// and the straight runs agree across modes on everything but
+    /// tick accounting (scheduler equivalence, re-checked here so a
+    /// parity failure can be attributed).
+    #[test]
+    fn checkpoint_restore_run_equals_straight_run(
+        chains in proptest::collection::vec(chain_strategy(), 1..3),
+        cp in 0u64..TOTAL,
+    ) {
+        for mode in MODES {
+            let s = straight(&chains, mode);
+            let f = forked(&chains, mode, cp);
+            prop_assert_eq!(
+                s.parity_diff(&f),
+                None,
+                "replay parity under {:?} with checkpoint at {}",
+                mode,
+                cp
+            );
+        }
+    }
+}

@@ -24,15 +24,18 @@ use std::rc::Rc;
 use rvcap_axi::mm::{MmResp, SlavePort};
 use rvcap_axi::regmap::{Decoded, RegisterFile};
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError};
 use rvcap_sim::{Cycle, Freq, MmioAudit};
 
 use crate::map::{CLINT_MAP, CLINT_MTIME};
 
 #[derive(Debug, Default)]
 struct Shared {
-    /// `mtime` as of the component's most recent tick (the timer is
-    /// derived lazily; this mirror refreshes whenever the CLINT
-    /// actually runs — a bus access or an irq-crossing edge).
+    /// `mtime` as of the CLINT's most recent *observable* event — a
+    /// serviced bus access or a `timer_irq` level change. Refreshing
+    /// only on those (never on an idle tick) keeps the mirror a pure
+    /// function of simulated history, identical under every scheduler
+    /// mode, which replay parity pins.
     mtime: u64,
     mtimecmp: u64,
 }
@@ -151,12 +154,18 @@ impl Component for Clint {
         // The irq level re-latches on divider edges only, exactly like
         // an eagerly ticked timer; the hint schedules a tick on the
         // next edge whenever the latched level disagrees with the
-        // comparison.
+        // comparison. The handle mirror refreshes only on observable
+        // events (a level change here, a serviced access below) so its
+        // value is schedule-independent.
         if (cycle + 1).is_multiple_of(self.divider) {
-            self.timer_irq.set(mtime >= cmp);
+            let want = mtime >= cmp;
+            if self.timer_irq.get() != want {
+                self.timer_irq.set(want);
+                self.shared.borrow_mut().mtime = mtime;
+            }
         }
-        self.shared.borrow_mut().mtime = mtime;
         if let Some(req) = self.port.try_take(cycle) {
+            self.shared.borrow_mut().mtime = mtime;
             let resp = match self.regs.decode(&req) {
                 Decoded::Read { def, bytes } => {
                     let v = match def.offset {
@@ -238,6 +247,42 @@ impl Component for Clint {
 
     fn mmio_audit(&self) -> Option<MmioAudit> {
         Some(self.regs.audit())
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        let sh = self.shared.borrow();
+        let mut b = StateBlob::new("soc.clint", 1);
+        b.put("port_req", self.port.req.save_state());
+        b.put("regs", self.regs.save_state());
+        b.put_u64("divider", self.divider);
+        b.put_u64("base_mtime", self.base_mtime);
+        b.put_u64("base_edges", self.base_edges);
+        b.put_u64("mtime", sh.mtime);
+        b.put_u64("mtimecmp", sh.mtimecmp);
+        b.put_bool("timer_irq", self.timer_irq.get());
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("soc.clint", 1)?;
+        if state.get_u64("divider")? != self.divider {
+            return Err(state.structure_error(format!(
+                "divider mismatch: instance {}, state {}",
+                self.divider,
+                state.get_u64("divider")?
+            )));
+        }
+        self.port.req.restore_state(state.get("port_req")?)?;
+        self.regs.restore_state(state.get("regs")?)?;
+        self.base_mtime = state.get_u64("base_mtime")?;
+        self.base_edges = state.get_u64("base_edges")?;
+        {
+            let mut sh = self.shared.borrow_mut();
+            sh.mtime = state.get_u64("mtime")?;
+            sh.mtimecmp = state.get_u64("mtimecmp")?;
+        }
+        self.timer_irq.set(state.get_bool("timer_irq")?);
+        Ok(())
     }
 }
 

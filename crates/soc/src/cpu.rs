@@ -23,6 +23,7 @@
 //! [`rvcap_rv64::Bus::advance`] so peripherals stay in lockstep.
 
 use rvcap_axi::mm::{MasterPort, MmReq, MmResp};
+use rvcap_sim::state::{SimState, StateBlob, StateError};
 use rvcap_sim::{Cycle, Simulator, StallReport};
 
 use crate::ddr::DdrHandle;
@@ -193,6 +194,77 @@ impl SocCore {
     /// 32-bit register write.
     pub fn write_reg(&mut self, addr: u64, value: u32) {
         self.mmio_write(addr, value as u64, 4);
+    }
+
+    /// Checkpoint the whole SoC: the simulator's [`SimState`] plus the
+    /// host-side CPU state the simulator cannot see — the CPU master
+    /// port's response FIFO (the CPU is its unique consumer; the
+    /// request FIFO is saved by the crossbar that consumes it) and the
+    /// MMIO operation counters.
+    pub fn checkpoint(&self) -> Result<SocState, StateError> {
+        let mut cpu = StateBlob::new("soc.cpu", 1);
+        cpu.put("port_resp", self.port.resp.save_state());
+        cpu.put_u64("issue", self.timing.issue);
+        cpu.put_u64("retire", self.timing.retire);
+        cpu.put_u64("mmio_reads", self.mmio_reads);
+        cpu.put_u64("mmio_writes", self.mmio_writes);
+        Ok(SocState {
+            sim: self.sim.checkpoint()?,
+            cpu,
+        })
+    }
+
+    /// Restore a checkpoint captured by [`SocCore::checkpoint`] — from
+    /// this core or a structurally identical one built by the same
+    /// construction code (the warm-boot fork path). Driver coroutines
+    /// live on the host stack and cannot be captured: restore only at
+    /// driver quiescence (no MMIO transaction in flight in host code).
+    pub fn restore(&mut self, state: &SocState) -> Result<(), StateError> {
+        state.cpu.expect("soc.cpu", 1)?;
+        for (field, have) in [("issue", self.timing.issue), ("retire", self.timing.retire)] {
+            let want = state.cpu.get_u64(field)?;
+            if want != have {
+                return Err(state.cpu.structure_error(format!(
+                    "cpu timing mismatch: {field} instance {have}, state {want}"
+                )));
+            }
+        }
+        self.sim.restore(&state.sim)?;
+        self.port.resp.restore_state(state.cpu.get("port_resp")?)?;
+        self.mmio_reads = state.cpu.get_u64("mmio_reads")?;
+        self.mmio_writes = state.cpu.get_u64("mmio_writes")?;
+        Ok(())
+    }
+}
+
+/// A whole-SoC checkpoint: the simulator state plus the host-side CPU
+/// state ([`SocCore::checkpoint`]).
+#[derive(Debug, Clone)]
+pub struct SocState {
+    /// Every registered component, the cycle, tick accounting, and the
+    /// sanitizer observation state.
+    pub sim: SimState,
+    /// CPU master-port response FIFO, timing config, MMIO counters.
+    pub cpu: StateBlob,
+}
+
+impl SocState {
+    /// The first replay-parity difference between two SoC checkpoints,
+    /// or `None` when equivalent. Extends [`SimState::parity_diff`]
+    /// with the CPU-side state.
+    pub fn parity_diff(&self, other: &SocState) -> Option<String> {
+        if let Some(d) = self.sim.parity_diff(&other.sim) {
+            return Some(d);
+        }
+        if self.cpu != other.cpu {
+            return Some("cpu: host-side state differs".into());
+        }
+        None
+    }
+
+    /// True when [`SocState::parity_diff`] finds nothing.
+    pub fn parity_eq(&self, other: &SocState) -> bool {
+        self.parity_diff(other).is_none()
     }
 }
 

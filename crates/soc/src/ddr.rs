@@ -25,7 +25,9 @@ use std::rc::Rc;
 
 use rvcap_axi::mm::{MmOp, MmReq, MmResp, SlavePort};
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError, StateItem, StateValue};
 use rvcap_sim::Cycle;
+use std::sync::Arc;
 
 /// DDR timing/geometry configuration.
 #[derive(Debug, Clone, Copy)]
@@ -434,6 +436,101 @@ impl Component for Ddr {
         }
         let w = w.min(self.refresh_at.saturating_sub(now));
         (w > 0).then_some(w)
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        let mut b = StateBlob::new("soc.ddr", 1);
+        b.put("port_req", self.port.req.save_state());
+        b.put(
+            "mem",
+            StateValue::Bytes(Arc::new(self.bytes.borrow().clone())),
+        );
+        let (read, until, req) = match &self.read {
+            ReadState::Idle => ("idle", None, StateValue::OptU64(None)),
+            ReadState::Latency { until, req } => ("latency", Some(*until), req.to_state()),
+            ReadState::Streaming {
+                addr,
+                beat_bytes,
+                remaining,
+            } => {
+                let mut s = StateBlob::new("soc.ddr.stream", 1);
+                s.put_u64("addr", *addr);
+                s.put_u64("beat_bytes", *beat_bytes as u64);
+                s.put_u64("remaining", *remaining as u64);
+                ("streaming", None, StateValue::Blob(Box::new(s)))
+            }
+        };
+        b.put_str("read", read);
+        b.put_opt_u64("read_until", until);
+        b.put("read_req", req);
+        b.put_list(
+            "write_pipe",
+            self.write_pipe
+                .iter()
+                .map(|(done, req)| {
+                    let mut w = StateBlob::new("soc.ddr.write", 1);
+                    w.put_u64("done", *done);
+                    w.put("req", req.to_state());
+                    StateValue::Blob(Box::new(w))
+                })
+                .collect(),
+        );
+        b.put_u64("refresh_at", self.refresh_at);
+        b.put_u64("refresh_until", self.refresh_until);
+        b.put_opt_u64("last_read_end", self.last_read_end);
+        b.put_u64("beats_read", self.beats_read);
+        b.put_u64("beats_written", self.beats_written);
+        b.put_u64("refreshes", self.refreshes);
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("soc.ddr", 1)?;
+        let mem = state.get_bytes("mem")?;
+        if mem.len() as u64 != self.cfg.size {
+            return Err(state.structure_error(format!(
+                "memory size mismatch: instance {}, state {}",
+                self.cfg.size,
+                mem.len()
+            )));
+        }
+        self.port.req.restore_state(state.get("port_req")?)?;
+        self.bytes.borrow_mut().copy_from_slice(mem);
+        self.read = match state.get_str("read")? {
+            "idle" => ReadState::Idle,
+            "latency" => ReadState::Latency {
+                until: state
+                    .get_opt_u64("read_until")?
+                    .ok_or_else(|| state.structure_error("latency state without read_until"))?,
+                req: MmReq::from_state(state.get("read_req")?, "soc.ddr")?,
+            },
+            "streaming" => {
+                let s = state.get("read_req")?.as_blob("soc.ddr")?;
+                s.expect("soc.ddr.stream", 1)?;
+                ReadState::Streaming {
+                    addr: s.get_u64("addr")?,
+                    beat_bytes: s.get_u64("beat_bytes")? as u8,
+                    remaining: s.get_u64("remaining")? as u16,
+                }
+            }
+            other => return Err(state.structure_error(format!("unknown read state {other:?}"))),
+        };
+        self.write_pipe.clear();
+        for entry in state.get_list("write_pipe")? {
+            let w = entry.as_blob("soc.ddr")?;
+            w.expect("soc.ddr.write", 1)?;
+            self.write_pipe.push_back((
+                w.get_u64("done")?,
+                MmReq::from_state(w.get("req")?, "soc.ddr")?,
+            ));
+        }
+        self.refresh_at = state.get_u64("refresh_at")?;
+        self.refresh_until = state.get_u64("refresh_until")?;
+        self.last_read_end = state.get_opt_u64("last_read_end")?;
+        self.beats_read = state.get_u64("beats_read")?;
+        self.beats_written = state.get_u64("beats_written")?;
+        self.refreshes = state.get_u64("refreshes")?;
+        Ok(())
     }
 }
 

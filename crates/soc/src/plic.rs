@@ -13,6 +13,7 @@ use std::rc::Rc;
 use rvcap_axi::mm::{MmResp, SlavePort};
 use rvcap_axi::regmap::{Decoded, RegisterFile};
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError};
 use rvcap_sim::{MmioAudit, Signal};
 
 use crate::map::{PLIC_ENABLE, PLIC_MAP, PLIC_PENDING};
@@ -193,6 +194,31 @@ impl Component for Plic {
 
     fn mmio_audit(&self) -> Option<MmioAudit> {
         Some(self.regs.audit())
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        let sh = self.shared.borrow();
+        let mut b = StateBlob::new("soc.plic", 1);
+        b.put("port_req", self.port.req.save_state());
+        b.put("regs", self.regs.save_state());
+        b.put_u64("pending", sh.pending as u64);
+        b.put_u64("enabled", sh.enabled as u64);
+        b.put_u64("in_service", sh.in_service as u64);
+        b.put_u64("claims", sh.claims);
+        // Source line levels are owned (saved) by their drivers.
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("soc.plic", 1)?;
+        self.port.req.restore_state(state.get("port_req")?)?;
+        self.regs.restore_state(state.get("regs")?)?;
+        let mut sh = self.shared.borrow_mut();
+        sh.pending = state.get_u32("pending")?;
+        sh.enabled = state.get_u32("enabled")?;
+        sh.in_service = state.get_u32("in_service")?;
+        sh.claims = state.get_u64("claims")?;
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@
 use rvcap_axi::mm::{MmOp, MmResp, SlavePort};
 use rvcap_axi::regmap::{Decoded, RegisterFile};
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError};
 use rvcap_sim::{Cycle, MmioAudit};
 use rvcap_storage::{BlockDevice, SdCard};
 
@@ -173,6 +174,42 @@ impl<D: BlockDevice> Component for Spi<D> {
 
     fn mmio_audit(&self) -> Option<MmioAudit> {
         Some(self.regs.audit())
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        let mut b = StateBlob::new("soc.spi", 1);
+        b.put("port_req", self.port.req.save_state());
+        b.put("regs", self.regs.save_state());
+        b.put_blob("card", self.card.save_state()?);
+        b.put_u64("clkdiv", self.clkdiv as u64);
+        b.put_bool("cs_asserted", self.cs_asserted);
+        let (busy, miso) = match self.busy_until {
+            Some((done, miso)) => (Some(done), miso as u64),
+            None => (None, 0),
+        };
+        b.put_opt_u64("busy_until", busy);
+        b.put_u64("busy_miso", miso);
+        b.put_u64("rx", self.rx as u64);
+        b.put_u64("transfers", self.shared.borrow().transfers);
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("soc.spi", 1)?;
+        self.port.req.restore_state(state.get("port_req")?)?;
+        self.regs.restore_state(state.get("regs")?)?;
+        self.card.restore_state(state.get_blob("card")?)?;
+        self.clkdiv = state.get_u32("clkdiv")?.max(1);
+        self.cs_asserted = state.get_bool("cs_asserted")?;
+        let miso = state.get_u64("busy_miso")?;
+        let miso = u8::try_from(miso)
+            .map_err(|_| state.structure_error(format!("busy_miso {miso} exceeds u8")))?;
+        self.busy_until = state.get_opt_u64("busy_until")?.map(|done| (done, miso));
+        let rx = state.get_u64("rx")?;
+        self.rx =
+            u8::try_from(rx).map_err(|_| state.structure_error(format!("rx {rx} exceeds u8")))?;
+        self.shared.borrow_mut().transfers = state.get_u64("transfers")?;
+        Ok(())
     }
 }
 

@@ -10,7 +10,9 @@ use std::rc::Rc;
 use rvcap_axi::mm::{MmResp, SlavePort};
 use rvcap_axi::regmap::{Decoded, RegisterFile};
 use rvcap_sim::component::{Component, TickCtx};
+use rvcap_sim::state::{StateBlob, StateError, StateValue};
 use rvcap_sim::MmioAudit;
+use std::sync::Arc;
 
 use crate::map::{UART_MAP, UART_STATUS, UART_TX};
 
@@ -106,6 +108,25 @@ impl Component for Uart {
 
     fn mmio_audit(&self) -> Option<MmioAudit> {
         Some(self.regs.audit())
+    }
+
+    fn save_state(&self) -> Option<StateBlob> {
+        let mut b = StateBlob::new("soc.uart", 1);
+        b.put("port_req", self.port.req.save_state());
+        b.put("regs", self.regs.save_state());
+        b.put(
+            "log",
+            StateValue::Bytes(Arc::new(self.handle.log.borrow().clone())),
+        );
+        Some(b)
+    }
+
+    fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("soc.uart", 1)?;
+        self.port.req.restore_state(state.get("port_req")?)?;
+        self.regs.restore_state(state.get("regs")?)?;
+        *self.handle.log.borrow_mut() = state.get_bytes("log")?.to_vec();
+        Ok(())
     }
 }
 

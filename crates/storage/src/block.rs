@@ -1,5 +1,7 @@
 //! Block devices: the storage abstraction under the SD card and FAT32.
 
+use rvcap_sim::state::{StateError, StateValue};
+
 /// Block (sector) size in bytes. SD cards and FAT32 both use 512.
 pub const BLOCK_SIZE: usize = 512;
 
@@ -21,6 +23,22 @@ pub trait BlockDevice {
     /// Capacity in bytes.
     fn capacity_bytes(&self) -> u64 {
         self.num_blocks() * BLOCK_SIZE as u64
+    }
+
+    /// Checkpoint the device contents. The default declares the device
+    /// unsnapshottable (`None`), which makes any enclosing
+    /// [`crate::SdCard`] checkpoint fail loudly rather than silently
+    /// dropping the medium.
+    fn save_state(&self) -> Option<StateValue> {
+        None
+    }
+
+    /// Inverse of [`BlockDevice::save_state`].
+    fn restore_state(&mut self, v: &StateValue) -> Result<(), StateError> {
+        let _ = v;
+        Err(StateError::Unsupported {
+            component: "block-device".into(),
+        })
     }
 }
 
@@ -73,6 +91,34 @@ impl BlockDevice for MemBlockDevice {
         let off = lba as usize * BLOCK_SIZE;
         self.blocks[off..off + BLOCK_SIZE].copy_from_slice(buf);
         self.writes += 1;
+    }
+
+    fn save_state(&self) -> Option<StateValue> {
+        let mut b = rvcap_sim::state::StateBlob::new("storage.mem_block", 1);
+        b.put(
+            "blocks",
+            StateValue::Bytes(std::sync::Arc::new(self.blocks.clone())),
+        );
+        b.put_u64("reads", self.reads);
+        b.put_u64("writes", self.writes);
+        Some(StateValue::Blob(Box::new(b)))
+    }
+
+    fn restore_state(&mut self, v: &StateValue) -> Result<(), StateError> {
+        let b = v.as_blob("storage.mem_block")?;
+        b.expect("storage.mem_block", 1)?;
+        let blocks = b.get_bytes("blocks")?;
+        if blocks.len() != self.blocks.len() {
+            return Err(b.structure_error(format!(
+                "device size mismatch: instance {} bytes, state {}",
+                self.blocks.len(),
+                blocks.len()
+            )));
+        }
+        self.blocks.copy_from_slice(blocks);
+        self.reads = b.get_u64("reads")?;
+        self.writes = b.get_u64("writes")?;
+        Ok(())
     }
 }
 

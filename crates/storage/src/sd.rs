@@ -16,6 +16,8 @@
 //! not modelled; the FAT32 layer reads cluster-by-cluster anyway.
 
 use crate::block::{BlockDevice, BLOCK_SIZE};
+use rvcap_sim::state::{StateBlob, StateError, StateValue};
+use std::sync::Arc;
 
 /// R1 bit: card is in idle state (initialization in progress).
 pub const R1_IDLE: u8 = 0x01;
@@ -152,6 +154,77 @@ impl<D: BlockDevice> SdCard<D> {
     /// Card finished initialization (ACMD41 returned ready)?
     pub fn is_initialized(&self) -> bool {
         self.initialized
+    }
+
+    /// Checkpoint the whole card: protocol engine *and* medium. Fails
+    /// (`None`) when the underlying [`BlockDevice`] cannot snapshot
+    /// itself, so a checkpoint never silently loses the flash contents.
+    pub fn save_state(&self) -> Option<StateBlob> {
+        let mut b = StateBlob::new("storage.sd_card", 1);
+        b.put("dev", self.dev.save_state()?);
+        let (state, received, lba) = match self.state {
+            State::Ready => ("ready", None, None),
+            State::Command { received } => ("command", Some(received as u64), None),
+            State::WriteData { received, lba } => ("write_data", Some(received as u64), Some(lba)),
+        };
+        b.put_str("state", state);
+        b.put_opt_u64("received", received);
+        b.put_opt_u64("lba", lba);
+        b.put("frame", StateValue::Bytes(Arc::new(self.frame.to_vec())));
+        b.put(
+            "out",
+            StateValue::Bytes(Arc::new(self.out.iter().copied().collect())),
+        );
+        b.put("wbuf", StateValue::Bytes(Arc::new(self.wbuf.clone())));
+        b.put_bool("initialized", self.initialized);
+        b.put_u64("init_polls_left", self.init_polls_left as u64);
+        b.put_bool("app_cmd", self.app_cmd);
+        b.put_bool("crc_enabled", self.crc_enabled);
+        b.put_u64("blocks_read", self.blocks_read);
+        b.put_u64("blocks_written", self.blocks_written);
+        b.put_u64("commands", self.commands);
+        Some(b)
+    }
+
+    /// Inverse of [`SdCard::save_state`].
+    pub fn restore_state(&mut self, state: &StateBlob) -> Result<(), StateError> {
+        state.expect("storage.sd_card", 1)?;
+        let missing = |field: &str| state.structure_error(format!("state lacks {field}"));
+        self.dev.restore_state(state.get("dev")?)?;
+        self.state = match state.get_str("state")? {
+            "ready" => State::Ready,
+            "command" => State::Command {
+                received: state
+                    .get_opt_u64("received")?
+                    .ok_or_else(|| missing("received"))? as usize,
+            },
+            "write_data" => State::WriteData {
+                received: state
+                    .get_opt_u64("received")?
+                    .ok_or_else(|| missing("received"))? as usize,
+                lba: state.get_opt_u64("lba")?.ok_or_else(|| missing("lba"))?,
+            },
+            other => return Err(state.structure_error(format!("unknown state {other:?}"))),
+        };
+        let frame = state.get_bytes("frame")?;
+        if frame.len() != 6 {
+            return Err(
+                state.structure_error(format!("frame is {} bytes, expected 6", frame.len()))
+            );
+        }
+        self.frame.copy_from_slice(frame);
+        self.out = state.get_bytes("out")?.iter().copied().collect();
+        self.wbuf = state.get_bytes("wbuf")?.to_vec();
+        self.initialized = state.get_bool("initialized")?;
+        let polls = state.get_u64("init_polls_left")?;
+        self.init_polls_left = u8::try_from(polls)
+            .map_err(|_| state.structure_error(format!("init_polls_left {polls} exceeds u8")))?;
+        self.app_cmd = state.get_bool("app_cmd")?;
+        self.crc_enabled = state.get_bool("crc_enabled")?;
+        self.blocks_read = state.get_u64("blocks_read")?;
+        self.blocks_written = state.get_u64("blocks_written")?;
+        self.commands = state.get_u64("commands")?;
+        Ok(())
     }
 
     /// One full-duplex SPI byte exchange: the host shifts out `mosi`,

@@ -24,15 +24,30 @@ RVCAP_STRICT=1 cargo test -q -p rvcap-sim --test scheduler_equivalence
 RVCAP_STRICT=1 cargo test -q -p rvcap-axi --test fused_parity
 RVCAP_STRICT=1 cargo test -q -p rvcap-soc --test clint_fusion
 
-# Host-performance gate: one timed sample per rig × scheduler, written
-# to BENCH_hostbench.json (plus BENCH_hostbench_summary.md with the
-# fused-vs-unfused deltas). Two gates, both on the fused rows: a
-# generous pinned cycles/sec floor per rig (~5x under measured — a
-# broken scheduler, not a slow host), and a relative gate against the
-# committed BENCH_hostbench.json baseline (>20% drop after normalizing
-# by the active_set ratio to cancel host-speed differences).
-echo "== hostbench --smoke (host-perf floors + baseline) =="
-cargo run --release -q -p rvcap-bench --bin hostbench -- --smoke
+# Replay parity: checkpoint → restore into a fresh rig → continue must
+# be bit-identical to the uninterrupted run — same cycles, component
+# state, MMIO audits, sanitizer verdicts — under every scheduler mode.
+# This is the proof obligation behind hostbench warm-boot forking. On
+# a failure the harness bisects the first divergent cycle and writes
+# target/replay-divergence-report.txt, which CI uploads as an artifact.
+echo "== replay parity (checkpoint/restore/continue, five schedules) =="
+RVCAP_STRICT=1 cargo test -q -p rvcap-repro --test replay_parity
+RVCAP_STRICT=1 cargo test -q -p rvcap-sim --test replay_props
+
+# Host-performance gate: the full median-of-3 grid per rig ×
+# scheduler, written to BENCH_hostbench.json (plus
+# BENCH_hostbench_summary.md with the fused-vs-unfused deltas).
+# Warm-boot forking (each rig boots once; every mode × sample forks
+# from the post-boot checkpoint) makes the robust median affordable
+# here — the old single-sample --smoke run saved little and its fused
+# rows jittered past the 20% baseline tolerance. Two gates, both on
+# the fused rows: a generous pinned cycles/sec floor per rig (~5x
+# under measured — a broken scheduler, not a slow host), and a
+# relative gate against the committed BENCH_hostbench.json baseline
+# (>20% drop after normalizing by the active_set ratio to cancel
+# host-speed differences).
+echo "== hostbench (host-perf floors + baseline, median of 3) =="
+cargo run --release -q -p rvcap-bench --bin hostbench
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

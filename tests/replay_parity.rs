@@ -1,0 +1,262 @@
+//! Replay parity: `checkpoint → restore into a fresh rig → continue`
+//! must be **bit-identical** to the uninterrupted run — same cycles,
+//! same component state, same MMIO audits, same sanitizer verdicts,
+//! same tick accounting — under every kernel scheduler mode.
+//!
+//! This is the proof obligation behind warm-boot forking (the
+//! hostbench builds one SoC per rig, checkpoints it post-boot, and
+//! forks every measurement from that snapshot): if a forked run could
+//! drift from a cold-booted one by even a cycle, the benchmark numbers
+//! would measure the forking, not the hardware.
+//!
+//! On a parity failure the harness does not stop at "states differ":
+//! it binary-searches the first divergent cycle with
+//! [`rvcap_sim::bisect_divergence`] and writes the report to
+//! `target/replay-divergence-report.txt`, which CI uploads as an
+//! artifact.
+
+use rvcap_bench::hostbench::SchedulerMode;
+use rvcap_bench::paper_soc::{self, PaperRig};
+use rvcap_repro::core::drivers::{DmaMode, RvCapDriver};
+use rvcap_repro::core::system::SocBuilder;
+use rvcap_repro::fabric::rp::RpGeometry;
+use rvcap_repro::sim::{bisect_divergence, Cycle, SimState};
+use rvcap_repro::soc::cpu::SocState;
+
+/// Small sweep geometry: full reconfiguration in ~11 k cycles, cheap
+/// enough to run under the naive reference schedule in debug builds.
+fn small_rp() -> RpGeometry {
+    RpGeometry::scaled(2, 0, 0)
+}
+
+/// Build the pinned rig under `mode`, sanitizer attached (so protocol
+/// observation state is inside the parity check too).
+fn mk_rig(mode: SchedulerMode) -> PaperRig {
+    let mut rig = paper_soc::rig_with_builder(SocBuilder::new().with_sanitizer(), small_rp());
+    mode.apply(&mut rig.soc.core.sim);
+    rig
+}
+
+/// Program a full DMA→ICAP reconfiguration transfer through raw
+/// driver primitives (each a blocking MMIO sequence, so the host is
+/// quiescent afterwards) without waiting for completion — the stream
+/// is then in flight and `compute` advances it.
+fn program_transfer(rig: &mut PaperRig) {
+    let d = RvCapDriver::new(0, rig.soc.handles.plic.clone());
+    d.decouple_accel(&mut rig.soc.core, true);
+    d.select_icap(&mut rig.soc.core, true);
+    d.dma_start(&mut rig.soc.core);
+    d.dma_config(&mut rig.soc.core, DmaMode::NonBlocking);
+    d.dma_write_stream(
+        &mut rig.soc.core,
+        rig.module.start_address,
+        rig.module.pbit_size,
+    );
+}
+
+/// Cycles to advance past the programming prologue so the checkpoint
+/// lands mid-stream: DMA bursts in flight, ICAP consuming, FIFOs
+/// part-full.
+const MID_STREAM: Cycle = 2_000;
+
+/// Continuation horizon: covers stream completion, the ICAP trailer,
+/// the completion interrupt pending at the PLIC, and an idle tail.
+const HORIZON: Cycle = 12_000;
+
+/// Fork: build a fresh structurally-identical rig, restore `base` into
+/// it, advance `t` cycles, checkpoint.
+fn fork_run(base: &SocState, mode: SchedulerMode, t: Cycle) -> SocState {
+    let mut rig = mk_rig(mode);
+    rig.soc.core.restore(base).expect("restore into fresh rig");
+    assert_eq!(rig.soc.core.now(), base.sim.cycle, "restore sets the clock");
+    rig.soc.core.compute(t);
+    rig.soc.core.checkpoint().expect("checkpoint forked run")
+}
+
+/// Straight re-execution: build a fresh rig, re-run the deterministic
+/// prologue to the base cycle, advance `t` cycles, checkpoint.
+fn straight_run(base_cycle: Cycle, mode: SchedulerMode, t: Cycle) -> SocState {
+    let mut rig = mk_rig(mode);
+    program_transfer(&mut rig);
+    let c0 = rig.soc.core.now();
+    assert!(c0 <= base_cycle, "prologue overshot the base cycle");
+    rig.soc.core.compute(base_cycle - c0);
+    rig.soc.core.compute(t);
+    rig.soc.core.checkpoint().expect("checkpoint straight run")
+}
+
+/// Assert parity; on failure, bisect the first divergent cycle and
+/// write the CI artifact before panicking.
+fn assert_parity(context: &str, mode: SchedulerMode, base: &SocState, horizon: Cycle) {
+    let straight = straight_run(base.sim.cycle, mode, horizon);
+    let replay = fork_run(base, mode, horizon);
+    if let Some(diff) = straight.parity_diff(&replay) {
+        let base_clone = base.clone();
+        let probe_straight = |b: &SimState, t: Cycle| straight_run(b.cycle, mode, t).sim;
+        let probe_replay = move |_b: &SimState, t: Cycle| fork_run(&base_clone, mode, t).sim;
+        let report = bisect_divergence(&base.sim, horizon, probe_straight, probe_replay);
+        let rendered = match &report {
+            Some(r) => r.render(),
+            None => format!(
+                "parity failed at the horizon but the bisect probes agree \
+                 (flaky probe construction?): {diff}"
+            ),
+        };
+        let path = std::path::Path::new("target").join("replay-divergence-report.txt");
+        let body = format!(
+            "context: {context} (scheduler {})\n\n{rendered}\n",
+            mode.name()
+        );
+        let _ = std::fs::write(&path, &body);
+        panic!(
+            "replay parity failed [{context}, {}]: {diff}\n{rendered}\n(report: {})",
+            mode.name(),
+            path.display()
+        );
+    }
+}
+
+/// The full paper SoC checkpoints completely: every registered
+/// component implements `save_state`, and the checkpoint restores back
+/// into the very simulator it came from.
+#[test]
+fn full_soc_checkpoint_is_complete() {
+    let mut rig = paper_soc::rig_with_builder(SocBuilder::new().with_sanitizer(), small_rp());
+    let state = rig.soc.core.checkpoint().expect("every component saves");
+    assert!(
+        state.sim.components.len() >= 19,
+        "expected the full roster, got {}",
+        state.sim.components.len()
+    );
+    rig.soc.core.restore(&state).expect("self-restore");
+    let again = rig.soc.core.checkpoint().expect("checkpoint after restore");
+    assert_eq!(state.parity_diff(&again), None);
+}
+
+/// Restoring into a structurally different rig is refused, not
+/// silently accepted.
+#[test]
+fn restore_rejects_mismatched_structure() {
+    let rig = paper_soc::rig_with_geometry(small_rp());
+    let state = rig.soc.core.checkpoint().expect("checkpoint");
+    // Two partitions → more components than the checkpoint carries.
+    let mut other = paper_soc::rig_with_rps(
+        SocBuilder::new(),
+        vec![small_rp(), RpGeometry::scaled(1, 0, 0)],
+    );
+    assert!(other.soc.core.restore(&state).is_err());
+}
+
+/// A cycle-0 fork replays the *entire* reconfiguration bit-identically
+/// under every scheduler mode: same Td/Tr ticks, same final state.
+#[test]
+fn boot_checkpoint_replays_full_reconfiguration() {
+    for mode in SchedulerMode::ALL {
+        // Straight run.
+        let mut a = mk_rig(mode);
+        let base = a.soc.core.checkpoint().expect("boot checkpoint");
+        let da = RvCapDriver::new(0, a.soc.handles.plic.clone());
+        let module = a.module.clone();
+        let ta = da.init_reconfig_process(&mut a.soc.core, &module, DmaMode::NonBlocking);
+        let end_a = a.soc.core.checkpoint().expect("straight end");
+
+        // Forked run: fresh structure, restored boot state, same driver.
+        let mut b = mk_rig(mode);
+        b.soc.core.restore(&base).expect("restore boot state");
+        let db = RvCapDriver::new(0, b.soc.handles.plic.clone());
+        let tb = db.init_reconfig_process(&mut b.soc.core, &module, DmaMode::NonBlocking);
+        let end_b = b.soc.core.checkpoint().expect("replay end");
+
+        assert_eq!(ta.td_ticks, tb.td_ticks, "Td under {}", mode.name());
+        assert_eq!(ta.tr_ticks, tb.tr_ticks, "Tr under {}", mode.name());
+        assert_eq!(
+            end_a.parity_diff(&end_b),
+            None,
+            "boot-fork parity under {}",
+            mode.name()
+        );
+        let san = a.soc.handles.sanitizer.as_ref().expect("sanitizer");
+        assert_eq!(san.violation_count(), 0);
+    }
+}
+
+/// The tentpole property: a checkpoint taken *mid-DMA-stream* (bursts
+/// in flight, FIFOs part-full, ICAP mid-bitstream) restores into a
+/// fresh rig and continues bit-identically to the uninterrupted run —
+/// under all five scheduler modes.
+#[test]
+fn mid_stream_checkpoint_replays_bit_identical() {
+    for mode in SchedulerMode::ALL {
+        let mut rig = mk_rig(mode);
+        program_transfer(&mut rig);
+        rig.soc.core.compute(MID_STREAM);
+        let base = rig.soc.core.checkpoint().expect("mid-stream checkpoint");
+        // The checkpoint really is mid-stream: the ICAP has consumed
+        // some of the bitstream but not all of it.
+        let consumed = rig.soc.handles.icap.words_consumed();
+        assert!(consumed > 0, "stream not started under {}", mode.name());
+        assert!(
+            consumed < (rig.module.pbit_size / 4) as u64,
+            "stream already done under {}",
+            mode.name()
+        );
+        assert_parity("mid-stream fork", mode, &base, HORIZON);
+    }
+}
+
+/// Checkpoints are scheduler-portable: a state captured under one mode
+/// restores under any other and produces the same simulated
+/// observables (scheduler internals are rebuilt cold from component
+/// hints). Executed-tick accounting is schedule policy — naive ticks
+/// idle components that the hint-driven modes skip — so the cross-mode
+/// comparison strips it and checks everything a program can observe:
+/// the cycle, every component's state blob, the sanitizer verdict.
+#[test]
+fn checkpoint_is_scheduler_portable() {
+    fn strip_schedule_accounting(mut s: SocState) -> SocState {
+        for c in &mut s.sim.components {
+            c.ticks = 0;
+            c.registered_at = 0;
+        }
+        s
+    }
+    let mut rig = mk_rig(SchedulerMode::ActiveSetBatched);
+    program_transfer(&mut rig);
+    rig.soc.core.compute(MID_STREAM);
+    let base = rig.soc.core.checkpoint().expect("checkpoint");
+    let reference = strip_schedule_accounting(fork_run(&base, SchedulerMode::Naive, HORIZON));
+    for mode in SchedulerMode::ALL {
+        let end = strip_schedule_accounting(fork_run(&base, mode, HORIZON));
+        assert_eq!(
+            reference.parity_diff(&end),
+            None,
+            "cross-scheduler parity, naive vs {}",
+            mode.name()
+        );
+    }
+}
+
+/// A rig with the VCD recorder attached checkpoints too, and the
+/// forked run renders the *same waveform* as the straight run — the
+/// dump text survives the checkpoint and continues seamlessly.
+#[test]
+fn vcd_waveform_survives_fork() {
+    let build = || {
+        let mut rig = paper_soc::rig_with_builder(SocBuilder::new().with_vcd(), small_rp());
+        SchedulerMode::ActiveSetBatched.apply(&mut rig.soc.core.sim);
+        rig
+    };
+    let mut a = build();
+    program_transfer(&mut a);
+    a.soc.core.compute(MID_STREAM);
+    let base = a.soc.core.checkpoint().expect("vcd rig checkpoint");
+    a.soc.core.compute(HORIZON);
+    let straight_dump = a.soc.handles.vcd.as_ref().unwrap().render();
+
+    let mut b = build();
+    b.soc.core.restore(&base).expect("restore vcd rig");
+    b.soc.core.compute(HORIZON);
+    let forked_dump = b.soc.handles.vcd.as_ref().unwrap().render();
+    assert!(!straight_dump.is_empty());
+    assert_eq!(straight_dump, forked_dump);
+}
