@@ -128,6 +128,21 @@ pub struct Crossbar {
     req_latency: Cycle,
     resp_latency: Cycle,
     decode_errors: u64,
+    /// Last slave index a request decoded to — bus traffic is extremely
+    /// local (fill loops, DMA streams), so checking the previous hit
+    /// before the linear region scan wins almost always. Pure cache:
+    /// never checkpointed, any stale value is corrected by the scan.
+    decode_hint: std::cell::Cell<usize>,
+    /// Scratch for `accept_requests`' per-cycle (master, target-slave)
+    /// pending heads — persistent so the tick hot path never allocates.
+    arb_scratch: Vec<(usize, usize)>,
+    /// Bit `si` set ⟺ `slaves[si].scoreboard` is non-empty. The tick
+    /// loops walk set bits in ascending order — identical lane order to
+    /// a full sweep — so the (usual) idle lanes cost nothing, not even
+    /// a cache-line touch. Rebuilt on restore.
+    sb_mask: u32,
+    /// Bit `si` set ⟺ `slaves[si].req_pipe` is non-empty.
+    req_pipe_mask: u32,
 }
 
 impl Crossbar {
@@ -149,6 +164,10 @@ impl Crossbar {
         let name = name.into();
         assert!(!masters.is_empty(), "crossbar {name} needs masters");
         assert!(!slaves.is_empty(), "crossbar {name} needs slaves");
+        assert!(
+            slaves.len() <= 32,
+            "crossbar {name}: at most 32 slave lanes (occupancy masks are u32)"
+        );
         for (i, (a, _)) in slaves.iter().enumerate() {
             for (b, _) in slaves.iter().skip(i + 1) {
                 assert!(
@@ -181,6 +200,32 @@ impl Crossbar {
             req_latency: Self::DEFAULT_REQ_LATENCY,
             resp_latency: Self::DEFAULT_RESP_LATENCY,
             decode_errors: 0,
+            decode_hint: std::cell::Cell::new(0),
+            arb_scratch: Vec::new(),
+            sb_mask: 0,
+            req_pipe_mask: 0,
+        }
+    }
+
+    /// Verify the occupancy masks against the lane queues (debug builds
+    /// only — the masks are load-bearing for which lanes tick).
+    #[cfg(debug_assertions)]
+    fn debug_check_masks(&self) {
+        for (si, lane) in self.slaves.iter().enumerate() {
+            debug_assert_eq!(
+                self.sb_mask & (1 << si) != 0,
+                !lane.scoreboard.is_empty(),
+                "{}: sb_mask out of sync for lane {}",
+                self.name,
+                lane.region.name
+            );
+            debug_assert_eq!(
+                self.req_pipe_mask & (1 << si) != 0,
+                !lane.req_pipe.is_empty(),
+                "{}: req_pipe_mask out of sync for lane {}",
+                self.name,
+                lane.region.name
+            );
         }
     }
 
@@ -198,97 +243,138 @@ impl Crossbar {
     }
 
     fn decode(&self, addr: u64) -> Option<usize> {
-        self.slaves.iter().position(|s| s.region.contains(addr))
+        let hint = self.decode_hint.get();
+        if let Some(s) = self.slaves.get(hint) {
+            if s.region.contains(addr) {
+                return Some(hint);
+            }
+        }
+        let found = self.slaves.iter().position(|s| s.region.contains(addr))?;
+        self.decode_hint.set(found);
+        Some(found)
     }
 
     /// Accept at most one new request per slave this cycle, honouring
     /// per-slave round-robin over masters.
+    ///
+    /// Hot path: iterates only masters with a queued head request (a
+    /// borrow-free occupancy probe) and arbitrates only over the slaves
+    /// those heads actually target, via the persistent scratch list —
+    /// no per-tick allocation, no masters × slaves sweep.
     fn accept_requests(&mut self, cycle: Cycle) {
-        // Which slave does each master's oldest request target?
-        let targets: Vec<Option<(usize, MmReq)>> = self
-            .masters
-            .iter()
-            .map(|m| {
-                m.port.req.peek().map(|req| {
-                    let slave = self.decode(req.addr);
-                    (slave.unwrap_or(usize::MAX), req)
-                })
-            })
-            .collect();
-
-        // Handle decode failures first: consume the request and queue
-        // an immediate error response.
-        for (mi, t) in targets.iter().enumerate() {
-            if let Some((usize::MAX, _)) = t {
-                if self.masters[mi].port.req.try_pop(cycle).is_some() {
-                    self.decode_errors += 1;
-                    let lane = &mut self.masters[mi];
-                    lane.resp_pipe.push_back(Delayed {
-                        ready_at: cycle + self.resp_latency,
-                        item: MmResp::err(),
-                    });
+        self.arb_scratch.clear();
+        for mi in 0..self.masters.len() {
+            if self.masters[mi].port.req.is_empty() {
+                continue;
+            }
+            let req = self.masters[mi].port.req.peek().expect("probed non-empty");
+            match self.decode(req.addr) {
+                Some(si) => self.arb_scratch.push((mi, si)),
+                None => {
+                    // Decode failure: consume the request and queue an
+                    // immediate error response.
+                    if self.masters[mi].port.req.try_pop(cycle).is_some() {
+                        self.decode_errors += 1;
+                        let ready_at = cycle + self.resp_latency;
+                        self.masters[mi].resp_pipe.push_back(Delayed {
+                            ready_at,
+                            item: MmResp::err(),
+                        });
+                    }
                 }
             }
         }
 
-        for si in 0..self.slaves.len() {
-            // Collect masters whose head request targets slave si.
-            let n = self.masters.len();
+        let n = self.masters.len();
+        let scratch = std::mem::take(&mut self.arb_scratch);
+        for (idx, &(mi, si)) in scratch.iter().enumerate() {
+            // Each slave arbitrates once; a later entry for the same
+            // slave was already weighed by the first one.
+            if scratch[..idx].iter().any(|&(_, s)| s == si) {
+                continue;
+            }
+            // Round-robin winner: the pending master closest (in RR
+            // distance) to this slave's pointer — identical to scanning
+            // masters in RR order and taking the first match.
             let start = self.slaves[si].rr_next;
-            let mut chosen: Option<usize> = None;
-            for k in 0..n {
-                let mi = (start + k) % n;
-                if let Some((target, _)) = &targets[mi] {
-                    if *target == si {
-                        chosen = Some(mi);
-                        break;
+            let mut win = mi;
+            let mut win_dist = (mi + n - start) % n;
+            for &(mj, sj) in &scratch[idx + 1..] {
+                if sj == si {
+                    let d = (mj + n - start) % n;
+                    if d < win_dist {
+                        win = mj;
+                        win_dist = d;
                     }
                 }
             }
-            let Some(mi) = chosen else { continue };
             // The master lane pops at most one request per cycle via
             // the FIFO's own rate limit; a decode-error pop above may
             // already have consumed this master's budget.
-            if let Some(req) = self.masters[mi].port.req.try_pop(cycle) {
+            if let Some(req) = self.masters[win].port.req.try_pop(cycle) {
                 let posted = matches!(req.op, MmOp::Write { posted: true, .. });
+                let ready_at = cycle + self.req_latency;
                 let lane = &mut self.slaves[si];
                 lane.req_pipe.push_back(Delayed {
-                    ready_at: cycle + self.req_latency,
+                    ready_at,
                     item: req,
                 });
                 // Posted writes produce no response to route back.
                 if !posted {
-                    lane.scoreboard.push_back(mi);
+                    lane.scoreboard.push_back(win);
+                    self.sb_mask |= 1 << si;
                 }
-                lane.rr_next = (mi + 1) % n;
+                self.req_pipe_mask |= 1 << si;
+                self.slaves[si].rr_next = (win + 1) % n;
             }
         }
+        self.arb_scratch = scratch;
     }
 
     /// Move pipelined requests into slave ports (one per slave/cycle).
     fn deliver_requests(&mut self, cycle: Cycle) {
-        for lane in &mut self.slaves {
-            if let Some(head) = lane.req_pipe.front() {
-                if head.ready_at <= cycle && lane.port.req.can_push(cycle) {
-                    let d = lane.req_pipe.pop_front().expect("head exists");
-                    lane.port
-                        .req
-                        .try_push(cycle, d.item)
-                        .expect("can_push checked");
+        let mut mask = self.req_pipe_mask;
+        while mask != 0 {
+            let si = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let lane = &mut self.slaves[si];
+            let head = lane.req_pipe.front().expect("mask bit implies an entry");
+            if head.ready_at <= cycle && lane.port.req.can_push(cycle) {
+                let d = lane.req_pipe.pop_front().expect("head exists");
+                lane.port
+                    .req
+                    .try_push(cycle, d.item)
+                    .expect("can_push checked");
+                if lane.req_pipe.is_empty() {
+                    self.req_pipe_mask &= !(1 << si);
                 }
             }
         }
     }
 
     /// Pull response beats from slaves into the per-master pipes.
+    ///
+    /// Walks only lanes with an outstanding transaction (`sb_mask`): no
+    /// outstanding transaction ⟹ no legal response, so idle lanes skip
+    /// even the port probe. An unsolicited beat on an idle lane — a
+    /// slave bug — is left queued for the sanitizer / stall report
+    /// (and tripped by `debug_check_masks` + the hint's invariant in
+    /// debug builds) instead of panicking here.
     fn collect_responses(&mut self, cycle: Cycle) {
-        for lane in &mut self.slaves {
+        let mut mask = self.sb_mask;
+        while mask != 0 {
+            let si = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let lane = &mut self.slaves[si];
             if let Some(resp) = lane.port.resp.try_pop(cycle) {
                 let mi = *lane.scoreboard.front().unwrap_or_else(|| {
                     panic!("{}: response with empty scoreboard", lane.region.name)
                 });
                 if resp.last {
                     lane.scoreboard.pop_front();
+                    if lane.scoreboard.is_empty() {
+                        self.sb_mask &= !(1 << si);
+                    }
                 }
                 self.masters[mi].resp_pipe.push_back(Delayed {
                     ready_at: cycle + self.resp_latency,
@@ -320,6 +406,8 @@ impl Component for Crossbar {
     }
 
     fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        #[cfg(debug_assertions)]
+        self.debug_check_masks();
         // Response-before-request ordering drains the system monotonically.
         self.collect_responses(ctx.cycle);
         self.deliver_responses(ctx.cycle);
@@ -328,9 +416,8 @@ impl Component for Crossbar {
     }
 
     fn busy(&self) -> bool {
-        self.slaves
-            .iter()
-            .any(|s| !s.req_pipe.is_empty() || !s.scoreboard.is_empty())
+        self.sb_mask != 0
+            || self.req_pipe_mask != 0
             || self.masters.iter().any(|m| !m.resp_pipe.is_empty())
     }
 
@@ -360,20 +447,34 @@ impl Component for Crossbar {
                 at = at.min(head.ready_at);
             }
         }
-        for s in &self.slaves {
+        // Slave lanes, via the occupancy masks: a lane with neither an
+        // outstanding transaction nor a pipelined request has nothing to
+        // contribute (mirroring `collect_responses` / `deliver_requests`),
+        // so the common many-idle-lanes case costs one mask test each.
+        let mut mask = self.sb_mask;
+        while mask != 0 {
+            let si = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
             // A slave response beat is collected this cycle.
-            if !s.port.resp.is_empty() {
+            if !self.slaves[si].port.resp.is_empty() {
                 return Some(now);
-            }
-            if let Some(head) = s.req_pipe.front() {
-                if head.ready_at <= now {
-                    return Some(now);
-                }
-                at = at.min(head.ready_at);
             }
             // A non-empty scoreboard alone is pure waiting: the wake
             // comes from the slave's response FIFO becoming non-empty
             // (hint re-query, or the subscription in `wake_sources`).
+        }
+        let mut mask = self.req_pipe_mask;
+        while mask != 0 {
+            let si = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let head = self.slaves[si]
+                .req_pipe
+                .front()
+                .expect("mask bit implies an entry");
+            if head.ready_at <= now {
+                return Some(now);
+            }
+            at = at.min(head.ready_at);
         }
         Some(at)
     }
@@ -487,6 +588,17 @@ impl Component for Crossbar {
             lane.rr_next = b.get_u64("rr_next")? as usize % n_masters;
         }
         self.decode_errors = state.get_u64("decode_errors")?;
+        // The occupancy masks are derived state: rebuild, don't restore.
+        self.sb_mask = 0;
+        self.req_pipe_mask = 0;
+        for (si, lane) in self.slaves.iter().enumerate() {
+            if !lane.scoreboard.is_empty() {
+                self.sb_mask |= 1 << si;
+            }
+            if !lane.req_pipe.is_empty() {
+                self.req_pipe_mask |= 1 << si;
+            }
+        }
         Ok(())
     }
 
@@ -504,7 +616,15 @@ impl Component for Crossbar {
         // head then stays ready (a blocked delivery retries, which is
         // still due), so when `o >= resp_latency` the delivery stretch
         // seamlessly extends the collect stretch by `resp_latency`.
-        for s in &self.slaves {
+        // Only lanes with an outstanding transaction or a pipelined
+        // request can contribute: legal response beats imply a
+        // scoreboard entry, and the req-pipe term needs the pipe
+        // non-empty. The mask walk skips the (usual) idle lanes.
+        let mut mask = self.sb_mask | self.req_pipe_mask;
+        while mask != 0 {
+            let si = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let s = &self.slaves[si];
             let o = s.port.resp.len() as Cycle;
             if o >= self.resp_latency {
                 w = w.max(o + self.resp_latency);

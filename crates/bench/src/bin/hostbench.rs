@@ -59,12 +59,12 @@ use rvcap_fabric::rp::RpGeometry;
 /// A violation means the scheduler lost most of its advantage, not
 /// that the host is slow.
 const FLOORS: &[(&str, f64)] = &[
-    ("rvcap_paper", 900_000.0),
-    ("rvcap_deep", 900_000.0),
-    ("hwicap_paper", 10_000_000.0),
-    ("hwicap_small", 8_000_000.0),
+    ("rvcap_paper", 1_400_000.0),
+    ("rvcap_deep", 1_400_000.0),
+    ("hwicap_paper", 13_000_000.0),
+    ("hwicap_small", 15_000_000.0),
     ("sd_staging", 3_000_000.0),
-    ("hwicap_multi_rp", 8_000_000.0),
+    ("hwicap_multi_rp", 15_000_000.0),
 ];
 
 /// Maximum tolerated drop of a fused row against the committed
@@ -167,22 +167,32 @@ fn warm_grid<S>(
     name: &'static str,
     modes: &[SchedulerMode],
     samples: usize,
+    profile: bool,
     mut proto: S,
     soc_of: impl Fn(&mut S) -> &mut RvCapSoc,
     mut run: impl FnMut(&mut S) -> u64,
-) -> Vec<RigPerf> {
+) -> (Vec<RigPerf>, Option<rvcap_sim::KernelStats>) {
     let base = soc_of(&mut proto)
         .core
         .checkpoint()
         .expect("post-boot checkpoint");
-    modes
+    let results = modes
         .iter()
         .map(|&mode| {
             mode.apply(&mut soc_of(&mut proto).core.sim);
+            // One sample for the naive reference: a single naive
+            // `hwicap_multi_rp` sample costs seconds of wall time, and
+            // the row only anchors the speedup ratios — the regression
+            // gates read the fused rows, which keep the full median.
+            let mode_samples = if mode == SchedulerMode::Naive {
+                1
+            } else {
+                samples
+            };
             measure_rig_forked(
                 name,
                 mode,
-                samples,
+                mode_samples,
                 &mut proto,
                 |p| {
                     let core = &mut soc_of(p).core;
@@ -192,7 +202,23 @@ fn warm_grid<S>(
                 &mut run,
             )
         })
-        .collect()
+        .collect();
+    // The profiled pass runs after (and outside) every timed row: the
+    // clock reads it inserts around each tick would pollute wall-time
+    // medians, so attribution gets its own fork under the default
+    // kernel configuration.
+    let stats = profile.then(|| {
+        let core = &mut soc_of(&mut proto).core;
+        SchedulerMode::Fused.apply(&mut core.sim);
+        core.restore(&base).expect("warm-boot fork");
+        core.sim.reset_stats();
+        core.sim.set_profiling(true);
+        run(&mut proto);
+        let core = &mut soc_of(&mut proto).core;
+        core.sim.set_profiling(false);
+        core.sim.kernel_stats()
+    });
+    (results, stats)
 }
 
 fn rig_soc(rig: &mut paper_soc::PaperRig) -> &mut RvCapSoc {
@@ -203,12 +229,18 @@ fn soc_ident(soc: &mut RvCapSoc) -> &mut RvCapSoc {
     soc
 }
 
-fn measure_all(name: &'static str, modes: &[SchedulerMode], samples: usize) -> Vec<RigPerf> {
+fn measure_all(
+    name: &'static str,
+    modes: &[SchedulerMode],
+    samples: usize,
+    profile: bool,
+) -> (Vec<RigPerf>, Option<rvcap_sim::KernelStats>) {
     match name {
         "rvcap_paper" => warm_grid(
             name,
             modes,
             samples,
+            profile,
             paper_soc::rvcap_rig(),
             rig_soc,
             |rig| {
@@ -216,7 +248,7 @@ fn measure_all(name: &'static str, modes: &[SchedulerMode], samples: usize) -> V
                 rig.soc.core.now()
             },
         ),
-        "rvcap_deep" => warm_grid(name, modes, samples, deep_rig(), rig_soc, |rig| {
+        "rvcap_deep" => warm_grid(name, modes, samples, profile, deep_rig(), rig_soc, |rig| {
             runner::reconfigure_rvcap_in_place(rig, DmaMode::NonBlocking);
             rig.soc.core.now()
         }),
@@ -224,6 +256,7 @@ fn measure_all(name: &'static str, modes: &[SchedulerMode], samples: usize) -> V
             name,
             modes,
             samples,
+            profile,
             paper_soc::rvcap_rig(),
             rig_soc,
             |rig| {
@@ -235,6 +268,7 @@ fn measure_all(name: &'static str, modes: &[SchedulerMode], samples: usize) -> V
             name,
             modes,
             samples,
+            profile,
             paper_soc::rig_with_geometry(RpGeometry::scaled(2, 0, 0)),
             rig_soc,
             |rig| {
@@ -242,21 +276,37 @@ fn measure_all(name: &'static str, modes: &[SchedulerMode], samples: usize) -> V
                 rig.soc.core.now()
             },
         ),
-        "hwicap_multi_rp" => warm_grid(name, modes, samples, multi_rp_rig(), rig_soc, |rig| {
-            runner::reconfigure_hwicap_in_place(rig, 16);
-            rig.soc.core.now()
-        }),
-        "sd_staging" => warm_grid(name, modes, samples, staging_soc(), soc_ident, |soc| {
-            let modules = rvcap_core::drivers::init_rmodules(
-                &mut soc.core,
-                &soc.handles.ddr,
-                paper_soc::STAGE_ADDR,
-                &["MODULE0.PBI"],
-            );
-            assert_eq!(modules.len(), 1, "one file staged");
-            runner::assert_clean_mmio(soc);
-            soc.core.now()
-        }),
+        "hwicap_multi_rp" => warm_grid(
+            name,
+            modes,
+            samples,
+            profile,
+            multi_rp_rig(),
+            rig_soc,
+            |rig| {
+                runner::reconfigure_hwicap_in_place(rig, 16);
+                rig.soc.core.now()
+            },
+        ),
+        "sd_staging" => warm_grid(
+            name,
+            modes,
+            samples,
+            profile,
+            staging_soc(),
+            soc_ident,
+            |soc| {
+                let modules = rvcap_core::drivers::init_rmodules(
+                    &mut soc.core,
+                    &soc.handles.ddr,
+                    paper_soc::STAGE_ADDR,
+                    &["MODULE0.PBI"],
+                );
+                assert_eq!(modules.len(), 1, "one file staged");
+                runner::assert_clean_mmio(soc);
+                soc.core.now()
+            },
+        ),
         _ => unreachable!("unknown rig {name}"),
     }
 }
@@ -291,15 +341,35 @@ rvcap_bench::impl_json_struct!(Summary {
     fused_vs_batched
 });
 
+/// One component's share of a rig's profiled tick cost
+/// (`--profile`): host nanoseconds spent inside its `tick` calls
+/// during a single fused-mode pass over the rig's measured phase.
+struct ProfileRow {
+    rig: String,
+    component: String,
+    ticks: u64,
+    host_ns: u64,
+    share_pct: f64,
+}
+rvcap_bench::impl_json_struct!(ProfileRow {
+    rig,
+    component,
+    ticks,
+    host_ns,
+    share_pct
+});
+
 struct HostbenchReport {
     samples: usize,
     results: Vec<RigPerf>,
     summary: Vec<Summary>,
+    profile: Vec<ProfileRow>,
 }
 rvcap_bench::impl_json_struct!(HostbenchReport {
     samples,
     results,
-    summary
+    summary,
+    profile
 });
 
 /// Extract `(rig, scheduler, cycles_per_sec)` rows from a previously
@@ -334,7 +404,7 @@ fn parse_baseline(json: &str) -> Vec<(String, String, f64)> {
 }
 
 /// Render the markdown speedup table CI appends to the job summary.
-fn render_markdown(summary: &[Summary]) -> String {
+fn render_markdown(summary: &[Summary], samples: usize) -> String {
     let mut md = String::from(
         "## Host performance (simulated cycles/sec)\n\n\
          | rig | naive | scan | active_set | +batching | fused | fused vs batched | fused vs scan |\n\
@@ -353,12 +423,57 @@ fn render_markdown(summary: &[Summary]) -> String {
             s.speedup_vs_scan
         ));
     }
+    if samples > 1 {
+        md.push_str(&format!(
+            "\nAll rows are the median of {samples} warm-boot forked samples, except \
+             `naive`, which is a single sample: a naive `hwicap_multi_rp` sample \
+             alone costs seconds of wall time, and the column only anchors the \
+             speedup ratios — the regression gates read the `fused` rows.\n"
+        ));
+    }
+    md
+}
+
+/// Render the per-rig tick-cost attribution tables (`--profile`) CI
+/// appends to the job summary.
+fn render_profile_markdown(profile: &[ProfileRow]) -> String {
+    let mut md = String::from(
+        "## Tick-cost attribution (profiled host time inside tick calls, fused mode)\n",
+    );
+    let mut rig = "";
+    for row in profile {
+        if row.rig != rig {
+            rig = &row.rig;
+            md.push_str(&format!(
+                "\n### {rig}\n\n| component | ticks | host ms | ns/tick | share |\n\
+                 |---|---:|---:|---:|---:|\n"
+            ));
+        }
+        let per_tick = if row.ticks > 0 {
+            row.host_ns as f64 / row.ticks as f64
+        } else {
+            0.0
+        };
+        md.push_str(&format!(
+            "| {} | {} | {:.3} | {:.1} | {:.1}% |\n",
+            row.component,
+            row.ticks,
+            row.host_ns as f64 / 1e6,
+            per_tick,
+            row.share_pct,
+        ));
+    }
     md
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    // `--profile` adds one profiled fused-mode pass per rig after its
+    // timed rows: per-component host-time attribution, rendered as a
+    // tick-cost table, embedded in the JSON, and written to
+    // `BENCH_hostbench_profile.md` for the CI job summary.
+    let profile = args.iter().any(|a| a == "--profile");
     // `--rig <name>` restricts the run to one rig (repeatable) —
     // for profiling a single row or triaging a floor failure.
     let only: Vec<&str> = args
@@ -413,10 +528,12 @@ fn main() {
     // measurements would contend for cores and skew the ratios the
     // floor check and the speedup summary depend on.
     let mut results: Vec<RigPerf> = Vec::new();
+    let mut profile_rows: Vec<ProfileRow> = Vec::new();
     for rig in &rigs {
         println!("{} — {}", rig.name, rig.what);
         let mut cycles = None;
-        for perf in measure_all(rig.name, &modes, samples) {
+        let (perfs, stats) = measure_all(rig.name, &modes, samples, profile);
+        for perf in perfs {
             println!("  {}", perf.render());
             // Schedulers trade host time only; simulated timing is
             // pinned by the parity tests and re-asserted here. Every
@@ -431,6 +548,19 @@ fn main() {
                 ),
             }
             results.push(perf);
+        }
+        if let Some(stats) = stats {
+            print!("{}", stats.render_tick_costs());
+            let total = stats.total_host_ns().max(1);
+            let mut comps: Vec<_> = stats.components.iter().filter(|c| c.host_ns > 0).collect();
+            comps.sort_by_key(|c| std::cmp::Reverse(c.host_ns));
+            profile_rows.extend(comps.into_iter().map(|c| ProfileRow {
+                rig: rig.name.into(),
+                component: c.name.clone(),
+                ticks: c.ticks_executed,
+                host_ns: c.host_ns,
+                share_pct: c.host_ns as f64 / total as f64 * 100.0,
+            }));
         }
     }
 
@@ -535,6 +665,7 @@ fn main() {
         samples,
         results,
         summary,
+        profile: profile_rows,
     };
     let json = report::record_json("hostbench", &rep);
     if let Err(e) = std::fs::write(&out_path, json.as_bytes()) {
@@ -545,12 +676,25 @@ fn main() {
     }
     report::dump_json("hostbench", &rep);
 
-    if full_grid {
-        let md = render_markdown(&rep.summary);
+    // Only a complete run — every rig, every mode — may (re)write the
+    // committed summary: a `--rig`-filtered run used to overwrite it
+    // with a one-row table while BENCH_hostbench.json kept the full
+    // grid (the committed artifacts disagreed; `summary_matches_json`
+    // in tests/hostbench_artifacts.rs pins the invariant now).
+    if !filtered {
+        let md = render_markdown(&rep.summary, samples);
         if let Err(e) = std::fs::write("BENCH_hostbench_summary.md", md.as_bytes()) {
             eprintln!("warning: could not write BENCH_hostbench_summary.md: {e}");
         } else {
             println!("wrote BENCH_hostbench_summary.md");
+        }
+    }
+    if profile {
+        let md = render_profile_markdown(&rep.profile);
+        if let Err(e) = std::fs::write("BENCH_hostbench_profile.md", md.as_bytes()) {
+            eprintln!("warning: could not write BENCH_hostbench_profile.md: {e}");
+        } else {
+            println!("wrote BENCH_hostbench_profile.md");
         }
     }
 

@@ -1,0 +1,138 @@
+//! Consistency of the committed hostbench artifacts.
+//!
+//! `BENCH_hostbench.json` (the machine-readable record, including the
+//! committed-baseline gate's input) and `BENCH_hostbench_summary.md`
+//! (the human-readable table CI appends to the job summary) are both
+//! written by `hostbench` — but historically a `--rig`-filtered run
+//! could overwrite the summary with a single-row table while the JSON
+//! kept the full grid, and nothing noticed until a human read the
+//! stale table. The binary now only writes the summary on a full
+//! unfiltered grid; this test keeps the two committed artifacts from
+//! drifting apart again: every summary row in the JSON must appear in
+//! the markdown with exactly the cells `render_markdown` would emit,
+//! and vice versa.
+//!
+//! Both files are hand-parsed (no serde in the build environment),
+//! matching the hand-rolled encoder in `rvcap_bench::report`.
+
+use std::path::PathBuf;
+
+/// Repo root: this file lives at `crates/bench/tests/`, two levels
+/// below the crate, which is two levels below the root.
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+/// One summary record from the JSON's `"summary"` array.
+#[derive(Debug)]
+struct SummaryRow {
+    rig: String,
+    naive_cps: f64,
+    scan_cps: f64,
+    active_set_cps: f64,
+    active_set_batched_cps: f64,
+    fused_cps: f64,
+    speedup_vs_scan: f64,
+    fused_vs_batched: f64,
+}
+
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = obj.find(&pat)? + pat.len();
+    let end = obj[start..].find('"')?;
+    Some(obj[start..start + end].to_string())
+}
+
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extract the summary records from a full `BENCH_hostbench.json`.
+/// The `"summary"` array holds flat objects (no nested arrays), so
+/// the slice between `"summary":[` and the next `]` contains exactly
+/// the records.
+fn parse_summary(json: &str) -> Vec<SummaryRow> {
+    let start = json
+        .find("\"summary\":[")
+        .expect("JSON has a summary array")
+        + "\"summary\":[".len();
+    let end = json[start..].find(']').expect("summary array closes");
+    json[start..start + end]
+        .split('{')
+        .filter_map(|obj| {
+            Some(SummaryRow {
+                rig: str_field(obj, "rig")?,
+                naive_cps: num_field(obj, "naive_cps")?,
+                scan_cps: num_field(obj, "scan_cps")?,
+                active_set_cps: num_field(obj, "active_set_cps")?,
+                active_set_batched_cps: num_field(obj, "active_set_batched_cps")?,
+                fused_cps: num_field(obj, "fused_cps")?,
+                speedup_vs_scan: num_field(obj, "speedup_vs_scan")?,
+                fused_vs_batched: num_field(obj, "fused_vs_batched")?,
+            })
+        })
+        .collect()
+}
+
+/// Data rows of the markdown table: `| rig | ... |` lines past the
+/// header and the `|---|` separator.
+fn parse_table(md: &str) -> Vec<Vec<String>> {
+    md.lines()
+        .filter(|l| l.starts_with('|') && !l.starts_with("|---") && !l.starts_with("| rig"))
+        .map(|l| {
+            l.trim_matches('|')
+                .split('|')
+                .map(|c| c.trim().to_string())
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn summary_matches_json() {
+    let root = repo_root();
+    let json = std::fs::read_to_string(root.join("BENCH_hostbench.json"))
+        .expect("committed BENCH_hostbench.json");
+    let md = std::fs::read_to_string(root.join("BENCH_hostbench_summary.md"))
+        .expect("committed BENCH_hostbench_summary.md");
+
+    let summary = parse_summary(&json);
+    assert!(!summary.is_empty(), "JSON summary array is empty");
+    let table = parse_table(&md);
+
+    let json_rigs: Vec<&str> = summary.iter().map(|s| s.rig.as_str()).collect();
+    let md_rigs: Vec<&str> = table.iter().map(|r| r[0].as_str()).collect();
+    assert_eq!(
+        json_rigs, md_rigs,
+        "summary markdown covers a different rig set (or order) than the JSON — \
+         one of the two artifacts is stale; regenerate both with a full grid run"
+    );
+
+    for (s, row) in summary.iter().zip(&table) {
+        // Exactly the cells `render_markdown` formats, recomputed from
+        // the JSON values.
+        let expect = [
+            s.rig.clone(),
+            format!("{:.0}", s.naive_cps),
+            format!("{:.0}", s.scan_cps),
+            format!("{:.0}", s.active_set_cps),
+            format!("{:.0}", s.active_set_batched_cps),
+            format!("{:.0}", s.fused_cps),
+            format!("{:.2}x", s.fused_vs_batched),
+            format!("{:.1}x", s.speedup_vs_scan),
+        ];
+        assert_eq!(
+            row.as_slice(),
+            &expect,
+            "summary row for {} does not match the JSON record",
+            s.rig
+        );
+    }
+}

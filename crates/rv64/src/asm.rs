@@ -582,6 +582,7 @@ fn lower(
             }])
         }
         "fence" => Ok(vec![Insn::Fence]),
+        "fence.i" => Ok(vec![Insn::FenceI]),
         "ecall" => Ok(vec![Insn::Ecall]),
         "ebreak" => Ok(vec![Insn::Ebreak]),
         // ---- pseudo-instructions ----

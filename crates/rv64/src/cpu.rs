@@ -169,6 +169,18 @@ pub const MIE_MEIE: u64 = 1 << 11;
 /// mcause value for a machine external interrupt.
 pub const MCAUSE_M_EXTERNAL: u64 = (1 << 63) | 11;
 
+/// One predecoded icache line: the result of `decode()` for the
+/// program word at the same index, or a cached miss.
+#[derive(Debug, Clone, Copy)]
+enum IcLine {
+    /// Not decoded since the last (in)validation.
+    Empty,
+    /// Decoded successfully.
+    Valid(Insn),
+    /// `decode()` returned `None` — fetching this word faults.
+    Undecodable,
+}
+
 /// The interpreter.
 pub struct Cpu {
     /// Architectural registers; x0 reads as zero.
@@ -183,7 +195,17 @@ pub struct Cpu {
     pub interrupts_taken: u64,
     timing: Timing,
     program_base: u64,
+    /// One past the last byte of the program (for the store-overlap
+    /// check on icache invalidation).
+    program_end: u64,
     program: Vec<u32>,
+    /// Predecoded icache, direct-mapped one line per program word.
+    /// Purely a host-side cache: lines are filled lazily on fetch and
+    /// invalidated on [`Cpu::patch_program`], stores overlapping the
+    /// code region, and `fence.i` — execution is bit-identical with
+    /// the cache disabled.
+    icache: Vec<IcLine>,
+    icache_enabled: bool,
 }
 
 impl Cpu {
@@ -197,6 +219,9 @@ impl Cpu {
             interrupts_taken: 0,
             timing: Timing::default(),
             program_base: base,
+            program_end: base + 4 * program.len() as u64,
+            icache: vec![IcLine::Empty; program.len()],
+            icache_enabled: true,
             program,
         }
     }
@@ -205,6 +230,51 @@ impl Cpu {
     pub fn with_timing(mut self, timing: Timing) -> Self {
         self.timing = timing;
         self
+    }
+
+    /// Enable or disable the predecoded icache (enabled by default).
+    /// Execution is bit-identical either way; the toggle exists so the
+    /// equivalence property tests can run both paths.
+    pub fn set_icache_enabled(&mut self, enabled: bool) {
+        self.icache_enabled = enabled;
+        if !enabled {
+            self.icache.fill(IcLine::Empty);
+        }
+    }
+
+    /// Overwrite the program word at `addr` (must lie in the code
+    /// region, 4-byte aligned) and invalidate its icache line — the
+    /// loader/self-modifying-code hook.
+    pub fn patch_program(&mut self, addr: u64, word: u32) {
+        assert!(
+            addr >= self.program_base && addr < self.program_end && addr.is_multiple_of(4),
+            "patch_program: {addr:#x} outside code region"
+        );
+        let idx = ((addr - self.program_base) / 4) as usize;
+        self.program[idx] = word;
+        self.icache[idx] = IcLine::Empty;
+    }
+
+    /// Invalidate every icache line (the `fence.i` action).
+    pub fn flush_icache(&mut self) {
+        self.icache.fill(IcLine::Empty);
+    }
+
+    /// Invalidate icache lines covering `[addr, addr + bytes)` if the
+    /// range overlaps the code region. Called on every retired store;
+    /// the common case (data stores) is two compares.
+    #[inline]
+    fn invalidate_store(&mut self, addr: u64, bytes: u64) {
+        if addr >= self.program_end || addr.wrapping_add(bytes) <= self.program_base {
+            return;
+        }
+        let lo = addr.saturating_sub(self.program_base) / 4;
+        let hi = (addr + bytes - 1).saturating_sub(self.program_base) / 4;
+        for idx in lo..=hi {
+            if let Some(line) = self.icache.get_mut(idx as usize) {
+                *line = IcLine::Empty;
+            }
+        }
     }
 
     /// Read a register (x0 is always zero).
@@ -223,12 +293,32 @@ impl Cpu {
         }
     }
 
-    fn fetch(&self) -> Option<u32> {
+    /// Fetch and decode the instruction at `pc`, through the icache
+    /// when enabled. `None` covers both fetch faults (PC outside the
+    /// program / misaligned) and undecodable words — the caller reports
+    /// the same `RunExit::Fault` for either, exactly as the uncached
+    /// fetch-then-decode sequence did.
+    #[inline]
+    fn fetch_decoded(&mut self) -> Option<Insn> {
         if self.pc < self.program_base || !(self.pc - self.program_base).is_multiple_of(4) {
             return None;
         }
         let idx = ((self.pc - self.program_base) / 4) as usize;
-        self.program.get(idx).copied()
+        if !self.icache_enabled {
+            return decode(self.program.get(idx).copied()?);
+        }
+        match *self.icache.get(idx)? {
+            IcLine::Valid(insn) => Some(insn),
+            IcLine::Undecodable => None,
+            IcLine::Empty => {
+                let decoded = decode(self.program[idx]);
+                self.icache[idx] = match decoded {
+                    Some(insn) => IcLine::Valid(insn),
+                    None => IcLine::Undecodable,
+                };
+                decoded
+            }
+        }
     }
 
     fn csr_read(&self, csr: u16) -> u64 {
@@ -286,14 +376,7 @@ impl Cpu {
             if self.interrupts_enabled() && bus.irq_pending() {
                 self.take_interrupt();
             }
-            let Some(word) = self.fetch() else {
-                return RunResult {
-                    cycles: self.cycles - start_cycles,
-                    instructions,
-                    exit: RunExit::Fault { pc: self.pc },
-                };
-            };
-            let Some(insn) = decode(word) else {
+            let Some(insn) = self.fetch_decoded() else {
                 return RunResult {
                     cycles: self.cycles - start_cycles,
                     instructions,
@@ -375,6 +458,7 @@ impl Cpu {
                     let extra = bus.store(addr, width.bytes(), self.reg(rs2));
                     self.cycles += extra;
                     bus_cycles = extra;
+                    self.invalidate_store(addr, width.bytes() as u64);
                 }
                 Insn::AluImm {
                     op,
@@ -456,6 +540,7 @@ impl Cpu {
                     }
                 }
                 Insn::Fence => {}
+                Insn::FenceI => self.flush_icache(),
                 Insn::Ecall | Insn::Ebreak => {
                     return RunResult {
                         cycles: self.cycles - start_cycles,
@@ -785,6 +870,234 @@ mod tests {
             "cycles {}",
             res.cycles
         );
+    }
+
+    #[test]
+    fn icache_disabled_matches_enabled() {
+        let src = "
+            li a0, 0
+            li t0, 1
+            li t1, 50
+            loop:
+            add a0, a0, t0
+            addi t0, t0, 1
+            bne t0, t1, loop
+            fence.i
+            ecall
+        ";
+        let words = assemble(src, 0x1000).unwrap();
+        let mut cached = Cpu::new(words.clone(), 0x1000);
+        let mut plain = Cpu::new(words, 0x1000);
+        plain.set_icache_enabled(false);
+        let mut m1 = LinearMemory::new(0x8000_0000, 64);
+        let mut m2 = LinearMemory::new(0x8000_0000, 64);
+        let r1 = cached.run(&mut m1, 10_000);
+        let r2 = plain.run(&mut m2, 10_000);
+        assert_eq!(r1, r2);
+        assert_eq!(cached.regs, plain.regs);
+    }
+
+    #[test]
+    fn patch_program_invalidates_the_line() {
+        // Loop twice through the same PC; patch the add into a sub
+        // between runs and confirm the new instruction executes.
+        let words = assemble(
+            "
+            start:
+            addi a0, a0, 5
+            ecall
+        ",
+            0x1000,
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(words, 0x1000);
+        let mut mem = LinearMemory::new(0x8000_0000, 64);
+        let r = cpu.run(&mut mem, 100);
+        assert_eq!(r.exit, RunExit::Halted);
+        assert_eq!(cpu.reg(Reg::a(0)), 5);
+        // addi a0, a0, -3
+        let patched = crate::insn::encode(Insn::AluImm {
+            op: AluOp::Add,
+            rd: Reg::a(0),
+            rs1: Reg::a(0),
+            imm: -3,
+            word: false,
+        });
+        cpu.patch_program(0x1000, patched);
+        cpu.pc = 0x1000;
+        let r = cpu.run(&mut mem, 100);
+        assert_eq!(r.exit, RunExit::Halted);
+        assert_eq!(cpu.reg(Reg::a(0)), 2, "patched word must be refetched");
+    }
+
+    #[test]
+    fn store_into_code_region_invalidates_without_changing_execution() {
+        // A store whose address lands inside the code region goes to
+        // the *bus* (program memory here is a separate instruction
+        // store), so execution is unchanged — but the icache lines are
+        // dropped, so a subsequent patch_program-free run re-decodes.
+        let words = assemble(
+            "
+            li t0, 0x1000
+            sw t0, 0(t0)        # store lands inside [0x1000, end)
+            addi a0, a0, 7      # still fetches the original program
+            ecall
+        ",
+            0x1000,
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(words.clone(), 0x1000);
+        let mut plain = Cpu::new(words, 0x1000);
+        plain.set_icache_enabled(false);
+        let mut m1 = LinearMemory::new(0, 0x2000);
+        let mut m2 = LinearMemory::new(0, 0x2000);
+        assert_eq!(cpu.run(&mut m1, 100), plain.run(&mut m2, 100));
+    }
+
+    /// The icache must be invisible: random RV64IM programs — including
+    /// stores landing in the code region and `fence.i` — retire the
+    /// same cycles, instructions, exit, and register file with the
+    /// cache on and off.
+    mod icache_equivalence {
+        use super::*;
+        use crate::insn::encode;
+        use proptest::prelude::*;
+
+        /// Accepts any address with deterministic values and stall
+        /// costs, so wild load/store addresses never panic and both
+        /// runs observe identical bus behaviour.
+        struct AnyBus;
+        impl Bus for AnyBus {
+            fn load(&mut self, addr: u64, bytes: u8) -> (u64, u64) {
+                let mask = if bytes >= 8 {
+                    u64::MAX
+                } else {
+                    (1u64 << (bytes * 8)) - 1
+                };
+                (addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask, addr % 7)
+            }
+            fn store(&mut self, addr: u64, _bytes: u8, _value: u64) -> u64 {
+                addr % 5
+            }
+        }
+
+        fn arb_reg() -> impl Strategy<Value = Reg> {
+            (0u8..32).prop_map(Reg)
+        }
+
+        /// Uniform pick from a static slice.
+        fn pick<T: Copy + 'static>(xs: &'static [T]) -> impl Strategy<Value = T> {
+            (0usize..xs.len()).prop_map(move |i| xs[i])
+        }
+
+        fn arb_insn() -> impl Strategy<Value = Insn> {
+            let alu_imm_op = pick(&[
+                AluOp::Add,
+                AluOp::Xor,
+                AluOp::Or,
+                AluOp::And,
+                AluOp::Sll,
+                AluOp::Srl,
+                AluOp::Sra,
+            ]);
+            let alu_reg_op = pick(&[AluOp::Add, AluOp::Sub, AluOp::Sll, AluOp::Srl, AluOp::Sra]);
+            let mul_op = pick(&[MulOp::Mul, MulOp::Div, MulOp::Divu, MulOp::Rem, MulOp::Remu]);
+            let cond = pick(&[
+                BranchCond::Eq,
+                BranchCond::Ne,
+                BranchCond::Lt,
+                BranchCond::Ge,
+                BranchCond::Ltu,
+                BranchCond::Geu,
+            ]);
+            let width = pick(&[Width::B, Width::H, Width::W, Width::D]);
+            prop_oneof![
+                (
+                    alu_imm_op,
+                    arb_reg(),
+                    arb_reg(),
+                    -2048i32..2048,
+                    any::<bool>()
+                )
+                    .prop_map(|(op, rd, rs1, imm, word)| Insn::AluImm {
+                        op,
+                        rd,
+                        rs1,
+                        imm,
+                        word
+                    }),
+                (alu_reg_op, arb_reg(), arb_reg(), arb_reg(), any::<bool>()).prop_map(
+                    |(op, rd, rs1, rs2, word)| Insn::AluReg {
+                        op,
+                        rd,
+                        rs1,
+                        rs2,
+                        word
+                    }
+                ),
+                (mul_op, arb_reg(), arb_reg(), arb_reg(), any::<bool>()).prop_map(
+                    |(op, rd, rs1, rs2, word)| Insn::MulDiv {
+                        op,
+                        rd,
+                        rs1,
+                        rs2,
+                        word
+                    }
+                ),
+                // Forward-only control flow so every program terminates.
+                (cond, arb_reg(), arb_reg(), 1i32..8).prop_map(|(cond, rs1, rs2, k)| {
+                    Insn::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        imm: k * 4,
+                    }
+                }),
+                (arb_reg(), 1i32..8).prop_map(|(rd, k)| Insn::Jal { rd, imm: k * 4 }),
+                // x0-based addressing: with the program at base 0 these
+                // land inside (and past) the code region.
+                (
+                    pick(&[Width::B, Width::H, Width::W, Width::D]),
+                    arb_reg(),
+                    0i32..512
+                )
+                    .prop_map(|(width, rd, imm)| Insn::Load {
+                        rd,
+                        rs1: Reg::ZERO,
+                        imm,
+                        width,
+                        unsigned: false,
+                    }),
+                (width, arb_reg(), 0i32..512).prop_map(|(width, rs2, imm)| Insn::Store {
+                    rs1: Reg::ZERO,
+                    rs2,
+                    imm,
+                    width,
+                }),
+                Just(Insn::FenceI),
+                Just(Insn::Fence),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+            #[test]
+            fn prop_cached_matches_uncached(
+                insns in proptest::collection::vec(arb_insn(), 1..40)
+            ) {
+                let mut words: Vec<u32> = insns.iter().map(|i| encode(*i)).collect();
+                words.push(encode(Insn::Ecall));
+                let mut cached = Cpu::new(words.clone(), 0);
+                let mut plain = Cpu::new(words, 0);
+                plain.set_icache_enabled(false);
+                let r1 = cached.run(&mut AnyBus, 500);
+                let r2 = plain.run(&mut AnyBus, 500);
+                prop_assert_eq!(r1, r2);
+                prop_assert_eq!(cached.regs, plain.regs);
+                prop_assert_eq!(cached.pc, plain.pc);
+                prop_assert_eq!(cached.cycles, plain.cycles);
+            }
+        }
     }
 
     /// Differential property tests: the interpreter's arithmetic must

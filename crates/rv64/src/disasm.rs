@@ -168,6 +168,7 @@ pub fn disasm(insn: Insn) -> String {
         Insn::Mret => "mret".into(),
         Insn::Wfi => "wfi".into(),
         Insn::Fence => "fence".into(),
+        Insn::FenceI => "fence.i".into(),
         Insn::Ecall => "ecall".into(),
         Insn::Ebreak => "ebreak".into(),
     }

@@ -208,6 +208,11 @@ pub enum Insn {
     Wfi,
     /// Memory fence (a timing no-op here).
     Fence,
+    /// Instruction fence — synchronizes the front end with stores to
+    /// code memory. Flushes the interpreter's predecoded icache; same
+    /// 1-cycle timing as `fence` (the driver loops never execute it on
+    /// a hot path).
+    FenceI,
     /// Environment call — halts the interpreter.
     Ecall,
     /// Breakpoint — halts the interpreter.
@@ -392,7 +397,13 @@ pub fn decode(word: u32) -> Option<Insn> {
                 word: word_form,
             }
         }
-        0b0001111 => Insn::Fence,
+        0b0001111 => {
+            if funct3(word) == 0b001 {
+                Insn::FenceI
+            } else {
+                Insn::Fence
+            }
+        }
         0b1110011 => {
             // SYSTEM: ECALL/EBREAK and rdcycle (csrrs rd, cycle, x0).
             if word == 0x0000_0073 {
@@ -600,6 +611,7 @@ pub fn encode(insn: Insn) -> u32 {
         Insn::Mret => 0x3020_0073,
         Insn::Wfi => 0x1050_0073,
         Insn::Fence => 0x0000_000F,
+        Insn::FenceI => 0x0000_100F,
         Insn::Ecall => 0x0000_0073,
         Insn::Ebreak => 0x0010_0073,
     }
@@ -676,6 +688,9 @@ mod tests {
     fn system_instructions_round_trip() {
         assert_eq!(decode(0x3020_0073), Some(Insn::Mret));
         assert_eq!(decode(0x1050_0073), Some(Insn::Wfi));
+        assert_eq!(decode(0x0000_000F), Some(Insn::Fence));
+        assert_eq!(decode(0x0000_100F), Some(Insn::FenceI));
+        assert_eq!(decode(encode(Insn::FenceI)), Some(Insn::FenceI));
         for op in [CsrOp::Rw, CsrOp::Rs, CsrOp::Rc] {
             let i = Insn::Csr {
                 op,

@@ -10,10 +10,22 @@
 //! pops (consumer sees `valid == 0`).
 //!
 //! FIFOs are shared between the producing and consuming component via
-//! cheap clones (`Rc<RefCell<..>>` internally — the simulator is
-//! single-threaded by design, see the crate docs).
+//! cheap clones (`Rc` internally — the simulator is single-threaded by
+//! design, see the crate docs).
+//!
+//! # Hot-path layout
+//!
+//! The handshake-visible state — queue length, capacity, and the
+//! one-op-per-cycle rate marks — lives in [`Cell`]s *outside* the
+//! `RefCell` that guards the queue itself. Occupancy probes
+//! (`len`/`is_empty`/`is_full`/`vacancy`), handshake checks
+//! (`can_push`/`can_pop`) and *refused* transfers are therefore plain
+//! loads with no borrow-flag traffic. This matters: fan-in blocks like
+//! the crossbar probe every lane every tick, and `next_activity` hints
+//! all over the workspace are built from these probes. Only an op that
+//! actually moves an element takes the `RefCell` borrow.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -23,15 +35,24 @@ use crate::time::Cycle;
 use crate::wake::Waker;
 
 #[derive(Debug)]
-struct Inner<T> {
-    name: String,
-    queue: VecDeque<T>,
+struct Shared<T> {
+    /// Mirror of `inner.queue.len()`, maintained by every mutating op
+    /// so probes never touch the `RefCell`.
+    len: Cell<usize>,
+    /// Immutable after construction.
     capacity: usize,
     /// Cycle of the most recent push, used to enforce the one-beat-per-
     /// cycle rule on the producer side.
-    last_push: Option<Cycle>,
+    last_push: Cell<Option<Cycle>>,
     /// Cycle of the most recent pop, for the consumer side.
-    last_pop: Option<Cycle>,
+    last_pop: Cell<Option<Cycle>>,
+    inner: RefCell<Inner<T>>,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    name: String,
+    queue: VecDeque<T>,
     /// Lifetime counters for statistics / assertions.
     total_pushed: u64,
     total_popped: u64,
@@ -40,10 +61,10 @@ struct Inner<T> {
     total_cleared: u64,
     /// Optional sanitizer hook; fires on every push/pop/clear.
     monitor: Option<ChannelMonitor<T>>,
-    /// Consumer wakers fired on every successful push (see
-    /// [`Fifo::subscribe_wake`]). Pops fire nothing: a producer blocked
-    /// on a full channel keeps itself scheduled via its own
-    /// `next_activity` hint, so it never needs a pop-side wake.
+    /// Consumer wakers fired on every push that makes the channel
+    /// non-empty (see [`Fifo::subscribe_wake`]). Pops fire nothing: a
+    /// producer blocked on a full channel keeps itself scheduled via
+    /// its own `next_activity` hint, so it never needs a pop-side wake.
     wakers: Vec<Waker>,
 }
 
@@ -66,7 +87,7 @@ impl<T> Inner<T> {
 /// switches) legitimately own several handles.
 #[derive(Debug, Clone)]
 pub struct Fifo<T> {
-    inner: Rc<RefCell<Inner<T>>>,
+    shared: Rc<Shared<T>>,
 }
 
 impl<T> Fifo<T> {
@@ -77,66 +98,72 @@ impl<T> Fifo<T> {
     pub fn new(name: impl Into<String>, capacity: usize) -> Self {
         assert!(capacity >= 1, "FIFO capacity must be >= 1");
         Fifo {
-            inner: Rc::new(RefCell::new(Inner {
-                name: name.into(),
-                queue: VecDeque::with_capacity(capacity),
+            shared: Rc::new(Shared {
+                len: Cell::new(0),
                 capacity,
-                last_push: None,
-                last_pop: None,
-                total_pushed: 0,
-                total_popped: 0,
-                total_cleared: 0,
-                monitor: None,
-                wakers: Vec::new(),
-            })),
+                last_push: Cell::new(None),
+                last_pop: Cell::new(None),
+                inner: RefCell::new(Inner {
+                    name: name.into(),
+                    queue: VecDeque::with_capacity(capacity),
+                    total_pushed: 0,
+                    total_popped: 0,
+                    total_cleared: 0,
+                    monitor: None,
+                    wakers: Vec::new(),
+                }),
+            }),
         }
     }
 
     /// The channel name (used in traces and panics).
     pub fn name(&self) -> String {
-        self.inner.borrow().name.clone()
+        self.shared.inner.borrow().name.clone()
     }
 
     /// Elements currently queued.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.inner.borrow().queue.len()
+        self.shared.len.get()
     }
 
     /// True if no elements are queued.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.shared.len.get() == 0
     }
 
     /// True if the queue is at capacity.
+    #[inline]
     pub fn is_full(&self) -> bool {
-        let inner = self.inner.borrow();
-        inner.queue.len() >= inner.capacity
+        self.shared.len.get() >= self.shared.capacity
     }
 
     /// Remaining space (the "vacancy" register of a hardware FIFO —
     /// the HWICAP driver polls exactly this).
+    #[inline]
     pub fn vacancy(&self) -> usize {
-        let inner = self.inner.borrow();
-        inner.capacity - inner.queue.len()
+        self.shared.capacity - self.shared.len.get()
     }
 
     /// Total capacity.
+    #[inline]
     pub fn capacity(&self) -> usize {
-        self.inner.borrow().capacity
+        self.shared.capacity
     }
 
     /// Would a `push` at `cycle` succeed? (The producer's view of
     /// `ready && !already_pushed_this_cycle`.)
+    #[inline]
     pub fn can_push(&self, cycle: Cycle) -> bool {
-        let inner = self.inner.borrow();
-        inner.queue.len() < inner.capacity && inner.last_push != Some(cycle)
+        self.shared.len.get() < self.shared.capacity && self.shared.last_push.get() != Some(cycle)
     }
 
     /// Would a `pop` at `cycle` succeed? (The consumer's view of
     /// `valid && !already_popped_this_cycle`.)
+    #[inline]
     pub fn can_pop(&self, cycle: Cycle) -> bool {
-        let inner = self.inner.borrow();
-        !inner.queue.is_empty() && inner.last_pop != Some(cycle)
+        self.shared.len.get() != 0 && self.shared.last_pop.get() != Some(cycle)
     }
 
     /// Try to transfer one element into the FIFO at `cycle`.
@@ -144,19 +171,12 @@ impl<T> Fifo<T> {
     /// Returns the element back if the FIFO is full or an element was
     /// already pushed this cycle (so the caller can retry next cycle —
     /// this is the `valid && !ready` stall case).
+    #[inline]
     pub fn try_push(&self, cycle: Cycle, item: T) -> Result<(), T> {
-        let mut inner = self.inner.borrow_mut();
-        if inner.queue.len() >= inner.capacity || inner.last_push == Some(cycle) {
+        if !self.can_push(cycle) {
             return Err(item);
         }
-        let meta = inner.monitor.as_ref().map(|m| m.meta_of(&item));
-        inner.queue.push_back(item);
-        inner.last_push = Some(cycle);
-        inner.total_pushed += 1;
-        if let (Some(monitor), Some(meta)) = (&inner.monitor, meta) {
-            monitor.record_push(meta, inner.queue.len());
-        }
-        inner.fire_wakers();
+        self.push_accepted(cycle, item, false);
         Ok(())
     }
 
@@ -169,50 +189,81 @@ impl<T> Fifo<T> {
     /// push must look to the sanitizer exactly as it would have in `k`
     /// separate ticks (one op per cycle, correct progress stamps).
     /// Outside a batch replay, use [`Fifo::try_push`].
+    #[inline]
     pub fn try_push_batched(&self, cycle: Cycle, item: T) -> Result<(), T> {
-        let mut inner = self.inner.borrow_mut();
-        if inner.queue.len() >= inner.capacity || inner.last_push == Some(cycle) {
+        if !self.can_push(cycle) {
             return Err(item);
         }
-        let meta = inner.monitor.as_ref().map(|m| m.meta_of(&item));
-        inner.queue.push_back(item);
-        inner.last_push = Some(cycle);
-        inner.total_pushed += 1;
-        if let (Some(monitor), Some(meta)) = (&inner.monitor, meta) {
-            monitor.record_push_at(meta, inner.queue.len(), cycle);
-        }
-        inner.fire_wakers();
+        self.push_accepted(cycle, item, true);
         Ok(())
     }
 
+    /// Slow half of an accepted push: takes the borrow, moves the
+    /// element, updates mirrors, observes, wakes. The sanitizer hook is
+    /// one predictable `monitor.is_some()` branch — un-watched channels
+    /// (every timed hostbench run) skip the meta capture entirely.
+    fn push_accepted(&self, cycle: Cycle, item: T, stamped: bool) {
+        let mut inner = self.shared.inner.borrow_mut();
+        if let Some(monitor) = inner.monitor.take() {
+            let meta = monitor.meta_of(&item);
+            inner.queue.push_back(item);
+            let occupancy = inner.queue.len();
+            if stamped {
+                monitor.record_push_at(meta, occupancy, cycle);
+            } else {
+                monitor.record_push(meta, occupancy);
+            }
+            inner.monitor = Some(monitor);
+        } else {
+            inner.queue.push_back(item);
+        }
+        let occupancy = inner.queue.len();
+        self.shared.len.set(occupancy);
+        self.shared.last_push.set(Some(cycle));
+        inner.total_pushed += 1;
+        // Wake consumers only on the empty→non-empty transition: every
+        // hint in the workspace is monotone in occupancy (due whenever
+        // the channel is non-empty, or gated by state with its own
+        // subscription), so a push onto a non-empty queue cannot change
+        // a hint the kernel hasn't already acted on.
+        if occupancy == 1 {
+            inner.fire_wakers();
+        }
+    }
+
     /// Try to take one element out of the FIFO at `cycle`.
+    #[inline]
     pub fn try_pop(&self, cycle: Cycle) -> Option<T> {
-        let mut inner = self.inner.borrow_mut();
-        if inner.queue.is_empty() || inner.last_pop == Some(cycle) {
+        if !self.can_pop(cycle) {
             return None;
         }
-        inner.last_pop = Some(cycle);
-        inner.total_popped += 1;
-        let item = inner.queue.pop_front();
-        if let Some(monitor) = &inner.monitor {
-            monitor.record_pop(inner.queue.len());
-        }
-        item
+        Some(self.pop_accepted(cycle, false))
     }
 
     /// [`Fifo::try_pop`] with the sanitizer observation stamped at an
     /// explicit `cycle` — the consumer-side bulk primitive for
     /// [`crate::Component::tick_batch`] (see [`Fifo::try_push_batched`]).
+    #[inline]
     pub fn try_pop_batched(&self, cycle: Cycle) -> Option<T> {
-        let mut inner = self.inner.borrow_mut();
-        if inner.queue.is_empty() || inner.last_pop == Some(cycle) {
+        if !self.can_pop(cycle) {
             return None;
         }
-        inner.last_pop = Some(cycle);
+        Some(self.pop_accepted(cycle, true))
+    }
+
+    /// Slow half of an accepted pop (see [`Fifo::push_accepted`]).
+    fn pop_accepted(&self, cycle: Cycle, stamped: bool) -> T {
+        let mut inner = self.shared.inner.borrow_mut();
+        let item = inner.queue.pop_front().expect("can_pop checked non-empty");
+        self.shared.len.set(inner.queue.len());
+        self.shared.last_pop.set(Some(cycle));
         inner.total_popped += 1;
-        let item = inner.queue.pop_front();
         if let Some(monitor) = &inner.monitor {
-            monitor.record_pop_at(inner.queue.len(), cycle);
+            if stamped {
+                monitor.record_pop_at(inner.queue.len(), cycle);
+            } else {
+                monitor.record_pop(inner.queue.len());
+            }
         }
         item
     }
@@ -228,15 +279,15 @@ impl<T> Fifo<T> {
     /// `start` stops the bulk immediately), later pops see strictly
     /// newer cycles and can only stop on an empty queue.
     pub fn pop_n(&self, start: Cycle, max: usize, out: &mut Vec<T>) -> usize {
-        let mut inner = self.inner.borrow_mut();
+        if max == 0 || !self.can_pop(start) {
+            return 0;
+        }
+        let mut inner = self.shared.inner.borrow_mut();
         let mut popped = 0usize;
-        while popped < max {
+        while popped < max && !inner.queue.is_empty() {
             let cycle = start + popped as Cycle;
-            if inner.queue.is_empty() || inner.last_pop == Some(cycle) {
-                break;
-            }
             let item = inner.queue.pop_front().expect("checked non-empty");
-            inner.last_pop = Some(cycle);
+            self.shared.last_pop.set(Some(cycle));
             inner.total_popped += 1;
             if let Some(monitor) = &inner.monitor {
                 monitor.record_pop_at(inner.queue.len(), cycle);
@@ -244,6 +295,7 @@ impl<T> Fifo<T> {
             out.push(item);
             popped += 1;
         }
+        self.shared.len.set(inner.queue.len());
         popped
     }
 
@@ -251,19 +303,23 @@ impl<T> Fifo<T> {
     /// (e.g. preloading a DDR model) and test fixtures, never by ticked
     /// components.
     pub fn force_push(&self, item: T) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.shared.inner.borrow_mut();
         assert!(
-            inner.queue.len() < inner.capacity,
+            inner.queue.len() < self.shared.capacity,
             "force_push on full FIFO {}",
             inner.name
         );
         let meta = inner.monitor.as_ref().map(|m| m.meta_of(&item));
         inner.queue.push_back(item);
+        let occupancy = inner.queue.len();
+        self.shared.len.set(occupancy);
         inner.total_pushed += 1;
         if let (Some(monitor), Some(meta)) = (&inner.monitor, meta) {
-            monitor.record_push(meta, inner.queue.len());
+            monitor.record_push(meta, occupancy);
         }
-        inner.fire_wakers();
+        if occupancy == 1 {
+            inner.fire_wakers();
+        }
     }
 
     /// Pop without rate limiting — for *observers outside the clocked
@@ -271,8 +327,12 @@ impl<T> Fifo<T> {
     /// advance the simulator themselves and therefore cannot collide
     /// with a ticked consumer on the same channel.
     pub fn force_pop(&self) -> Option<T> {
-        let mut inner = self.inner.borrow_mut();
+        if self.is_empty() {
+            return None;
+        }
+        let mut inner = self.shared.inner.borrow_mut();
         let item = inner.queue.pop_front();
+        self.shared.len.set(inner.queue.len());
         if item.is_some() {
             inner.total_popped += 1;
             if let Some(monitor) = &inner.monitor {
@@ -290,11 +350,12 @@ impl<T> Fifo<T> {
     /// elements are accounted in [`Fifo::total_cleared`] so lifetime
     /// occupancy math stays exact.
     pub fn clear(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.shared.inner.borrow_mut();
         let dropped = inner.queue.len() as u64;
         inner.queue.clear();
-        inner.last_push = None;
-        inner.last_pop = None;
+        self.shared.len.set(0);
+        self.shared.last_push.set(None);
+        self.shared.last_pop.set(None);
         inner.total_cleared += dropped;
         if let Some(monitor) = &inner.monitor {
             monitor.record_clear();
@@ -303,32 +364,39 @@ impl<T> Fifo<T> {
 
     /// Lifetime count of successful pushes.
     pub fn total_pushed(&self) -> u64 {
-        self.inner.borrow().total_pushed
+        self.shared.inner.borrow().total_pushed
     }
 
     /// Lifetime count of successful pops.
     pub fn total_popped(&self) -> u64 {
-        self.inner.borrow().total_popped
+        self.shared.inner.borrow().total_popped
     }
 
     /// Lifetime count of elements dropped by [`Fifo::clear`].
     pub fn total_cleared(&self) -> u64 {
-        self.inner.borrow().total_cleared
+        self.shared.inner.borrow().total_cleared
     }
 
     /// Install a sanitizer hook (see [`crate::sanitizer::Sanitizer`]).
     pub(crate) fn attach_monitor(&self, monitor: ChannelMonitor<T>) {
-        self.inner.borrow_mut().monitor = Some(monitor);
+        self.shared.inner.borrow_mut().monitor = Some(monitor);
     }
 
-    /// Subscribe a consumer [`Waker`]: it fires on every successful
-    /// push (rate-limited, forced, or batched), from ticked code and
-    /// host drivers alike. Components call this from
-    /// [`crate::Component::wake_sources`] for each channel whose
+    /// Subscribe a consumer [`Waker`]: it fires on every push that
+    /// makes the channel non-empty (rate-limited, forced, or batched),
+    /// from ticked code and host drivers alike. Components call this
+    /// from [`crate::Component::wake_sources`] for each channel whose
     /// arrival can change their [`crate::Component::next_activity`]
     /// hint.
+    ///
+    /// Firing only on the empty→non-empty transition is the wake
+    /// contract's flip side: a hint may report "sleep" only while the
+    /// channel is empty (or while gated by state with its own
+    /// subscription), never while data is already queued — i.e. hints
+    /// must be monotone in occupancy. Every component in the workspace
+    /// satisfies this, and the scheduler-equivalence suites enforce it.
     pub fn subscribe_wake(&self, waker: Waker) {
-        self.inner.borrow_mut().wakers.push(waker);
+        self.shared.inner.borrow_mut().wakers.push(waker);
     }
 }
 
@@ -343,12 +411,12 @@ impl<T: StateItem> Fifo<T> {
     /// state: restore targets a structurally identical FIFO wired by
     /// the same construction code.
     pub fn save_state(&self) -> StateValue {
-        let inner = self.inner.borrow();
+        let inner = self.shared.inner.borrow();
         let mut blob = StateBlob::new("fifo", 1);
         blob.put_str("name", inner.name.clone());
         blob.put_list("queue", inner.queue.iter().map(|e| e.to_state()).collect());
-        blob.put_opt_u64("last_push", inner.last_push);
-        blob.put_opt_u64("last_pop", inner.last_pop);
+        blob.put_opt_u64("last_push", self.shared.last_push.get());
+        blob.put_opt_u64("last_pop", self.shared.last_pop.get());
         blob.put_u64("pushed", inner.total_pushed);
         blob.put_u64("popped", inner.total_popped);
         blob.put_u64("cleared", inner.total_cleared);
@@ -375,28 +443,29 @@ impl<T: StateItem> Fifo<T> {
         blob.expect("fifo", 1)?;
         let name = blob.get_str("name")?;
         let queue_vals = blob.get_list("queue")?;
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.shared.inner.borrow_mut();
         if name != inner.name {
             return Err(blob.structure_error(format!(
                 "blob is for channel {name}, restoring into {}",
                 inner.name
             )));
         }
-        if queue_vals.len() > inner.capacity {
+        if queue_vals.len() > self.shared.capacity {
             return Err(blob.structure_error(format!(
                 "{} queued elements exceed capacity {} of {}",
                 queue_vals.len(),
-                inner.capacity,
+                self.shared.capacity,
                 inner.name
             )));
         }
-        let mut queue = VecDeque::with_capacity(inner.capacity);
+        let mut queue = VecDeque::with_capacity(self.shared.capacity);
         for v in queue_vals {
             queue.push_back(T::from_state(v, name)?);
         }
+        self.shared.len.set(queue.len());
         inner.queue = queue;
-        inner.last_push = blob.get_opt_u64("last_push")?;
-        inner.last_pop = blob.get_opt_u64("last_pop")?;
+        self.shared.last_push.set(blob.get_opt_u64("last_push")?);
+        self.shared.last_pop.set(blob.get_opt_u64("last_pop")?);
         inner.total_pushed = blob.get_u64("pushed")?;
         inner.total_popped = blob.get_u64("popped")?;
         inner.total_cleared = blob.get_u64("cleared")?;
@@ -406,8 +475,12 @@ impl<T: StateItem> Fifo<T> {
 
 impl<T: Clone> Fifo<T> {
     /// Peek at the head element without consuming it.
+    #[inline]
     pub fn peek(&self) -> Option<T> {
-        self.inner.borrow().queue.front().cloned()
+        if self.is_empty() {
+            return None;
+        }
+        self.shared.inner.borrow().queue.front().cloned()
     }
 
     /// Bulk producer primitive for fused/batched execution: push
@@ -421,23 +494,28 @@ impl<T: Clone> Fifo<T> {
     /// kernel's wake bits are idempotent, so one firing is equivalent
     /// to one per push.
     pub fn push_n(&self, start: Cycle, items: &[T]) -> usize {
-        let mut inner = self.inner.borrow_mut();
+        if items.is_empty() || !self.can_push(start) {
+            return 0;
+        }
+        let was_empty = self.is_empty();
+        let mut inner = self.shared.inner.borrow_mut();
         let mut pushed = 0usize;
         for item in items {
-            let cycle = start + pushed as Cycle;
-            if inner.queue.len() >= inner.capacity || inner.last_push == Some(cycle) {
+            if inner.queue.len() >= self.shared.capacity {
                 break;
             }
+            let cycle = start + pushed as Cycle;
             let meta = inner.monitor.as_ref().map(|m| m.meta_of(item));
             inner.queue.push_back(item.clone());
-            inner.last_push = Some(cycle);
+            self.shared.last_push.set(Some(cycle));
             inner.total_pushed += 1;
             if let (Some(monitor), Some(meta)) = (&inner.monitor, meta) {
                 monitor.record_push_at(meta, inner.queue.len(), cycle);
             }
             pushed += 1;
         }
-        if pushed > 0 {
+        self.shared.len.set(inner.queue.len());
+        if was_empty && pushed > 0 {
             inner.fire_wakers();
         }
         pushed
@@ -582,6 +660,23 @@ mod tests {
     #[should_panic(expected = "capacity must be >= 1")]
     fn zero_capacity_rejected() {
         let _ = Fifo::<u8>::new("bad", 0);
+    }
+
+    #[test]
+    fn probes_do_not_take_the_queue_borrow() {
+        // Occupancy and handshake probes must stay legal while the
+        // queue's RefCell is held — components probe channels from
+        // within monitor callbacks and nested helpers, and the
+        // crossbar's idle-lane scan relies on probes being borrow-free.
+        let f: Fifo<u32> = Fifo::new("t", 4);
+        f.force_push(1);
+        let _guard = f.shared.inner.borrow_mut();
+        assert_eq!(f.len(), 1);
+        assert!(!f.is_empty());
+        assert!(!f.is_full());
+        assert_eq!(f.vacancy(), 3);
+        assert!(f.can_push(0));
+        assert!(f.can_pop(0));
     }
 
     #[test]

@@ -219,6 +219,21 @@ pub struct Simulator {
     /// carrying it in a bitset instead of the heap keeps the dense
     /// phases free of per-cycle heap traffic.
     carry: BitSet,
+    /// Subset of `carry` whose post-tick hint was `now` (or `None`):
+    /// the component still had unfinished work *at query time*, not a
+    /// future deadline to re-examine. That work lives in the
+    /// component's own state or in channels it solely consumes, and
+    /// the wake contract requires hints to be monotone in occupancy
+    /// (see [`crate::Fifo::subscribe_wake`]) — so earlier components'
+    /// ticks can only add work, never retract the promise. An exact
+    /// `now + 1` hint is *not* a promise: it may be a gate ("nothing
+    /// before then, re-query at the deadline"), so it stays in `carry`
+    /// alone and gets the full pre-tick query.
+    promise: BitSet,
+    /// Last cycle's `promise` set (double-buffered at cycle start):
+    /// the sweep skips the pre-tick hint query for these slots (a
+    /// debug assert re-checks each skipped promise).
+    carried: BitSet,
     /// Reusable member list of the current fused window, ascending
     /// registration order (scratch; empty between windows).
     fused: Vec<u32>,
@@ -241,6 +256,14 @@ pub struct Simulator {
     fusion_backoff_until: Cycle,
     jumps: u64,
     jumped_cycles: Cycle,
+    /// Opt-in per-component host-time attribution (see
+    /// [`Simulator::set_profiling`]). When off, tick paths pay one
+    /// predictable branch and no clock reads.
+    profiling: bool,
+    /// Accumulated host nanoseconds inside each component's
+    /// `tick`/`tick_batch` calls (parallel to `components`; only
+    /// written while `profiling` is set).
+    host_ns: Vec<u64>,
     sanitizer: Option<Sanitizer>,
 }
 
@@ -265,6 +288,8 @@ impl Simulator {
             scheduled: Vec::new(),
             due: BitSet::default(),
             carry: BitSet::default(),
+            promise: BitSet::default(),
+            carried: BitSet::default(),
             fused: Vec::new(),
             fused_mask: BitSet::default(),
             fused_windows: 0,
@@ -273,6 +298,8 @@ impl Simulator {
             fusion_backoff_until: 0,
             jumps: 0,
             jumped_cycles: 0,
+            profiling: false,
+            host_ns: Vec::new(),
             sanitizer: None,
         }
     }
@@ -309,6 +336,7 @@ impl Simulator {
         self.batchable.push(component.batch_capable());
         self.components.push(component);
         self.ticks.push(0);
+        self.host_ns.push(0);
         self.fusion_vetoes.push(0);
         self.registered_at.push(self.cycle);
         self.policies.push(policy);
@@ -408,6 +436,26 @@ impl Simulator {
     /// Whether multi-component stream fusion is enabled.
     pub fn fusion(&self) -> bool {
         self.fusion
+    }
+
+    /// Enable or disable per-component host-time profiling (disabled
+    /// by default). While enabled, every `tick`/`tick_batch` call is
+    /// bracketed with monotonic-clock reads and the elapsed host time
+    /// is attributed to the component; [`Simulator::kernel_stats`]
+    /// surfaces the totals and
+    /// [`crate::KernelStats::render_tick_costs`] renders them. The
+    /// clock reads cost real time (tens of nanoseconds per tick), so
+    /// profiled runs attribute *shares* faithfully but are not wall-
+    /// clock comparable to unprofiled runs; when disabled, the tick
+    /// paths pay one predictable branch and nothing else. Simulated
+    /// behavior is identical either way.
+    pub fn set_profiling(&mut self, enabled: bool) {
+        self.profiling = enabled;
+    }
+
+    /// Whether per-component host-time profiling is enabled.
+    pub fn profiling(&self) -> bool {
+        self.profiling
     }
 
     /// Attach a bus sanitizer (see [`crate::sanitizer`]). The kernel
@@ -534,6 +582,12 @@ impl Simulator {
             self.registered_at[i] = cs.registered_at;
             self.fusion_vetoes[i] = state.counters.fusion_vetoes[i];
         }
+        // Host-time attribution is a host-side measurement, not
+        // simulated state: it is not checkpointed, and restarts at the
+        // restore point.
+        for ns in &mut self.host_ns {
+            *ns = 0;
+        }
         self.jumps = state.counters.jumps;
         self.jumped_cycles = state.counters.jumped_cycles;
         self.fused_windows = state.counters.fused_windows;
@@ -566,6 +620,9 @@ impl Simulator {
     pub fn reset_stats(&mut self) {
         for t in &mut self.ticks {
             *t = 0;
+        }
+        for ns in &mut self.host_ns {
+            *ns = 0;
         }
         for r in &mut self.registered_at {
             *r = self.cycle;
@@ -604,9 +661,23 @@ impl Simulator {
         if let Some(s) = &self.sanitizer {
             s.begin_cycle(now);
         }
-        for (c, ticks) in self.components.iter_mut().zip(&mut self.ticks) {
-            c.tick(&mut ctx);
-            *ticks += 1;
+        if self.profiling {
+            for ((c, ticks), ns) in self
+                .components
+                .iter_mut()
+                .zip(&mut self.ticks)
+                .zip(&mut self.host_ns)
+            {
+                let t0 = std::time::Instant::now();
+                c.tick(&mut ctx);
+                *ns += t0.elapsed().as_nanos() as u64;
+                *ticks += 1;
+            }
+        } else {
+            for (c, ticks) in self.components.iter_mut().zip(&mut self.ticks) {
+                c.tick(&mut ctx);
+                *ticks += 1;
+            }
         }
         self.cycle += 1;
         if let Some(s) = &self.sanitizer {
@@ -627,10 +698,21 @@ impl Simulator {
         if let Some(s) = &self.sanitizer {
             s.begin_cycle(now);
         }
-        for (c, ticks) in self.components.iter_mut().zip(&mut self.ticks) {
+        for ((c, ticks), ns) in self
+            .components
+            .iter_mut()
+            .zip(&mut self.ticks)
+            .zip(&mut self.host_ns)
+        {
             let idle = matches!(c.next_activity(now), Some(at) if at > now);
             if !idle {
-                c.tick(&mut ctx);
+                if self.profiling {
+                    let t0 = std::time::Instant::now();
+                    c.tick(&mut ctx);
+                    *ns += t0.elapsed().as_nanos() as u64;
+                } else {
+                    c.tick(&mut ctx);
+                }
                 *ticks += 1;
             }
         }
@@ -706,16 +788,23 @@ impl Simulator {
             cycle: now,
             tracer: &self.tracer,
         };
-        for (i, (c, ticks)) in self
+        for (i, ((c, ticks), ns)) in self
             .components
             .iter_mut()
             .zip(&mut self.ticks)
+            .zip(&mut self.host_ns)
             .enumerate()
             .skip(first)
         {
             let idle = i > first && matches!(c.next_activity(now), Some(at) if at > now);
             if !idle {
-                c.tick(&mut ctx);
+                if self.profiling {
+                    let t0 = std::time::Instant::now();
+                    c.tick(&mut ctx);
+                    *ns += t0.elapsed().as_nanos() as u64;
+                } else {
+                    c.tick(&mut ctx);
+                }
                 *ticks += 1;
             }
         }
@@ -817,6 +906,11 @@ impl Simulator {
         // refills.
         debug_assert!(self.due.is_empty());
         std::mem::swap(&mut self.due, &mut self.carry);
+        // Hand last cycle's promises to the sweep and start collecting
+        // this cycle's: only promised slots may skip the pre-tick hint
+        // query below.
+        std::mem::swap(&mut self.carried, &mut self.promise);
+        self.promise.clear_all();
         for &i in &self.polled[polled_from..] {
             self.due.set(i as usize);
         }
@@ -906,18 +1000,26 @@ impl Simulator {
                     cycle: now,
                     tracer: &self.tracer,
                 };
-                let executed = c.tick_batch(&mut ctx, k).clamp(1, k);
+                let executed = if self.profiling {
+                    let t0 = std::time::Instant::now();
+                    let executed = c.tick_batch(&mut ctx, k).clamp(1, k);
+                    self.host_ns[idx] += t0.elapsed().as_nanos() as u64;
+                    executed
+                } else {
+                    c.tick_batch(&mut ctx, k).clamp(1, k)
+                };
                 self.ticks[idx] += executed;
                 cur = now + executed - 1;
-                // Reschedule from the batch's final cycle.
-                let next = match c.next_activity(cur) {
-                    Some(at) => at.max(cur + 1),
-                    None => cur + 1,
-                };
-                if next == cur + 1 {
-                    self.carry.set(idx);
-                } else {
-                    self.schedule(idx, next);
+                // Reschedule from the batch's final cycle. A hint of
+                // "still due now" is a firm promise for the next cycle
+                // (see `promise`); an exact `cur + 1` deadline is not.
+                match c.next_activity(cur) {
+                    Some(at) if at > cur + 1 => self.schedule(idx, at),
+                    Some(at) if at == cur + 1 => self.carry.set(idx),
+                    _ => {
+                        self.carry.set(idx);
+                        self.promise.set(idx);
+                    }
                 }
                 if let Some(s) = &self.sanitizer {
                     s.set_now(cur);
@@ -1018,7 +1120,13 @@ impl Simulator {
                             cycle: at,
                             tracer: &self.tracer,
                         };
-                        c.tick(&mut ctx);
+                        if self.profiling {
+                            let t0 = std::time::Instant::now();
+                            c.tick(&mut ctx);
+                            self.host_ns[idx] += t0.elapsed().as_nanos() as u64;
+                        } else {
+                            c.tick(&mut ctx);
+                        }
                         self.ticks[idx] += 1;
                         // The due bit stays set: the member is due for
                         // every remaining window cycle.
@@ -1039,7 +1147,13 @@ impl Simulator {
                             cycle: at,
                             tracer: &self.tracer,
                         };
-                        c.tick(&mut ctx);
+                        if self.profiling {
+                            let t0 = std::time::Instant::now();
+                            c.tick(&mut ctx);
+                            self.host_ns[idx] += t0.elapsed().as_nanos() as u64;
+                        } else {
+                            c.tick(&mut ctx);
+                        }
                         self.ticks[idx] += 1;
                         if self.policies[idx] == WakePolicy::Wired {
                             let next = match c.next_activity(at) {
@@ -1084,8 +1198,20 @@ impl Simulator {
             let c = &mut self.components[idx];
             // Query the hint exactly once, immediately before this
             // component's tick slot: an earlier component may have
-            // pushed work to it during this very cycle.
-            if let Some(at) = c.next_activity(cur) {
+            // pushed work to it during this very cycle. A carried slot
+            // skips the query — its own post-tick hint last cycle
+            // promised "due again", and hint monotonicity (the wake
+            // contract) means earlier ticks this cycle can only add
+            // work, never retract the promise. Fused-window members
+            // reaching this sweep are likewise window-promised due.
+            if self.carried.get(idx) {
+                debug_assert!(
+                    !matches!(c.next_activity(cur), Some(at) if at > cur),
+                    "{}: post-tick hint promised due at {cur} but the pre-tick \
+                     query disagrees (non-monotone hint)",
+                    c.name()
+                );
+            } else if let Some(at) = c.next_activity(cur) {
                 if at > cur {
                     // Not due after all. Wired components sleep until
                     // the declared cycle (or a wake); polled ones are
@@ -1100,21 +1226,30 @@ impl Simulator {
                 cycle: cur,
                 tracer: &self.tracer,
             };
-            c.tick(&mut ctx);
+            if self.profiling {
+                let t0 = std::time::Instant::now();
+                c.tick(&mut ctx);
+                self.host_ns[idx] += t0.elapsed().as_nanos() as u64;
+            } else {
+                c.tick(&mut ctx);
+            }
             self.ticks[idx] += 1;
             if self.policies[idx] == WakePolicy::Wired {
                 // Reschedule from the post-tick hint. `None` and `now`
                 // both mean "again next cycle" — the carry bitset, not
                 // the heap, so a streaming drain costs no heap traffic
-                // — while MAX means "sleep until a wake arrives".
-                let next = match c.next_activity(cur) {
-                    Some(at) => at.max(cur + 1),
-                    None => cur + 1,
-                };
-                if next == cur + 1 {
-                    self.carry.set(idx);
-                } else {
-                    self.schedule(idx, next);
+                // — while MAX means "sleep until a wake arrives". A
+                // hint still at `now` (or `None`) additionally records
+                // a firm promise, letting next cycle's sweep skip the
+                // pre-tick re-query; an exact `cur + 1` deadline may
+                // be a gate and is carried without the promise.
+                match c.next_activity(cur) {
+                    Some(at) if at > cur + 1 => self.schedule(idx, at),
+                    Some(at) if at == cur + 1 => self.carry.set(idx),
+                    _ => {
+                        self.carry.set(idx);
+                        self.promise.set(idx);
+                    }
                 }
             }
             // A push during this tick wakes its subscribers: later
@@ -1256,6 +1391,7 @@ impl Simulator {
             fused_windows: self.fused_windows,
             fused_cycles: self.fused_cycles,
             protocol_violations: self.sanitizer.as_ref().map_or(0, |s| s.violation_count()),
+            profiled: self.profiling,
             components: self
                 .components
                 .iter()
@@ -1266,6 +1402,7 @@ impl Simulator {
                     ticks_executed: ticks,
                     cycles_skipped: (self.cycle - registered) - ticks,
                     fusion_vetoes: self.fusion_vetoes[idx],
+                    host_ns: self.host_ns[idx],
                     audit: c.mmio_audit(),
                 })
                 .collect(),
@@ -1629,6 +1766,53 @@ mod tests {
         let rendered = stats.render();
         assert!(rendered.contains("producer"));
         assert!(rendered.contains("consumer"));
+    }
+
+    #[test]
+    fn profiling_attributes_host_time_without_changing_behavior() {
+        for scheduler in [Scheduler::Naive, Scheduler::Scan, Scheduler::ActiveSet] {
+            let run = |profile: bool| {
+                let (mut sim, seen) = pipeline(50);
+                sim.set_scheduler(scheduler);
+                sim.set_profiling(profile);
+                sim.run_until_quiescent(10_000).unwrap();
+                (sim.now(), seen.get(), sim.kernel_stats())
+            };
+            let (now_p, seen_p, stats_p) = run(true);
+            let (now_u, seen_u, stats_u) = run(false);
+            assert_eq!(now_p, now_u, "{scheduler:?}: cycle counts identical");
+            assert_eq!(seen_p, seen_u);
+            assert!(stats_p.profiled);
+            assert!(!stats_u.profiled);
+            assert_eq!(stats_u.total_host_ns(), 0, "disabled mode records nothing");
+            assert!(
+                stats_p.total_host_ns() > 0,
+                "{scheduler:?}: ticked components accumulate host time"
+            );
+            for (p, u) in stats_p.components.iter().zip(&stats_u.components) {
+                assert_eq!(p.ticks_executed, u.ticks_executed, "{}", p.name);
+                if p.ticks_executed > 0 {
+                    assert!(p.host_ns > 0, "{}: ticked but unattributed", p.name);
+                }
+            }
+            let table = stats_p.render_tick_costs();
+            assert!(table.contains("producer"), "{scheduler:?}:\n{table}");
+            assert!(table.contains("consumer"), "{scheduler:?}:\n{table}");
+        }
+    }
+
+    #[test]
+    fn profiling_covers_solo_batches_and_resets() {
+        let (mut sim, _) = pipeline(20);
+        sim.set_profiling(true);
+        sim.run_until_quiescent(10_000).unwrap();
+        assert!(sim.kernel_stats().total_host_ns() > 0);
+        sim.reset_stats();
+        assert_eq!(
+            sim.kernel_stats().total_host_ns(),
+            0,
+            "reset zeroes attribution"
+        );
     }
 
     #[test]

@@ -142,6 +142,10 @@ pub struct ComponentStats {
     /// hot component with a high veto count is the reason fused
     /// windows stay short on a rig.
     pub fusion_vetoes: u64,
+    /// Host nanoseconds spent inside this component's `tick` /
+    /// `tick_batch` calls. Accumulated only while profiling is enabled
+    /// ([`crate::Simulator::set_profiling`]); zero otherwise.
+    pub host_ns: u64,
     /// MMIO access audit, for components that decode a register map.
     pub audit: Option<MmioAudit>,
 }
@@ -178,6 +182,9 @@ pub struct KernelStats {
     /// Bus/stream protocol violations recorded by the attached
     /// sanitizer (zero when no sanitizer is attached).
     pub protocol_violations: u64,
+    /// Whether per-component host-time profiling was enabled at
+    /// snapshot time (the `host_ns` fields are meaningful only then).
+    pub profiled: bool,
     /// Per-component counters, in registration order.
     pub components: Vec<ComponentStats>,
 }
@@ -209,6 +216,53 @@ impl KernelStats {
             total.merge(a);
         }
         total
+    }
+
+    /// Total profiled host nanoseconds across all components (zero
+    /// when profiling was disabled).
+    pub fn total_host_ns(&self) -> u64 {
+        self.components.iter().map(|c| c.host_ns).sum()
+    }
+
+    /// Render the tick-cost attribution table: per-component profiled
+    /// host time, descending, with per-tick cost and share of the
+    /// attributed total. Empty string when no host time was recorded
+    /// (profiling disabled or nothing ticked).
+    pub fn render_tick_costs(&self) -> String {
+        let total = self.total_host_ns();
+        if total == 0 {
+            return String::new();
+        }
+        let mut rows: Vec<&ComponentStats> =
+            self.components.iter().filter(|c| c.host_ns > 0).collect();
+        rows.sort_by_key(|c| std::cmp::Reverse(c.host_ns));
+        let name_w = rows.iter().map(|c| c.name.len()).max().unwrap_or(9).max(9);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "tick-cost attribution: {:.3} ms host time inside tick calls over {} cycles\n",
+            total as f64 / 1e6,
+            self.cycles,
+        ));
+        out.push_str(&format!(
+            "  {:<name_w$}  {:>12}  {:>10}  {:>8}  {:>6}\n",
+            "component", "ticks", "host ms", "ns/tick", "share",
+        ));
+        for c in rows {
+            let per_tick = if c.ticks_executed > 0 {
+                c.host_ns as f64 / c.ticks_executed as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {:<name_w$}  {:>12}  {:>10.3}  {:>8.1}  {:>5.1}%\n",
+                c.name,
+                c.ticks_executed,
+                c.host_ns as f64 / 1e6,
+                per_tick,
+                c.host_ns as f64 / total as f64 * 100.0,
+            ));
+        }
+        out
     }
 
     /// Fraction of component-cycles that were skipped, in percent —
@@ -407,12 +461,14 @@ mod tests {
             fused_windows: 0,
             fused_cycles: 0,
             protocol_violations: 0,
+            profiled: false,
             components: vec![
                 ComponentStats {
                     name: "a".into(),
                     ticks_executed: 100,
                     cycles_skipped: 0,
                     fusion_vetoes: 0,
+                    host_ns: 0,
                     audit: Some(MmioAudit {
                         reads: 4,
                         unmapped: 2,
@@ -424,6 +480,7 @@ mod tests {
                     ticks_executed: 100,
                     cycles_skipped: 0,
                     fusion_vetoes: 0,
+                    host_ns: 0,
                     audit: None,
                 },
                 ComponentStats {
@@ -431,6 +488,7 @@ mod tests {
                     ticks_executed: 100,
                     cycles_skipped: 0,
                     fusion_vetoes: 0,
+                    host_ns: 0,
                     audit: Some(MmioAudit {
                         writes: 7,
                         ro_writes: 1,
@@ -445,6 +503,46 @@ mod tests {
         assert_eq!(merged.writes, 7);
         let rendered = stats.render();
         assert!(rendered.contains("violations"), "{rendered}");
+    }
+
+    #[test]
+    fn tick_cost_table_sorts_descending_and_shares_sum() {
+        let mk = |name: &str, ticks: u64, host_ns: u64| ComponentStats {
+            name: name.into(),
+            ticks_executed: ticks,
+            cycles_skipped: 0,
+            fusion_vetoes: 0,
+            host_ns,
+            audit: None,
+        };
+        let stats = KernelStats {
+            cycles: 1000,
+            fast_forward: true,
+            jumps: 0,
+            jumped_cycles: 0,
+            fused_windows: 0,
+            fused_cycles: 0,
+            protocol_violations: 0,
+            profiled: true,
+            components: vec![
+                mk("cold", 10, 1_000),
+                mk("hot", 1000, 9_000_000),
+                mk("idle", 0, 0),
+            ],
+        };
+        assert_eq!(stats.total_host_ns(), 9_001_000);
+        let table = stats.render_tick_costs();
+        let hot = table.find("hot").expect("hot row present");
+        let cold = table.find("cold").expect("cold row present");
+        assert!(hot < cold, "hot component sorts first:\n{table}");
+        assert!(!table.contains("idle"), "zero-time rows elided:\n{table}");
+        // Unprofiled stats render nothing.
+        let empty = KernelStats {
+            profiled: false,
+            components: vec![mk("a", 5, 0)],
+            ..stats
+        };
+        assert_eq!(empty.render_tick_costs(), "");
     }
 
     #[test]

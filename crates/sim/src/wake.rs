@@ -25,7 +25,7 @@
 //! mid-cycle still activates a later-registered consumer *that* cycle,
 //! preserving the producer-before-consumer ordering contract.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// A component's promise about its external inputs, returned from
@@ -45,17 +45,20 @@ pub enum WakePolicy {
 }
 
 #[derive(Debug, Default)]
-struct HubInner {
-    /// Pending-wake bitset over component indices.
-    words: Vec<u64>,
+struct HubShared {
+    /// Pending-wake bitset over component indices. Guarded by a
+    /// `RefCell` only for growth and the drain loops; the emptiness
+    /// flag lives outside it so the kernel's after-every-tick drain
+    /// call is a plain load when nothing is pending.
+    words: RefCell<Vec<u64>>,
     /// Fast emptiness check (cleared only by full drains).
-    any: bool,
+    any: Cell<bool>,
 }
 
 /// The simulator-owned pending-wake set. Cloning shares the set.
 #[derive(Debug, Clone, Default)]
 pub struct WakeHub {
-    inner: Rc<RefCell<HubInner>>,
+    inner: Rc<HubShared>,
 }
 
 impl WakeHub {
@@ -66,10 +69,10 @@ impl WakeHub {
 
     /// Make room for component index `index`.
     pub(crate) fn grow_to(&self, index: usize) {
-        let mut inner = self.inner.borrow_mut();
-        let words = index / 64 + 1;
-        if inner.words.len() < words {
-            inner.words.resize(words, 0);
+        let mut words = self.inner.words.borrow_mut();
+        let need = index / 64 + 1;
+        if words.len() < need {
+            words.resize(need, 0);
         }
     }
 
@@ -85,28 +88,29 @@ impl WakeHub {
     /// Mark component `index` pending.
     pub(crate) fn wake(&self, index: usize) {
         self.grow_to(index);
-        let mut inner = self.inner.borrow_mut();
-        inner.words[index / 64] |= 1 << (index % 64);
-        inner.any = true;
+        self.inner.words.borrow_mut()[index / 64] |= 1 << (index % 64);
+        self.inner.any.set(true);
     }
 
     /// True when no wakes are pending.
+    #[inline]
     pub(crate) fn is_empty(&self) -> bool {
-        !self.inner.borrow().any
+        !self.inner.any.get()
     }
 
     /// Move every pending wake into `due` (bit-or) and clear the hub.
+    #[inline]
     pub(crate) fn drain_all_into(&self, due: &mut BitSet) {
-        let mut inner = self.inner.borrow_mut();
-        if !inner.any {
+        if !self.inner.any.get() {
             return;
         }
-        due.grow_to_words(inner.words.len());
-        for (d, w) in due.words.iter_mut().zip(inner.words.iter_mut()) {
+        let mut words = self.inner.words.borrow_mut();
+        due.grow_to_words(words.len());
+        for (d, w) in due.words.iter_mut().zip(words.iter_mut()) {
             *d |= *w;
             *w = 0;
         }
-        inner.any = false;
+        self.inner.any.set(false);
     }
 
     /// Move pending wakes for indices **strictly greater than**
@@ -114,16 +118,21 @@ impl WakeHub {
     /// their re-query at the next cycle start — a wake aimed at an
     /// already-passed tick slot is a next-cycle wake, exactly like the
     /// one-cycle pipeline latency of the naive schedule).
+    #[inline]
     pub(crate) fn drain_above_into(&self, threshold: usize, due: &mut BitSet) {
-        let mut inner = self.inner.borrow_mut();
-        if !inner.any {
+        if !self.inner.any.get() {
             return;
         }
-        due.grow_to_words(inner.words.len());
+        self.drain_above_slow(threshold, due);
+    }
+
+    fn drain_above_slow(&self, threshold: usize, due: &mut BitSet) {
+        let mut words = self.inner.words.borrow_mut();
+        due.grow_to_words(words.len());
         let word = threshold / 64;
         let bit = threshold % 64;
         let mut below = false;
-        for (i, (d, w)) in due.words.iter_mut().zip(inner.words.iter_mut()).enumerate() {
+        for (i, (d, w)) in due.words.iter_mut().zip(words.iter_mut()).enumerate() {
             if i < word {
                 below |= *w != 0;
                 continue;
@@ -138,7 +147,7 @@ impl WakeHub {
             *w &= !take;
             below |= *w != 0;
         }
-        inner.any = below;
+        self.inner.any.set(below);
     }
 }
 
@@ -147,18 +156,20 @@ impl WakeHub {
 /// [`crate::Signal`]s via their `subscribe_wake` methods.
 #[derive(Debug, Clone)]
 pub struct Waker {
-    hub: Rc<RefCell<HubInner>>,
+    hub: Rc<HubShared>,
     index: usize,
 }
 
 impl Waker {
     /// Mark the owning component pending. Idempotent and allocation-
     /// free; safe to call from any context (ticked code or host).
+    #[inline]
     pub fn wake(&self) {
-        let mut inner = self.hub.borrow_mut();
-        debug_assert!(self.index / 64 < inner.words.len());
-        inner.words[self.index / 64] |= 1 << (self.index % 64);
-        inner.any = true;
+        let mut words = self.hub.words.borrow_mut();
+        debug_assert!(self.index / 64 < words.len());
+        words[self.index / 64] |= 1 << (self.index % 64);
+        drop(words);
+        self.hub.any.set(true);
     }
 
     /// The component index this waker targets.

@@ -46,8 +46,11 @@ RVCAP_STRICT=1 cargo test -q -p rvcap-sim --test replay_props
 # relative gate against the committed BENCH_hostbench.json baseline
 # (>20% drop after normalizing by the active_set ratio to cancel
 # host-speed differences).
+# --profile adds one profiled fused-mode pass per rig *after* its
+# timed rows (attribution never perturbs the measured medians) and
+# writes BENCH_hostbench_profile.md for the CI job summary.
 echo "== hostbench (host-perf floors + baseline, median of 3) =="
-cargo run --release -q -p rvcap-bench --bin hostbench
+cargo run --release -q -p rvcap-bench --bin hostbench -- --profile
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
